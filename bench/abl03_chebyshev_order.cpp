@@ -1,0 +1,72 @@
+// Ablation: Chebyshev order for the Brownian matrix square root. The
+// paper fixes C_max = 30 ("for computing the Brownian forces to a
+// given accuracy"); this sweep shows the accuracy/cost trade-off that
+// choice sits on.
+#include <cmath>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/sd_simulation.hpp"
+#include "dense/matrix.hpp"
+#include "solver/chebyshev.hpp"
+#include "solver/lanczos.hpp"
+#include "solver/operator.hpp"
+#include "util/stats.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mrhs;
+  int particles = 300;
+  double phi = 0.5;
+  util::ArgParser args("abl03_chebyshev_order",
+                       "Ablation: Chebyshev order vs sqrt accuracy");
+  args.add("particles", particles,
+           "particles (small: dense reference is O(n^3))");
+  args.add("phi", phi, "volume occupancy");
+  args.parse(argc, argv);
+
+  bench::print_header(
+      "Ablation — Chebyshev order for S(R) ~ sqrt(R)",
+      "(the paper fixes C_max = 30; this shows why)");
+
+  core::SdConfig config;
+  config.particles = static_cast<std::size_t>(particles);
+  config.phi = phi;
+  config.seed = 42;
+  core::SdSimulation sim(config);
+  const auto r = sim.assemble();
+  solver::BcrsOperator op(r, config.threads);
+  const auto bounds = solver::lanczos_bounds(op);
+  std::printf("spectral interval: [%.3g, %.3g], condition %.1f\n\n",
+              bounds.lambda_min, bounds.lambda_max,
+              bounds.lambda_max / bounds.lambda_min);
+
+  // Dense reference sqrt(R) z.
+  std::vector<double> z(op.size()), y(op.size()), y_ref(op.size());
+  sim.noise(0, z);
+  dense::sqrt_apply_reference(r.to_dense(), z, y_ref);
+  const double ref_norm = util::norm2(y_ref);
+
+  util::Table table({"order", "interval max err", "||S(R)z - sqrt(R)z||/||.||",
+                     "SPMVs", "ms"});
+  for (std::size_t order : {5u, 10u, 20u, 30u, 40u, 60u}) {
+    const solver::ChebyshevSqrt cheb(bounds, order);
+    const double seconds =
+        util::time_per_call([&] { cheb.apply(op, z, y); }, 0.02);
+    table.add_row({std::to_string(order),
+                   util::Table::fmt(cheb.max_interval_error() /
+                                        std::sqrt(bounds.lambda_max),
+                                    3),
+                   util::Table::fmt(util::diff_norm2(y, y_ref) / ref_norm, 3),
+                   std::to_string(order),
+                   util::Table::fmt(seconds * 1e3, 3)});
+  }
+  table.print();
+  bench::print_note(
+      "error decays geometrically with order while cost is linear; at "
+      "SD-like conditioning C_max = 30 puts the sqrt error around "
+      "1e-4-1e-3 relative — far below the sampling noise of the "
+      "Brownian forcing it feeds, which is the accuracy target that "
+      "matters.");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Shared plumbing for the table/figure reproduction binaries.
+//
+// Every bench prints (1) what it reproduces, (2) the paper's reported
+// values where they exist, and (3) the values measured here, in a
+// layout close to the paper's so EXPERIMENTS.md can be filled by
+// reading the output.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace mrhs::bench {
+
+inline void print_header(const std::string& experiment,
+                         const std::string& paper_summary) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("Paper reports: %s\n", paper_summary.c_str());
+  std::printf("================================================================\n\n");
+}
+
+inline void print_note(const std::string& note) {
+  std::printf("note: %s\n", note.c_str());
+}
+
+}  // namespace mrhs::bench
+
+#include "core/stepper.hpp"
+
+namespace mrhs::bench {
+
+/// Per-step seconds of one phase (amortized over the steps of a run).
+inline double per_step(const core::RunStats& stats, const char* phase) {
+  return stats.steps.empty()
+             ? 0.0
+             : stats.timers.seconds(phase) /
+                   static_cast<double>(stats.steps.size());
+}
+
+/// The Tables VI/VII row set: per-step phase timings for a run, "-"
+/// where the phase does not occur.
+inline std::vector<std::string> breakdown_column(
+    const core::RunStats& stats, bool is_mrhs) {
+  auto fmt = [&](const char* phase) {
+    return util::Table::fmt(per_step(stats, phase), 3);
+  };
+  std::vector<std::string> col;
+  col.push_back(is_mrhs ? fmt(core::phase::kChebVectors) : "-");
+  col.push_back(is_mrhs ? fmt(core::phase::kCalcGuesses) : "-");
+  col.push_back(fmt(core::phase::kChebSingle));
+  col.push_back(fmt(core::phase::kFirstSolve));
+  col.push_back(fmt(core::phase::kSecondSolve));
+  col.push_back(fmt(core::phase::kConstruct));
+  col.push_back(fmt(core::phase::kEigBounds));
+  col.push_back(util::Table::fmt(stats.avg_step_seconds(), 3));
+  return col;
+}
+
+inline const std::vector<std::string>& breakdown_rows() {
+  static const std::vector<std::string> rows = {
+      "Cheb vectors", "Calc guesses", "Cheb single", "1st solve",
+      "2nd solve",    "Construct",    "Eig bounds",  "Average"};
+  return rows;
+}
+
+}  // namespace mrhs::bench

@@ -1,0 +1,61 @@
+// Paper Figure 1: number of vectors that can be multiplied in 2x the
+// single-vector time, as a function of nnzb/nb (x) and B/F (y), from
+// the performance model with k(m) = 0.
+#include <vector>
+
+#include "bench_common.hpp"
+#include "perf/model.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mrhs;
+  double ratio = 2.0;
+  double k = 0.0;
+  util::ArgParser args("fig01_model_profile",
+                       "Reproduce paper Fig. 1 (model profile)");
+  args.add("ratio", ratio, "relative-time budget (paper uses 2x)");
+  args.add("k", k, "extra X accesses k(m) (paper's figure assumes 0)");
+  args.parse(argc, argv);
+
+  bench::print_header(
+      "Figure 1 — vectors multipliable in " + util::Table::fmt(ratio, 3) +
+          "x single-vector time (model, k = " + util::Table::fmt(k, 3) + ")",
+      "a profile rising from ~10 vectors (sparse rows, tiny B/F) toward "
+      "50-60 (dense rows), saturating once the compute bound dominates");
+
+  const std::vector<double> bpr_axis = {6,  12, 18, 24, 30, 36, 42,
+                                        48, 54, 60, 66, 72, 78, 84};
+  const std::vector<double> bf_axis = {0.02, 0.06, 0.1, 0.2,
+                                       0.3,  0.4,  0.5, 0.6};
+
+  std::vector<std::string> headers = {"B/F \\ nnzb/nb"};
+  for (double bpr : bpr_axis) headers.push_back(util::Table::fmt(bpr, 3));
+  util::Table table(headers);
+  for (double bf : bf_axis) {
+    std::vector<std::string> row = {util::Table::fmt(bf, 3)};
+    for (double bpr : bpr_axis) {
+      const auto model = perf::ratio_model(bpr, bf, k);
+      row.push_back(std::to_string(model.vectors_within_ratio(ratio)));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print("vectors at r(m) <= " + util::Table::fmt(ratio, 3) + ":");
+
+  // The three configurations highlighted in the paper's text.
+  util::Table spots({"config", "nnzb/nb", "B/F", "paper measured", "model"});
+  struct Spot {
+    const char* name;
+    double bpr, bf;
+    const char* paper;
+  };
+  for (const Spot& s : {Spot{"mat1 on WSM", 5.6, 0.51, "8"},
+                        Spot{"mat2 on WSM", 24.9, 0.51, "12"},
+                        Spot{"mat3 on SNB", 45.3, 0.37, "16"}}) {
+    const auto model = perf::ratio_model(s.bpr, s.bf, k);
+    spots.add_row({s.name, util::Table::fmt(s.bpr, 3),
+                   util::Table::fmt(s.bf, 2), s.paper,
+                   std::to_string(model.vectors_within_ratio(ratio))});
+  }
+  spots.print("\npaper text anchors (k = 0 model is an upper profile; the "
+              "paper notes measured values are somewhat smaller):");
+  return 0;
+}

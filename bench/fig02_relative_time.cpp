@@ -1,0 +1,100 @@
+// Paper Figure 2: relative time r(m) of GSPMV.
+//  (a) predicted vs achieved for mat2,
+//  (b) achieved r(m) for mat1, mat2, mat3.
+#include <cmath>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/workloads.hpp"
+#include "perf/machine.hpp"
+#include "perf/measure.hpp"
+#include "perf/model.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mrhs;
+  int particles = 10000;
+  int threads = 0;
+  int max_m = 42;
+  util::ArgParser args("fig02_relative_time", "Reproduce paper Fig. 2");
+  args.add("particles", particles, "particles per system");
+  args.add("threads", threads, "GSPMV threads (0 = all)");
+  args.add("max_m", max_m, "largest vector count (paper sweeps to 42)");
+  args.parse(argc, argv);
+
+  bench::print_header(
+      "Figure 2 — GSPMV relative time r(m)",
+      "(a) model tracks measurement for mat2; (b) r(2x) reached at "
+      "m ~ 8 (mat1), ~12 (mat2), ~16 (mat3/SNB)");
+
+  const auto machine = perf::measure_machine();
+  std::printf("machine: B = %.1f GB/s, F = %.1f Gflop/s, B/F = %.2f "
+              "(paper WSM: 23/45/0.55, SNB: 33/90/0.37)\n\n",
+              machine.bandwidth * 1e-9, machine.flops * 1e-9,
+              machine.bytes_per_flop());
+
+  const auto suite =
+      core::build_matrix_suite(static_cast<std::size_t>(particles), 42);
+
+  std::vector<std::size_t> ms;
+  for (int m = 1; m <= max_m; m = m < 4 ? m + 1 : m + 2) {
+    ms.push_back(static_cast<std::size_t>(m));
+  }
+
+  // (a) predicted vs achieved for mat2.
+  {
+    const auto& sm = suite[1];
+    perf::GspmvModel model;
+    model.block_rows = static_cast<double>(sm.matrix.block_rows());
+    model.nonzero_blocks = static_cast<double>(sm.matrix.nnzb());
+    model.bandwidth = machine.bandwidth;
+    model.flops = machine.flops;
+
+    const auto measured = perf::measure_relative_time(
+        sm.matrix, ms, threads, /*min_seconds=*/0.2);
+    util::Table table({"m", "r achieved", "r predicted", "bw bound",
+                       "compute bound", "inferred k(m)"});
+    for (const auto& pt : measured) {
+      const double base = model.time_bandwidth_bound(1);
+      const double k = perf::infer_k(model, pt.m, pt.seconds);
+      table.add_row({std::to_string(pt.m),
+                     util::Table::fmt_fixed(pt.relative, 2),
+                     util::Table::fmt_fixed(model.relative_time(pt.m), 2),
+                     util::Table::fmt_fixed(
+                         model.time_bandwidth_bound(pt.m) / base, 2),
+                     util::Table::fmt_fixed(
+                         model.time_compute_bound(pt.m) / base, 2),
+                     std::isnan(k) ? "compute-bound"
+                                   : util::Table::fmt_fixed(k, 1)});
+    }
+    table.print("(a) mat2: predicted vs achieved relative time "
+                "(paper: k(m) ~ 3 for SD matrices, weakly m-dependent)");
+  }
+
+  // (b) achieved r(m) for all three matrices.
+  {
+    util::Table table({"m", "mat1", "mat2", "mat3"});
+    std::vector<std::vector<perf::RelativeTimePoint>> curves;
+    for (const auto& sm : suite) {
+      curves.push_back(perf::measure_relative_time(sm.matrix, ms, threads,
+                                                  /*min_seconds=*/0.2));
+    }
+    for (std::size_t i = 0; i < ms.size(); ++i) {
+      table.add_row({std::to_string(ms[i]),
+                     util::Table::fmt_fixed(curves[0][i].relative, 2),
+                     util::Table::fmt_fixed(curves[1][i].relative, 2),
+                     util::Table::fmt_fixed(curves[2][i].relative, 2)});
+    }
+    table.print("\n(b) achieved r(m) for the three matrices:");
+
+    for (std::size_t c = 0; c < suite.size(); ++c) {
+      std::size_t vectors_at_2x = 1;
+      for (const auto& pt : curves[c]) {
+        if (pt.relative <= 2.0) vectors_at_2x = pt.m;
+      }
+      std::printf("%s: %zu vectors within 2x (paper: %s)\n",
+                  suite[c].spec.name.c_str(), vectors_at_2x,
+                  c == 0 ? "8" : (c == 1 ? "12" : "16 on SNB"));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Paper Figure 3: multi-node GSPMV relative time r(m, p) for mat1 and
+// mat2, p in {1, 4, 16, 64}. Partitioning, halo volumes and load
+// balance are computed from the real matrices via the executed
+// distributed-GSPMV substrate; wire timings use the alpha-beta model
+// (see DESIGN.md substitutions).
+#include <vector>
+
+#include "bench_common.hpp"
+#include "cluster/comm_model.hpp"
+#include "cluster/partitioner.hpp"
+#include "core/workloads.hpp"
+#include "sd/packing.hpp"
+#include "sd/radii.hpp"
+#include "sd/resistance.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mrhs;
+  int particles = 20000;
+  int paper_particles = 300000;
+  int max_m = 32;
+  util::ArgParser args("fig03_multinode", "Reproduce paper Fig. 3");
+  args.add("particles", particles, "particles per system");
+  args.add("paper_particles", paper_particles,
+           "system size the timing model extrapolates to");
+  args.add("max_m", max_m, "largest vector count (paper sweeps to 32)");
+  args.parse(argc, argv);
+
+  bench::print_header(
+      "Figure 3 — multi-node relative time r(m, p), mat1 and mat2",
+      "curves for 4/16 nodes sit slightly above single-node; at 64 "
+      "nodes communication dominates and r(m) is much flatter/lower");
+
+  // Rebuild the suite systems here because the partitioner needs the
+  // particle coordinates alongside each matrix.
+  auto radii = sd::sample_radii(sd::ecoli_cytoplasm_distribution(),
+                                static_cast<std::size_t>(particles), 42);
+  sd::PackingParams packing;
+  packing.seed = 42;
+  const auto system = sd::pack_particles(std::move(radii), 0.5, packing);
+
+  const auto specs =
+      core::paper_matrix_suite(static_cast<std::size_t>(particles), 42);
+  const std::vector<std::size_t> nodes = {1, 4, 16, 64};
+  std::vector<std::size_t> ms;
+  for (int m = 1; m <= max_m; m = m < 4 ? m + 1 : m + 2) {
+    ms.push_back(static_cast<std::size_t>(m));
+  }
+
+  for (std::size_t which : {0u, 1u}) {  // mat1, mat2
+    sd::ResistanceParams params;
+    params.lubrication.max_gap_scaled = specs[which].cutoff;
+    const auto matrix = sd::assemble_resistance(system, params);
+
+    std::vector<std::string> headers = {"m"};
+    for (std::size_t p : nodes) {
+      headers.push_back(std::to_string(p) + " node" + (p > 1 ? "s" : ""));
+    }
+    util::Table table(headers);
+
+    std::vector<cluster::ClusterTimeModel> models;
+    std::vector<cluster::CommPlan> plans;
+    plans.reserve(nodes.size());
+    cluster::ClusterParams cp;
+    cp.volume_scale = static_cast<double>(paper_particles) /
+                      static_cast<double>(particles);
+    for (std::size_t p : nodes) {
+      const auto part = cluster::partition_coordinate_grid(system, matrix, p);
+      plans.emplace_back(matrix, part);
+      models.emplace_back(plans.back(), matrix.block_rows(), cp);
+    }
+    for (std::size_t m : ms) {
+      std::vector<std::string> row = {std::to_string(m)};
+      for (const auto& model : models) {
+        row.push_back(util::Table::fmt_fixed(model.relative_time(m), 2));
+      }
+      table.add_row(std::move(row));
+    }
+    table.print("(" + std::string(which == 0 ? "a" : "b") + ") " +
+                specs[which].name + " (nnzb/nb = " +
+                util::Table::fmt_fixed(matrix.blocks_per_row(), 1) + "):");
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Paper Figure 4: GSPMV relative time as a function of the number of
+// nodes — it rises slightly (gather overhead) and then falls once
+// communication dominates.
+#include "bench_common.hpp"
+#include "cluster/comm_model.hpp"
+#include "cluster/partitioner.hpp"
+#include "core/workloads.hpp"
+#include "sd/packing.hpp"
+#include "sd/radii.hpp"
+#include "sd/resistance.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mrhs;
+  int particles = 20000;
+  int paper_particles = 300000;
+  util::ArgParser args("fig04_nodes_sweep", "Reproduce paper Fig. 4");
+  args.add("particles", particles, "particles per system");
+  args.add("paper_particles", paper_particles,
+           "system size the timing model extrapolates to");
+  args.parse(argc, argv);
+
+  bench::print_header(
+      "Figure 4 — relative time vs number of nodes",
+      "r(m) increases slightly from 1 to ~16 nodes, then decreases at "
+      "32-64 nodes where communication dominates");
+
+  auto radii = sd::sample_radii(sd::ecoli_cytoplasm_distribution(),
+                                static_cast<std::size_t>(particles), 42);
+  sd::PackingParams packing;
+  packing.seed = 42;
+  const auto system = sd::pack_particles(std::move(radii), 0.5, packing);
+
+  const auto specs =
+      core::paper_matrix_suite(static_cast<std::size_t>(particles), 42);
+  for (std::size_t which : {0u, 1u}) {
+    sd::ResistanceParams params;
+    params.lubrication.max_gap_scaled = specs[which].cutoff;
+    const auto matrix = sd::assemble_resistance(system, params);
+
+    util::Table table({"nodes", "r(m=8)", "r(m=16)", "r(m=32)"});
+    cluster::ClusterParams cp;
+    cp.volume_scale = static_cast<double>(paper_particles) /
+                      static_cast<double>(particles);
+    for (std::size_t p : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+      const auto part =
+          cluster::partition_coordinate_grid(system, matrix, p);
+      const cluster::CommPlan plan(matrix, part);
+      const cluster::ClusterTimeModel model(plan, matrix.block_rows(), cp);
+      table.add_row({std::to_string(p),
+                     util::Table::fmt_fixed(model.relative_time(8), 2),
+                     util::Table::fmt_fixed(model.relative_time(16), 2),
+                     util::Table::fmt_fixed(model.relative_time(32), 2)});
+    }
+    table.print(specs[which].name + " (nnzb/nb = " +
+                util::Table::fmt_fixed(matrix.blocks_per_row(), 1) + "):");
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Paper Figure 7: predicted vs achieved average simulation time per
+// step as a function of the number of right-hand sides m. The achieved
+// time first falls, bottoms out near m_optimal, and rises again; the
+// prediction is the max of the bandwidth- and compute-bound estimates
+// of equations (11) and (12).
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/mrhs_model.hpp"
+#include "core/sd_simulation.hpp"
+#include "core/stepper.hpp"
+#include "perf/machine.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mrhs;
+  int particles = 3000;
+  double phi = 0.5;
+  int steps_per_m = 0;  // 0 -> one chunk of m steps per point
+  std::string m_list = "1,2,4,6,8,10,12,16,20,24,32";
+  util::ArgParser args("fig07_tmrhs_vs_m", "Reproduce paper Fig. 7");
+  args.add("particles", particles, "particles (paper: 300k; scaled)");
+  args.add("phi", phi, "volume occupancy (paper: 0.5)");
+  args.add("m_list", m_list, "comma-separated m values");
+  args.add("steps", steps_per_m, "steps per point (0 = one chunk of m)");
+  args.parse(argc, argv);
+
+  bench::print_header(
+      "Figure 7 — predicted and achieved average step time vs m",
+      "achieved time decreases until m ~ m_optimal (10 for the 300k/50% "
+      "system) and then increases, tracking the model prediction");
+
+  std::vector<std::size_t> ms;
+  for (std::size_t pos = 0; pos < m_list.size();) {
+    const auto comma = m_list.find(',', pos);
+    ms.push_back(std::stoul(m_list.substr(pos, comma - pos)));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+
+  core::SdConfig config;
+  config.particles = static_cast<std::size_t>(particles);
+  config.phi = phi;
+  config.seed = 42;
+
+  // Calibrate the cost model: machine B and F, matrix shape, and the
+  // iteration counts N / N1 / N2 measured from short reference runs.
+  const auto machine = perf::measure_machine();
+  core::MrhsCostModel model;
+  {
+    core::SdSimulation sim(config);
+    const auto r = sim.assemble();
+    model.gspmv.block_rows = static_cast<double>(r.block_rows());
+    model.gspmv.nonzero_blocks = static_cast<double>(r.nnzb());
+    model.gspmv.bandwidth = machine.bandwidth;
+    model.gspmv.flops = machine.flops;
+    model.chebyshev_order = static_cast<double>(config.chebyshev_order);
+
+    core::SdSimulation sim_orig(config);
+    core::OriginalAlgorithm orig(sim_orig);
+    const auto st_orig = orig.run(4);
+    model.iters_no_guess = st_orig.mean_first_solve_iters();
+    double n2 = 0;
+    for (const auto& rec : st_orig.steps) {
+      n2 += static_cast<double>(rec.iters_second_solve);
+    }
+    model.iters_second = n2 / static_cast<double>(st_orig.steps.size());
+
+    core::SdSimulation sim_mrhs(config);
+    core::MrhsAlgorithm mrhs(sim_mrhs, 8);
+    const auto st_mrhs = mrhs.run(8);
+    double n1 = 0;
+    for (std::size_t k = 1; k < st_mrhs.steps.size(); ++k) {
+      n1 += static_cast<double>(st_mrhs.steps[k].iters_first_solve);
+    }
+    model.iters_first_guess =
+        n1 / static_cast<double>(st_mrhs.steps.size() - 1);
+  }
+  std::printf("model: N = %.0f, N1 = %.0f, N2 = %.0f, Cmax = %.0f, "
+              "B = %.1f GB/s, F = %.1f Gflop/s\n"
+              "(paper Fig 7 parameters: N = 162, N1 = 80, N2 = 63, "
+              "Cmax = 30, B = 19.4 GB/s)\n\n",
+              model.iters_no_guess, model.iters_first_guess,
+              model.iters_second, model.chebyshev_order,
+              machine.bandwidth * 1e-9, machine.flops * 1e-9);
+
+  util::Table table({"m", "achieved s/step", "predicted", "bw estimate",
+                     "compute estimate"});
+  double best_measured = 1e300;
+  std::size_t best_m = 1;
+  for (std::size_t m : ms) {
+    core::SdSimulation sim(config);
+    core::MrhsAlgorithm mrhs(sim, m);
+    const std::size_t steps =
+        steps_per_m > 0 ? static_cast<std::size_t>(steps_per_m) : m;
+    const auto stats = mrhs.run(steps);
+    const double achieved = stats.avg_step_seconds();
+    if (achieved < best_measured) {
+      best_measured = achieved;
+      best_m = m;
+    }
+    table.add_row({std::to_string(m), util::Table::fmt(achieved, 3),
+                   util::Table::fmt(model.step_time(m), 3),
+                   util::Table::fmt(model.step_time_bandwidth_only(m), 3),
+                   util::Table::fmt(model.step_time_compute_only(m), 3)});
+  }
+  table.print();
+
+  std::printf("\nachieved optimum near m = %zu; model m_optimal = %zu, "
+              "GSPMV crossover m_s = %zu\n",
+              best_m, model.optimal_m(64), model.crossover_m(64));
+  std::printf("paper: m_optimal = 10, m_s = 12 for the 300k/50%% system\n");
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Paper Table II: performance and bandwidth usage of single-vector
+// SPMV (m = 1) on the SD matrices — the baseline all relative times
+// divide by. Also prints the measured STREAM bandwidth so the
+// "fraction of achievable bandwidth" comparison can be made.
+#include "bench_common.hpp"
+#include "core/workloads.hpp"
+#include "perf/machine.hpp"
+#include "perf/measure.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mrhs;
+  int particles = 20000;
+  int threads = 0;
+  util::ArgParser args("tab02_spmv_baseline", "Reproduce paper Table II");
+  args.add("particles", particles, "particles per system");
+  args.add("threads", threads, "GSPMV threads (0 = all)");
+  args.parse(argc, argv);
+
+  bench::print_header(
+      "Table II — SPMV (m = 1) performance and bandwidth usage",
+      "mat1/WSM: 17.8 GB/s 3.6 Gflops | mat2/WSM: 18.3 GB/s 4.2 Gflops | "
+      "mat3/SNB: 32.0 GB/s 7.4 Gflops (within 3-20% of STREAM)");
+
+  perf::StreamOptions stream;
+  const double bandwidth = perf::measure_stream_bandwidth(stream);
+  std::printf("measured STREAM triad bandwidth here: %.1f GB/s "
+              "(paper: WSM 23, SNB 33)\n\n",
+              bandwidth * 1e-9);
+
+  const auto suite =
+      core::build_matrix_suite(static_cast<std::size_t>(particles), 42);
+  util::Table table({"Matrix", "nnzb/nb", "GB/s", "Gflops",
+                     "% of STREAM"});
+  for (const auto& sm : suite) {
+    const auto t = perf::measure_spmv_throughput(sm.matrix, threads);
+    table.add_row({sm.spec.name,
+                   util::Table::fmt_fixed(sm.matrix.blocks_per_row(), 1),
+                   util::Table::fmt_fixed(t.gbytes_per_sec, 1),
+                   util::Table::fmt_fixed(t.gflops, 2),
+                   util::Table::fmt_pct(t.gbytes_per_sec * 1e9 / bandwidth,
+                                        0)});
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Crowded cytoplasm: the application the paper's introduction
+// motivates — macromolecular diffusion in the E. coli cytoplasm, where
+// volume occupancy reaches ~40% and hydrodynamic interactions dominate
+// transport (Ando & Skolnick 2010).
+//
+// Runs the same suspension at three occupancies and reports how
+// crowding suppresses the short-time diffusion coefficient relative to
+// the dilute Stokes–Einstein value.
+#include <cstdio>
+#include <vector>
+
+#include "core/sd_simulation.hpp"
+#include "core/stepper.hpp"
+#include <algorithm>
+#include "sd/effective_viscosity.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mrhs;
+
+  int particles = 600;
+  int steps = 24;
+  int rhs = 8;
+  util::ArgParser args("crowded_cytoplasm",
+                       "Diffusion vs crowding in a model cytoplasm");
+  args.add("particles", particles, "number of particles");
+  args.add("steps", steps, "time steps per occupancy");
+  args.add("rhs", rhs, "right-hand sides per MRHS chunk");
+  args.parse(argc, argv);
+
+  std::printf("short-time diffusion vs crowding "
+              "(%d particles, %d steps each)\n\n",
+              particles, steps);
+  std::printf("%6s  %12s  %12s  %10s  %10s\n", "phi", "MSD", "D measured",
+              "D/D0", "s/step");
+
+  for (double phi : {0.1, 0.3, 0.5}) {
+    core::SdConfig config;
+    config.particles = static_cast<std::size_t>(particles);
+    config.phi = phi;
+    config.seed = 7;
+    core::SdSimulation sim(config);
+
+    core::MrhsAlgorithm stepper(sim, static_cast<std::size_t>(rhs));
+    const auto stats = stepper.run(static_cast<std::size_t>(steps));
+
+    // D = MSD / (6 t); dilute reference D0 = kT / (6 pi eta a_mean)
+    // with the bare solvent viscosity.
+    const double t = sim.dt() * static_cast<double>(steps);
+    const double msd = sim.system().mean_squared_displacement();
+    const double d_measured = msd / (6.0 * t);
+    const double d0 =
+        config.kT / (6.0 * 3.14159265358979 * config.viscosity *
+                     sim.mean_radius());
+    std::printf("%6.2f  %12.4g  %12.4g  %10.3f  %10.4f\n", phi, msd,
+                d_measured, d_measured / d0, stats.avg_step_seconds());
+  }
+
+  // The contrast the paper's background section draws: Brownian
+  // dynamics (RPY mobility, no lubrication) barely notices crowding.
+  std::printf("\nBrownian dynamics comparator (no lubrication):\n");
+  std::printf("%6s  %12s  %10s\n", "phi", "D measured", "D/D0");
+  for (double phi : {0.1, 0.5}) {
+    core::SdConfig config;
+    config.particles = static_cast<std::size_t>(
+        std::min(particles, 300));  // BD mobility apply is O(n^2)
+    config.phi = phi;
+    config.seed = 7;
+    core::SdSimulation sim(config);
+    core::BrownianDynamicsAlgorithm bd(sim);
+    bd.run(static_cast<std::size_t>(steps));
+    const double t = sim.dt() * static_cast<double>(steps);
+    const double d = sim.system().mean_squared_displacement() / (6.0 * t);
+    const double d0 =
+        config.kT / (6.0 * 3.14159265358979 * config.viscosity *
+                     sim.mean_radius());
+    std::printf("%6.2f  %12.4g  %10.3f\n", phi, d, d / d0);
+  }
+
+  std::printf(
+      "\nSD's D/D0 falls sharply with phi while BD's barely moves (and\n"
+      "can even exceed 1: the RPY mobility loses positive definiteness\n"
+      "in crowded periodic boxes — BD \"has thus been used only to study\n"
+      "relatively dilute systems\"). Lubrication is what makes crowding\n"
+      "felt — the physics that makes SD expensive, and the MRHS\n"
+      "algorithm worthwhile.\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Quickstart: simulate a crowded protein suspension with the MRHS
+// Stokesian dynamics stepper and report what the batching bought.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart [--particles N] [--phi F] [--steps N]
+#include <cstdio>
+
+#include "core/sd_simulation.hpp"
+#include "core/stepper.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mrhs;
+
+  int particles = 1000;
+  double phi = 0.4;
+  int steps = 16;
+  int rhs = 8;
+  util::ArgParser args("quickstart",
+                       "Minimal MRHS Stokesian dynamics simulation");
+  args.add("particles", particles, "number of particles");
+  args.add("phi", phi, "volume occupancy");
+  args.add("steps", steps, "time steps to simulate");
+  args.add("rhs", rhs, "right-hand sides per MRHS chunk");
+  args.parse(argc, argv);
+
+  // 1. Build the system: E. coli protein-sized spheres packed into a
+  //    periodic box at the requested volume occupancy.
+  core::SdConfig config;
+  config.particles = static_cast<std::size_t>(particles);
+  config.phi = phi;
+  config.seed = 2024;
+  core::SdSimulation sim(config);
+  std::printf("system: %zu particles, phi = %.2f, box = %.1f radii, "
+              "dt = %.3g\n",
+              sim.system().size(), sim.system().volume_fraction(),
+              sim.system().box().length(), sim.dt());
+
+  // 2. Advance with the MRHS algorithm (paper Algorithm 2): each chunk
+  //    of `rhs` steps solves one augmented multi-RHS system whose
+  //    columns seed the following steps.
+  core::MrhsAlgorithm stepper(sim, static_cast<std::size_t>(rhs));
+  const auto stats = stepper.run(static_cast<std::size_t>(steps));
+
+  // 3. Report.
+  std::printf("\nran %zu steps in %.2f s (%.3g s/step)\n",
+              stats.steps.size(), stats.seconds_total,
+              stats.avg_step_seconds());
+  std::printf("augmented-solve iterations per chunk: %zu total\n",
+              stats.block_iterations);
+  double mean_iters = 0.0;
+  std::size_t guessed_steps = 0;
+  for (const auto& rec : stats.steps) {
+    if (rec.step % rhs != 0) {
+      mean_iters += static_cast<double>(rec.iters_first_solve);
+      ++guessed_steps;
+    }
+  }
+  if (guessed_steps > 0) {
+    std::printf("mean first-solve iterations with MRHS guesses: %.1f\n",
+                mean_iters / static_cast<double>(guessed_steps));
+  }
+  std::printf("mean squared displacement: %.4g (radius units^2)\n",
+              sim.system().mean_squared_displacement());
+  std::printf("\nphase breakdown (s/step):\n");
+  for (const auto& name : stats.timers.names()) {
+    std::printf("  %-14s %.4f\n", name.c_str(),
+                stats.timers.seconds(name) /
+                    static_cast<double>(stats.steps.size()));
+  }
+  return 0;
+}

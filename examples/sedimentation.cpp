@@ -1,0 +1,106 @@
+// Sedimentation: an external body force (gravity) on every particle —
+// the f_P != 0 extension the paper's framework allows. Built from the
+// library's primitives directly (assemble -> Brownian force -> CG), so
+// it doubles as a tour of composing a custom SD time stepper.
+//
+// Reports the hindered mean settling velocity vs the dilute Stokes
+// velocity: crowded suspensions settle slower (backflow + crowding).
+#include <cstdio>
+#include <numbers>
+#include <vector>
+
+#include "core/sd_simulation.hpp"
+#include "sd/brownian.hpp"
+#include "solver/cg.hpp"
+#include "solver/operator.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mrhs;
+
+  int particles = 500;
+  int steps = 10;
+  double gravity = 50.0;  // buoyant weight per unit volume, -z
+  util::ArgParser args("sedimentation",
+                       "Hindered settling under an external body force");
+  args.add("particles", particles, "number of particles");
+  args.add("steps", steps, "time steps per occupancy");
+  args.add("gravity", gravity, "buoyant weight per unit particle volume");
+  args.parse(argc, argv);
+
+  std::printf("hindered settling, %d particles (%d steps)\n\n", particles,
+              steps);
+  std::printf("%6s  %14s  %14s  %8s\n", "phi", "v_settle", "v_Stokes(mean)",
+              "v/v0");
+
+  for (double phi : {0.05, 0.2, 0.4}) {
+    core::SdConfig config;
+    config.particles = static_cast<std::size_t>(particles);
+    config.phi = phi;
+    config.seed = 31;
+    core::SdSimulation sim(config);
+    const std::size_t n = sim.dof();
+    const double dt = sim.dt();
+
+    // External force: buoyant weight ~ particle volume, along -z.
+    auto external_force = [&](std::vector<double>& f) {
+      const auto radii = sim.system().radii();
+      for (std::size_t i = 0; i < sim.system().size(); ++i) {
+        const double volume =
+            4.0 / 3.0 * std::numbers::pi * radii[i] * radii[i] * radii[i];
+        f[3 * i + 2] -= gravity * volume;
+      }
+    };
+
+    std::vector<double> f(n), u(n, 0.0);
+    double drift = 0.0;
+    for (int step = 0; step < steps; ++step) {
+      const auto r_matrix = sim.assemble();
+      solver::BcrsOperator op(r_matrix, config.threads);
+
+      // f = f_B + f_P: Brownian forcing plus gravity.
+      const sd::BrownianForce brownian(op, dt);
+      std::vector<double> z(n);
+      sim.noise(static_cast<std::uint64_t>(step), z);
+      brownian.compute(op, z, f);
+      external_force(f);
+
+      // R u = f, warm-started from the previous step's velocity (the
+      // deterministic settling component persists between steps).
+      solver::CgOptions opts;
+      opts.tol = config.solver_tol;
+      (void)solver::conjugate_gradient(op, f, u, opts);
+
+      // Flux-weighted settling ratio: total settling flux over the
+      // total dilute Stokes flux (v0_i ~ a_i^2), so big fast settlers
+      // carry their proper weight.
+      const auto radii = sim.system().radii();
+      double flux = 0.0, flux0 = 0.0;
+      for (std::size_t i = 0; i < sim.system().size(); ++i) {
+        const double weight_i = gravity * 4.0 / 3.0 * std::numbers::pi *
+                                radii[i] * radii[i] * radii[i];
+        const double v0_i =
+            weight_i / (6.0 * std::numbers::pi * config.viscosity * radii[i]);
+        flux += -u[3 * i + 2];
+        flux0 += v0_i;
+      }
+      drift += flux / flux0;
+      sim.system().advance(u, dt, sim.max_step_length());
+    }
+    const double v_ratio = drift / static_cast<double>(steps);
+
+    const double a = sim.mean_radius();
+    const double weight = gravity * 4.0 / 3.0 * std::numbers::pi * a * a * a;
+    const double v_stokes =
+        weight / (6.0 * std::numbers::pi * config.viscosity * a);
+    std::printf("%6.2f  %14.5g  %14.5g  %8.3f\n", phi, v_ratio * v_stokes,
+                v_stokes, v_ratio);
+  }
+  std::printf(
+      "\nv/v0 falls with phi: crowding hinders settling through the\n"
+      "occupancy-dependent far-field drag. (The sparse R = mu_F I + R_lub\n"
+      "model has no global backflow, so small particles can draft behind\n"
+      "large ones and the dilute ratio can exceed 1 — the trend with phi\n"
+      "is the physical content here.)\n");
+  return 0;
+}

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Full reproduction pipeline: configure, build, test, run every
+# table/figure bench, and leave the raw outputs at the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+{
+  for b in build/bench/*; do
+    [ -f "$b" ] && [ -x "$b" ] || continue
+    echo "################ $b ################"
+    "$b"
+    echo
+  done
+} 2>&1 | tee bench_output.txt
+
+echo "done: test_output.txt and bench_output.txt written."

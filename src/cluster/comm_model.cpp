@@ -1,0 +1,78 @@
+#include "cluster/comm_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mrhs::cluster {
+
+ClusterTimeModel::ClusterTimeModel(const CommPlan& plan,
+                                   std::size_t block_rows,
+                                   ClusterParams params)
+    : plan_(&plan), params_(params) {
+  (void)block_rows;
+  node_models_.reserve(plan.parts());
+  for (std::size_t p = 0; p < plan.parts(); ++p) {
+    const NodePlan& node = plan.node(p);
+    perf::GspmvModel model;
+    model.block_rows =
+        static_cast<double>(node.owned_rows.size()) * params_.volume_scale;
+    model.nonzero_blocks =
+        static_cast<double>(node.local_nnzb) * params_.volume_scale;
+    model.bandwidth = params_.node_bandwidth;
+    model.flops = params_.node_flops;
+    node_models_.push_back(model);
+  }
+}
+
+NodeTime ClusterTimeModel::node_time(std::size_t node, std::size_t m) const {
+  if (node >= node_models_.size()) {
+    throw std::out_of_range("ClusterTimeModel::node_time");
+  }
+  const NodePlan& np = plan_->node(node);
+  // Ghost exchange is a surface effect: scale by volume^(2/3).
+  const double surface_scale = std::cbrt(params_.volume_scale *
+                                         params_.volume_scale);
+  NodeTime t;
+  t.compute = node_models_[node].time(m);
+  // Gather: pack the outgoing ghost rows (read + write local memory).
+  t.gather = 2.0 * surface_scale * plan_->node_send_bytes(node, m) /
+             params_.node_bandwidth;
+  // Communication: sends and receives each pay a per-message cost, the
+  // wire carries the larger of the two directions (full duplex link),
+  // and every node pays the p-proportional synchronization overhead.
+  const double wire = surface_scale *
+                      std::max(plan_->node_send_bytes(node, m),
+                               plan_->node_recv_bytes(node, m)) /
+                      params_.link_bandwidth;
+  t.comm = static_cast<double>(np.send_neighbors + np.recv_neighbors) *
+               params_.message_cost +
+           static_cast<double>(plan_->parts()) * params_.sync_cost_per_node +
+           wire;
+  return t;
+}
+
+double ClusterTimeModel::gspmv_time(std::size_t m) const {
+  double worst = 0.0;
+  for (std::size_t p = 0; p < node_models_.size(); ++p) {
+    worst = std::max(worst, node_time(p, m).step());
+  }
+  return worst;
+}
+
+double ClusterTimeModel::comm_fraction(std::size_t m) const {
+  // Identify the slowest node and report its comm share.
+  double worst_step = 0.0;
+  NodeTime worst{};
+  for (std::size_t p = 0; p < node_models_.size(); ++p) {
+    const NodeTime t = node_time(p, m);
+    if (t.step() >= worst_step) {
+      worst_step = t.step();
+      worst = t;
+    }
+  }
+  const double denom = worst.comm + worst.compute + worst.gather;
+  return denom > 0.0 ? worst.comm / denom : 0.0;
+}
+
+}  // namespace mrhs::cluster

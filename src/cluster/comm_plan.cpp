@@ -1,0 +1,71 @@
+#include "cluster/comm_plan.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mrhs::cluster {
+
+CommPlan::CommPlan(const sparse::BcrsMatrix& a, const Partition& partition) {
+  if (partition.owner.size() != a.block_rows()) {
+    throw std::invalid_argument("CommPlan: partition/matrix mismatch");
+  }
+  const std::size_t p = partition.parts;
+  nodes_.resize(p);
+
+  const auto row_ptr = a.row_ptr();
+  const auto col_idx = a.col_idx();
+
+  // Owned rows and local nnzb.
+  for (std::size_t row = 0; row < a.block_rows(); ++row) {
+    NodePlan& node = nodes_[partition.owner[row]];
+    node.owned_rows.push_back(row);
+    node.local_nnzb += static_cast<std::size_t>(row_ptr[row + 1] -
+                                                row_ptr[row]);
+  }
+
+  // Ghost columns, deduplicated per (node, source).
+  std::vector<std::vector<std::size_t>> ghosts(p);  // flat, then dedup
+  for (std::size_t row = 0; row < a.block_rows(); ++row) {
+    const std::size_t me = partition.owner[row];
+    for (std::int64_t q = row_ptr[row]; q < row_ptr[row + 1]; ++q) {
+      const auto col = static_cast<std::size_t>(col_idx[q]);
+      if (static_cast<std::size_t>(partition.owner[col]) != me) {
+        ghosts[me].push_back(col);
+      }
+    }
+  }
+
+  // send counters, filled from the receive lists below.
+  std::vector<std::vector<std::size_t>> send_rows(p);
+  for (std::size_t me = 0; me < p; ++me) {
+    auto& g = ghosts[me];
+    std::sort(g.begin(), g.end());
+    g.erase(std::unique(g.begin(), g.end()), g.end());
+
+    NodePlan& node = nodes_[me];
+    node.recv_from.assign(p, {});
+    for (std::size_t col : g) {
+      const std::size_t src = partition.owner[col];
+      node.recv_from[src].push_back(col);
+    }
+    for (std::size_t src = 0; src < p; ++src) {
+      if (!node.recv_from[src].empty()) {
+        ++node.recv_neighbors;
+        node.recv_ghost_rows += node.recv_from[src].size();
+        send_rows[src].push_back(me);  // src sends to me
+        nodes_[src].send_ghost_rows += node.recv_from[src].size();
+      }
+    }
+  }
+  for (std::size_t src = 0; src < p; ++src) {
+    nodes_[src].send_neighbors = send_rows[src].size();
+  }
+}
+
+std::size_t CommPlan::total_ghost_rows() const {
+  std::size_t total = 0;
+  for (const auto& node : nodes_) total += node.recv_ghost_rows;
+  return total;
+}
+
+}  // namespace mrhs::cluster

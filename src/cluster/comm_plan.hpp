@@ -1,0 +1,64 @@
+// Halo-exchange plan for row-partitioned GSPMV.
+//
+// For a partition of block rows over p nodes, each node needs the X
+// block-rows referenced by its matrix columns but owned elsewhere
+// (ghosts). The plan records, per node, which ghost block rows come
+// from which peer; communication volume scales with the number of
+// vectors m, exactly as the paper notes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "cluster/partitioner.hpp"
+#include "sparse/bcrs.hpp"
+
+namespace mrhs::cluster {
+
+struct NodePlan {
+  std::vector<std::size_t> owned_rows;     // block rows this node owns
+  std::size_t local_nnzb = 0;              // stored blocks in owned rows
+  /// Ghost block rows needed, grouped by source node.
+  /// recv_from[src] = list of block rows owned by src that we read.
+  std::vector<std::vector<std::size_t>> recv_from;
+  /// Number of peer nodes we receive from / send to.
+  std::size_t recv_neighbors = 0;
+  std::size_t send_neighbors = 0;
+  /// Ghost block rows received / sent (summed over peers).
+  std::size_t recv_ghost_rows = 0;
+  std::size_t send_ghost_rows = 0;
+};
+
+class CommPlan {
+ public:
+  CommPlan(const sparse::BcrsMatrix& a, const Partition& partition);
+
+  [[nodiscard]] std::size_t parts() const { return nodes_.size(); }
+  [[nodiscard]] const NodePlan& node(std::size_t p) const { return nodes_[p]; }
+
+  /// Total ghost block rows exchanged across all nodes.
+  [[nodiscard]] std::size_t total_ghost_rows() const;
+
+  /// Bytes on the wire for one GSPMV with m vectors (3 doubles per
+  /// block row per vector).
+  [[nodiscard]] double total_comm_bytes(std::size_t m) const {
+    return static_cast<double>(total_ghost_rows()) * 3.0 * 8.0 *
+           static_cast<double>(m);
+  }
+
+  /// Per-node wire bytes (received side) for one GSPMV with m vectors.
+  [[nodiscard]] double node_recv_bytes(std::size_t p, std::size_t m) const {
+    return static_cast<double>(nodes_[p].recv_ghost_rows) * 24.0 *
+           static_cast<double>(m);
+  }
+  [[nodiscard]] double node_send_bytes(std::size_t p, std::size_t m) const {
+    return static_cast<double>(nodes_[p].send_ghost_rows) * 24.0 *
+           static_cast<double>(m);
+  }
+
+ private:
+  std::vector<NodePlan> nodes_;
+};
+
+}  // namespace mrhs::cluster

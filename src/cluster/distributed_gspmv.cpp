@@ -1,0 +1,89 @@
+#include "cluster/distributed_gspmv.hpp"
+
+#include <stdexcept>
+#include <unordered_map>
+
+#include "sparse/gspmv.hpp"
+
+namespace mrhs::cluster {
+
+DistributedGspmv::DistributedGspmv(const sparse::BcrsMatrix& a,
+                                   const Partition& partition)
+    : plan_(a, partition) {
+  const std::size_t p = partition.parts;
+  locals_.resize(p);
+  const auto row_ptr = a.row_ptr();
+  const auto col_idx = a.col_idx();
+  const auto values = a.values();
+
+  for (std::size_t me = 0; me < p; ++me) {
+    const NodePlan& node = plan_.node(me);
+    Local& local = locals_[me];
+    local.rows = node.owned_rows;
+
+    // Local column numbering: owned rows first, then ghosts grouped by
+    // source node (gather order).
+    local.cols = node.owned_rows;
+    for (const auto& from_src : node.recv_from) {
+      local.cols.insert(local.cols.end(), from_src.begin(), from_src.end());
+    }
+    std::unordered_map<std::size_t, std::size_t> global_to_local;
+    global_to_local.reserve(local.cols.size());
+    for (std::size_t lc = 0; lc < local.cols.size(); ++lc) {
+      global_to_local.emplace(local.cols[lc], lc);
+    }
+
+    sparse::BcrsBuilder builder(local.rows.size(), local.cols.size());
+    for (std::size_t lr = 0; lr < local.rows.size(); ++lr) {
+      const std::size_t row = local.rows[lr];
+      for (std::int64_t q = row_ptr[row]; q < row_ptr[row + 1]; ++q) {
+        const auto col = static_cast<std::size_t>(col_idx[q]);
+        const auto it = global_to_local.find(col);
+        if (it == global_to_local.end()) {
+          throw std::logic_error("DistributedGspmv: column not in plan");
+        }
+        builder.add_block(
+            lr, it->second,
+            std::span<const double, 9>(
+                values.data() + static_cast<std::size_t>(q) * 9, 9));
+      }
+    }
+    local.matrix = builder.build();
+  }
+}
+
+void DistributedGspmv::apply(const sparse::MultiVector& x,
+                             sparse::MultiVector& y) const {
+  const std::size_t m = x.cols();
+  if (y.rows() != x.rows() || y.cols() != m) {
+    throw std::invalid_argument("DistributedGspmv::apply: shape mismatch");
+  }
+  for (std::size_t me = 0; me < locals_.size(); ++me) {
+    const Local& local = locals_[me];
+    // Gather: owned + ghost X block rows into the local vector block.
+    // (In MPI this is the packed send/recv; here it is an explicit
+    // copy so exchanged data is exactly the planned ghost rows.)
+    sparse::MultiVector x_local(local.cols.size() * 3, m);
+    for (std::size_t lc = 0; lc < local.cols.size(); ++lc) {
+      const std::size_t g = local.cols[lc];
+      for (std::size_t r = 0; r < 3; ++r) {
+        auto dst = x_local.row(3 * lc + r);
+        auto src = x.row(3 * g + r);
+        std::copy(src.begin(), src.end(), dst.begin());
+      }
+    }
+    sparse::MultiVector y_local(local.rows.size() * 3, m);
+    sparse::gspmv_reference(local.matrix, x_local, y_local);
+    // Scatter owned results back to global numbering.
+    for (std::size_t lr = 0; lr < local.rows.size(); ++lr) {
+      const std::size_t g = local.rows[lr];
+      for (std::size_t r = 0; r < 3; ++r) {
+        auto src = y_local.row(3 * lr + r);
+        auto dst = y.row(3 * g + r);
+        std::copy(src.begin(), src.end(), dst.begin());
+      }
+    }
+  }
+}
+
+}  // namespace mrhs::cluster

@@ -1,0 +1,51 @@
+// In-process execution of row-partitioned GSPMV.
+//
+// The paper ran on a 64-node InfiniBand cluster; this machine is one
+// node. The *algorithm* — local matrices with renumbered columns,
+// ghost gather, per-node multiply — is executed for real here (each
+// "node" is an in-process domain with its own local matrix and ghost
+// buffer), so correctness and exchanged volumes are measured, not
+// modeled. Only the wire timings come from the alpha-beta model in
+// comm_model.hpp; DESIGN.md records this substitution.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "cluster/comm_plan.hpp"
+#include "cluster/partitioner.hpp"
+#include "sparse/bcrs.hpp"
+#include "sparse/multivector.hpp"
+
+namespace mrhs::cluster {
+
+class DistributedGspmv {
+ public:
+  /// Builds per-node local matrices (owned rows, columns renumbered
+  /// into [owned | ghost]) from the global matrix and a partition.
+  DistributedGspmv(const sparse::BcrsMatrix& a, const Partition& partition);
+
+  /// Y = A X executed node by node with explicit ghost gathers.
+  /// X and Y are in global row numbering.
+  void apply(const sparse::MultiVector& x, sparse::MultiVector& y) const;
+
+  [[nodiscard]] const CommPlan& plan() const { return plan_; }
+  [[nodiscard]] std::size_t parts() const { return locals_.size(); }
+
+  /// Local matrix of one node (for inspection/tests).
+  [[nodiscard]] const sparse::BcrsMatrix& local_matrix(std::size_t p) const {
+    return locals_[p].matrix;
+  }
+
+ private:
+  struct Local {
+    sparse::BcrsMatrix matrix;       // rows = owned, cols = owned + ghost
+    std::vector<std::size_t> rows;   // global block row of each local row
+    std::vector<std::size_t> cols;   // global block row of each local col
+  };
+
+  CommPlan plan_;
+  std::vector<Local> locals_;
+};
+
+}  // namespace mrhs::cluster

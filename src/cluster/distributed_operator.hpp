@@ -1,0 +1,42 @@
+// LinearOperator view over the partitioned (simulated multi-node)
+// GSPMV: the full solver stack — CG, block CG, Chebyshev — runs
+// unchanged on top of the distributed substrate, which is exactly how
+// the paper's cluster experiments compose (the MRHS algorithm is
+// agnostic to where the matrix lives).
+#pragma once
+
+#include "cluster/distributed_gspmv.hpp"
+#include "solver/operator.hpp"
+
+namespace mrhs::cluster {
+
+class DistributedOperator final : public solver::LinearOperator {
+ public:
+  DistributedOperator(const sparse::BcrsMatrix& a, const Partition& partition)
+      : rows_(a.rows()), dist_(a, partition) {}
+
+  [[nodiscard]] std::size_t size() const override { return rows_; }
+
+  void apply(std::span<const double> x, std::span<double> y) const override {
+    // Route the single vector through the multivector path (m = 1).
+    sparse::MultiVector xm(rows_, 1), ym(rows_, 1);
+    xm.copy_col_in(0, x);
+    dist_.apply(xm, ym);
+    ym.copy_col_out(0, y);
+    count(1);
+  }
+
+  void apply_block(const sparse::MultiVector& x,
+                   sparse::MultiVector& y) const override {
+    dist_.apply(x, y);
+    count(static_cast<long>(x.cols()));
+  }
+
+  [[nodiscard]] const DistributedGspmv& gspmv() const { return dist_; }
+
+ private:
+  std::size_t rows_;
+  DistributedGspmv dist_;
+};
+
+}  // namespace mrhs::cluster

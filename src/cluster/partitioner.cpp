@@ -1,0 +1,210 @@
+#include "cluster/partitioner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace mrhs::cluster {
+
+namespace {
+
+std::vector<double> row_weights(const sparse::BcrsMatrix& a) {
+  const auto row_ptr = a.row_ptr();
+  std::vector<double> w(a.block_rows());
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    w[i] = static_cast<double>(row_ptr[i + 1] - row_ptr[i]);
+  }
+  return w;
+}
+
+/// Cut an ordered sequence of items (given by `order`) into `parts`
+/// chunks of roughly equal total weight.
+Partition cut_sequence(const std::vector<std::size_t>& order,
+                       const std::vector<double>& weight, std::size_t parts) {
+  Partition p;
+  p.parts = parts;
+  p.owner.assign(order.size(), 0);
+  const double total = std::accumulate(weight.begin(), weight.end(), 0.0);
+  double running = 0.0;
+  std::size_t part = 0;
+  for (std::size_t idx : order) {
+    // Advance to the next part once the running weight passes this
+    // part's quota (never beyond the last part).
+    while (part + 1 < parts &&
+           running >= total * static_cast<double>(part + 1) /
+                          static_cast<double>(parts)) {
+      ++part;
+    }
+    p.owner[idx] = static_cast<std::int32_t>(part);
+    running += weight[idx];
+  }
+  return p;
+}
+
+}  // namespace
+
+Partition partition_block_rows(const sparse::BcrsMatrix& a,
+                               std::size_t parts) {
+  if (parts == 0) throw std::invalid_argument("partition: parts == 0");
+  std::vector<std::size_t> order(a.block_rows());
+  std::iota(order.begin(), order.end(), 0);
+  return cut_sequence(order, row_weights(a), parts);
+}
+
+Partition partition_round_robin(const sparse::BcrsMatrix& a,
+                                std::size_t parts) {
+  if (parts == 0) throw std::invalid_argument("partition: parts == 0");
+  Partition p;
+  p.parts = parts;
+  p.owner.resize(a.block_rows());
+  for (std::size_t i = 0; i < p.owner.size(); ++i) {
+    p.owner[i] = static_cast<std::int32_t>(i % parts);
+  }
+  return p;
+}
+
+Partition partition_coordinate_grid(const sd::ParticleSystem& system,
+                                    const sparse::BcrsMatrix& a,
+                                    std::size_t parts,
+                                    std::size_t bins_per_side) {
+  if (parts == 0) throw std::invalid_argument("partition: parts == 0");
+  if (system.size() != a.block_rows()) {
+    throw std::invalid_argument("partition: system/matrix mismatch");
+  }
+  const std::size_t n = system.size();
+  if (bins_per_side == 0) {
+    // Enough bins for sub-part granularity: about 8 bins per part.
+    bins_per_side = std::max<std::size_t>(
+        2, static_cast<std::size_t>(std::ceil(std::cbrt(
+               8.0 * static_cast<double>(parts)))));
+  }
+  const double cell =
+      system.box().length() / static_cast<double>(bins_per_side);
+
+  auto bin_of = [&](const sd::Vec3& pos) {
+    auto idx = [&](double v) {
+      auto k = static_cast<std::size_t>(system.box().wrap1(v) / cell);
+      return std::min(k, bins_per_side - 1);
+    };
+    return (idx(pos.x) * bins_per_side + idx(pos.y)) * bins_per_side +
+           idx(pos.z);
+  };
+
+  // Order particles by bin (stable within a bin by index).
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  const auto pos = system.positions();
+  std::vector<std::size_t> bin(n);
+  for (std::size_t i = 0; i < n; ++i) bin[i] = bin_of(pos[i]);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t x, std::size_t y) {
+                     return bin[x] < bin[y];
+                   });
+  return cut_sequence(order, row_weights(a), parts);
+}
+
+Partition partition_rcb(const sd::ParticleSystem& system,
+                        const sparse::BcrsMatrix& a, std::size_t parts) {
+  if (parts == 0) throw std::invalid_argument("partition: parts == 0");
+  if (system.size() != a.block_rows()) {
+    throw std::invalid_argument("partition: system/matrix mismatch");
+  }
+  const auto weights = row_weights(a);
+  const auto pos = system.positions();
+
+  Partition p;
+  p.parts = parts;
+  p.owner.assign(system.size(), 0);
+
+  struct Task {
+    std::vector<std::size_t> items;
+    std::size_t first_part;
+    std::size_t num_parts;
+  };
+  std::vector<Task> stack;
+  {
+    Task root;
+    root.items.resize(system.size());
+    std::iota(root.items.begin(), root.items.end(), 0);
+    root.first_part = 0;
+    root.num_parts = parts;
+    stack.push_back(std::move(root));
+  }
+
+  while (!stack.empty()) {
+    Task task = std::move(stack.back());
+    stack.pop_back();
+    if (task.num_parts == 1) {
+      for (std::size_t i : task.items) {
+        p.owner[i] = static_cast<std::int32_t>(task.first_part);
+      }
+      continue;
+    }
+    // Longest-extent axis of this subset.
+    double lo[3] = {1e300, 1e300, 1e300};
+    double hi[3] = {-1e300, -1e300, -1e300};
+    for (std::size_t i : task.items) {
+      const double c[3] = {pos[i].x, pos[i].y, pos[i].z};
+      for (int d = 0; d < 3; ++d) {
+        lo[d] = std::min(lo[d], c[d]);
+        hi[d] = std::max(hi[d], c[d]);
+      }
+    }
+    int axis = 0;
+    for (int d = 1; d < 3; ++d) {
+      if (hi[d] - lo[d] > hi[axis] - lo[axis]) axis = d;
+    }
+    auto coord = [&](std::size_t i) {
+      return axis == 0 ? pos[i].x : (axis == 1 ? pos[i].y : pos[i].z);
+    };
+    std::sort(task.items.begin(), task.items.end(),
+              [&](std::size_t x, std::size_t y) {
+                return coord(x) < coord(y);
+              });
+    // Split the sorted run so weight splits in the ratio of the two
+    // part counts.
+    const std::size_t left_parts = task.num_parts / 2;
+    const std::size_t right_parts = task.num_parts - left_parts;
+    double total = 0.0;
+    for (std::size_t i : task.items) total += weights[i];
+    const double target = total * static_cast<double>(left_parts) /
+                          static_cast<double>(task.num_parts);
+    double running = 0.0;
+    std::size_t cut = 0;
+    while (cut < task.items.size() && running < target) {
+      running += weights[task.items[cut]];
+      ++cut;
+    }
+    cut = std::min(std::max<std::size_t>(cut, 1), task.items.size() - 1);
+
+    Task left, right;
+    left.items.assign(task.items.begin(), task.items.begin() + cut);
+    right.items.assign(task.items.begin() + cut, task.items.end());
+    left.first_part = task.first_part;
+    left.num_parts = left_parts;
+    right.first_part = task.first_part + left_parts;
+    right.num_parts = right_parts;
+    stack.push_back(std::move(left));
+    stack.push_back(std::move(right));
+  }
+  return p;
+}
+
+double load_imbalance(const sparse::BcrsMatrix& a, const Partition& p) {
+  if (p.owner.size() != a.block_rows() || p.parts == 0) {
+    throw std::invalid_argument("load_imbalance: bad partition");
+  }
+  const auto row_ptr = a.row_ptr();
+  std::vector<double> load(p.parts, 0.0);
+  for (std::size_t i = 0; i < p.owner.size(); ++i) {
+    load[p.owner[i]] += static_cast<double>(row_ptr[i + 1] - row_ptr[i]);
+  }
+  const double mean =
+      static_cast<double>(a.nnzb()) / static_cast<double>(p.parts);
+  double worst = 0.0;
+  for (double l : load) worst = std::max(worst, l);
+  return mean > 0.0 ? worst / mean : 1.0;
+}
+
+}  // namespace mrhs::cluster

@@ -1,0 +1,48 @@
+#include "core/mrhs_model.hpp"
+
+#include <limits>
+
+namespace mrhs::core {
+
+namespace {
+
+double step_time_with(const MrhsCostModel& model, std::size_t m,
+                      double t_of_m, double t_of_1) {
+  const double md = static_cast<double>(m);
+  return ((model.iters_no_guess + model.chebyshev_order) * t_of_m +
+          (md - 1.0) * model.iters_first_guess * t_of_1 +
+          md * model.iters_second * t_of_1 +
+          (md - 1.0) * model.chebyshev_order * t_of_1) /
+         md;
+}
+
+}  // namespace
+
+double MrhsCostModel::step_time(std::size_t m) const {
+  return step_time_with(*this, m, gspmv.time(m), gspmv.time(1));
+}
+
+double MrhsCostModel::step_time_bandwidth_only(std::size_t m) const {
+  return step_time_with(*this, m, gspmv.time_bandwidth_bound(m),
+                        gspmv.time_bandwidth_bound(1));
+}
+
+double MrhsCostModel::step_time_compute_only(std::size_t m) const {
+  return step_time_with(*this, m, gspmv.time_compute_bound(m),
+                        gspmv.time_bandwidth_bound(1));
+}
+
+std::size_t MrhsCostModel::optimal_m(std::size_t max_m) const {
+  std::size_t best = 1;
+  double best_time = std::numeric_limits<double>::infinity();
+  for (std::size_t m = 1; m <= max_m; ++m) {
+    const double t = step_time(m);
+    if (t < best_time) {
+      best_time = t;
+      best = m;
+    }
+  }
+  return best;
+}
+
+}  // namespace mrhs::core

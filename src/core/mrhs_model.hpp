@@ -1,0 +1,45 @@
+// Analytic model for the optimal number of right-hand sides
+// (paper Section V-B3, equations 9–12).
+//
+// Average time per simulation step when m right-hand sides are used:
+//   T_mrhs(m) = (1/m) [ N T(m) + Cmax T(m)
+//                       + (m-1) N1 T(1) + m N2 T(1) + (m-1) Cmax T(1) ]
+// where N / N1 / N2 are the iteration counts of the augmented solve,
+// the guessed first solve, and the second solve, Cmax the Chebyshev
+// order, and T(m) the GSPMV model time. The paper's conclusion — that
+// the minimizing m sits near the bandwidth->compute crossover m_s —
+// falls out of this model.
+#pragma once
+
+#include <cstddef>
+
+#include "perf/model.hpp"
+
+namespace mrhs::core {
+
+struct MrhsCostModel {
+  perf::GspmvModel gspmv;    // absolute-units model for the SD matrix
+  double iters_no_guess = 0;       // N
+  double iters_first_guess = 0;    // N1
+  double iters_second = 0;         // N2
+  double chebyshev_order = 30;     // Cmax
+
+  /// Predicted average time for one simulation step at m RHS.
+  [[nodiscard]] double step_time(std::size_t m) const;
+
+  /// Bandwidth-bound / compute-bound components (paper Fig 7 plots
+  /// both estimates; the prediction is their max through T(m)).
+  [[nodiscard]] double step_time_bandwidth_only(std::size_t m) const;
+  [[nodiscard]] double step_time_compute_only(std::size_t m) const;
+
+  /// argmin over m in [1, max_m] of step_time.
+  [[nodiscard]] std::size_t optimal_m(std::size_t max_m = 64) const;
+
+  /// The GSPMV crossover m_s (paper Table VIII compares it with
+  /// optimal_m).
+  [[nodiscard]] std::size_t crossover_m(std::size_t max_m = 64) const {
+    return gspmv.crossover_m(max_m);
+  }
+};
+
+}  // namespace mrhs::core

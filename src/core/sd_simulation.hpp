@@ -1,0 +1,91 @@
+// Simulation state shared by both SD time-stepping algorithms:
+// configuration, resistance assembly, noise streams, and step size.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "sd/brownian.hpp"
+#include "sd/packing.hpp"
+#include "sd/particle_system.hpp"
+#include "sd/resistance.hpp"
+#include "sparse/bcrs.hpp"
+
+namespace mrhs::core {
+
+struct SdConfig {
+  std::size_t particles = 3000;
+  double phi = 0.5;              // volume occupancy
+  std::uint64_t seed = 42;
+  double kT = 1.0;
+  double viscosity = 1.0;
+  std::size_t chebyshev_order = 30;  // paper's C_max
+  double solver_tol = 1e-6;          // paper's stopping threshold
+  std::size_t solver_max_iters = 5000;
+  /// Target root-mean-square particle displacement per step, as a
+  /// fraction of the mean radius. The step size is derived from this —
+  /// the analogue of the paper choosing "the maximum time step size
+  /// that can be used while avoiding particle overlaps".
+  double rms_step_fraction = 0.005;
+  /// Per-step displacement clamp (fraction of the mean radius); the
+  /// overlap-avoiding midpoint modification.
+  double max_step_fraction = 0.05;
+  /// Lubrication gap cutoff (scaled by mean pair radius); controls the
+  /// sparsity nnzb/nb of the resistance matrix. The default matches
+  /// the paper's production SD matrices (mat2-like, nnzb/nb ~ 25 at
+  /// 50% occupancy); see workloads.cpp for the Table I calibration.
+  double lubrication_cutoff = 2.05;
+  /// Packing pad: the initial configuration is packed with radii
+  /// inflated by this fraction, so the real system starts with surface
+  /// gaps of ~2*pad*a instead of grazing contacts (which would pin the
+  /// conditioning at the lubrication gap floor). Negative (default)
+  /// selects the phi-dependent equilibrium pad — dilute systems get
+  /// wide gaps, crowded ones sit near contact, reproducing the paper's
+  /// occupancy-dependent conditioning (Table V).
+  double packing_pad = -1.0;
+  int threads = 0;  // 0 = omp_get_max_threads()
+};
+
+class SdSimulation {
+ public:
+  /// Sample the E. coli radius distribution, pack at `config.phi`, and
+  /// derive the time step.
+  explicit SdSimulation(const SdConfig& config);
+
+  [[nodiscard]] const SdConfig& config() const { return config_; }
+  [[nodiscard]] const sd::ParticleSystem& system() const { return system_; }
+  [[nodiscard]] sd::ParticleSystem& system() { return system_; }
+  [[nodiscard]] double dt() const { return dt_; }
+  [[nodiscard]] double mean_radius() const { return mean_radius_; }
+  [[nodiscard]] std::size_t dof() const { return 3 * system_.size(); }
+
+  /// Assemble R = mu_F I + R_lub at the current configuration.
+  [[nodiscard]] sparse::BcrsMatrix assemble(
+      sd::AssemblyStats* stats = nullptr) const;
+
+  /// Standard normal noise vector for time step `step` (deterministic,
+  /// so different algorithms see identical forcing).
+  void noise(std::uint64_t step, std::span<double> z) const;
+
+  /// Displacement clamp in absolute length units.
+  [[nodiscard]] double max_step_length() const {
+    return config_.max_step_fraction * mean_radius_;
+  }
+
+  [[nodiscard]] const sd::ResistanceParams& resistance_params() const {
+    return resistance_;
+  }
+
+ private:
+  SdConfig config_;
+  sd::ParticleSystem system_;
+  sd::ResistanceParams resistance_;
+  /// Reused across the two assemblies of every time step.
+  mutable std::optional<sd::ResistanceAssembler> assembler_;
+  double dt_ = 0.0;
+  double mean_radius_ = 1.0;
+};
+
+}  // namespace mrhs::core

@@ -1,0 +1,394 @@
+#include "core/stepper.hpp"
+
+#include <cmath>
+#include <memory>
+
+#include "dense/matrix.hpp"
+#include "solver/block_cg.hpp"
+#include "solver/cg.hpp"
+#include "solver/chebyshev.hpp"
+#include "solver/refinement.hpp"
+#include "solver/operator.hpp"
+#include "sd/mobility_operator.hpp"
+#include "sparse/multivector.hpp"
+#include "util/stats.hpp"
+
+namespace mrhs::core {
+
+namespace {
+
+solver::CgOptions cg_options(const SdConfig& config) {
+  solver::CgOptions opts;
+  opts.tol = config.solver_tol;
+  opts.max_iters = config.solver_max_iters;
+  return opts;
+}
+
+/// One explicit-midpoint update given the step-start snapshot:
+/// the half step moved the system to r + dt/2 u1; the full step
+/// restarts from the snapshot with the midpoint velocity u2.
+void full_step_from(sd::ParticleSystem& system,
+                    const sd::ParticleSystem::Snapshot& start,
+                    std::span<const double> u_mid, double dt,
+                    double max_step) {
+  system.restore(start);
+  system.advance(u_mid, dt, max_step);
+}
+
+}  // namespace
+
+double RunStats::mean_first_solve_iters() const {
+  if (steps.empty()) return 0.0;
+  double s = 0.0;
+  for (const auto& rec : steps) {
+    s += static_cast<double>(rec.iters_first_solve);
+  }
+  return s / static_cast<double>(steps.size());
+}
+
+OriginalAlgorithm::OriginalAlgorithm(SdSimulation& sim,
+                                     std::size_t bounds_refresh)
+    : sim_(&sim), bounds_refresh_(bounds_refresh == 0 ? 1 : bounds_refresh) {}
+
+RunStats OriginalAlgorithm::run(std::size_t count) {
+  RunStats stats;
+  const SdConfig& config = sim_->config();
+  const std::size_t n = sim_->dof();
+  const double dt = sim_->dt();
+  const double amplitude = std::sqrt(2.0 * config.kT / dt);
+  const double max_step = sim_->max_step_length();
+
+  std::vector<double> z(n), f(n), u(n), u_mid(n);
+  util::WallTimer total;
+
+  for (std::size_t local = 0; local < count; ++local, ++step_) {
+    StepRecord rec;
+    rec.step = step_;
+
+    // Construct R_k.
+    sparse::BcrsMatrix r_k;
+    {
+      util::ScopedPhase t(stats.timers, phase::kConstruct);
+      r_k = sim_->assemble();
+    }
+    solver::BcrsOperator op(r_k, config.threads);
+
+    if (!have_bounds_ || step_ % bounds_refresh_ == 0) {
+      util::ScopedPhase t(stats.timers, phase::kEigBounds);
+      bounds_ = solver::lanczos_bounds(op);
+      have_bounds_ = true;
+    }
+    const solver::ChebyshevSqrt cheb(bounds_, config.chebyshev_order);
+
+    // f_B = amplitude * S(R_k) z_k; the systems solve R u = -f_B.
+    sim_->noise(step_, z);
+    {
+      util::ScopedPhase t(stats.timers, phase::kChebSingle);
+      cheb.apply(op, z, f);
+      for (double& v : f) v *= -amplitude;
+    }
+
+    // First solve, from a zero initial guess.
+    std::fill(u.begin(), u.end(), 0.0);
+    {
+      util::ScopedPhase t(stats.timers, phase::kFirstSolve);
+      const auto result = solver::conjugate_gradient(op, f, u,
+                                                     cg_options(config));
+      rec.iters_first_solve = result.iterations;
+    }
+
+    // Midpoint configuration and second solve seeded with u_k.
+    const auto start = sim_->system().snapshot();
+    sim_->system().advance(u, 0.5 * dt, max_step);
+
+    sparse::BcrsMatrix r_mid;
+    {
+      util::ScopedPhase t(stats.timers, phase::kConstruct);
+      r_mid = sim_->assemble();
+    }
+    solver::BcrsOperator op_mid(r_mid, config.threads);
+    u_mid = u;
+    {
+      util::ScopedPhase t(stats.timers, phase::kSecondSolve);
+      const auto result = solver::conjugate_gradient(op_mid, f, u_mid,
+                                                     cg_options(config));
+      rec.iters_second_solve = result.iterations;
+    }
+
+    full_step_from(sim_->system(), start, u_mid, dt, max_step);
+    stats.steps.push_back(rec);
+  }
+  stats.seconds_total = total.seconds();
+  return stats;
+}
+
+CholeskyAlgorithm::CholeskyAlgorithm(SdSimulation& sim, std::size_t max_dof)
+    : sim_(&sim) {
+  if (sim.dof() > max_dof) {
+    throw std::invalid_argument(
+        "CholeskyAlgorithm: system too large for the dense O(n^3) path");
+  }
+}
+
+RunStats CholeskyAlgorithm::run(std::size_t count) {
+  RunStats stats;
+  const SdConfig& config = sim_->config();
+  const std::size_t n = sim_->dof();
+  const double dt = sim_->dt();
+  const double amplitude = std::sqrt(2.0 * config.kT / dt);
+  const double max_step = sim_->max_step_length();
+
+  std::vector<double> z(n), f(n), u(n), u_mid(n);
+  util::WallTimer total;
+
+  for (std::size_t local = 0; local < count; ++local, ++step_) {
+    StepRecord rec;
+    rec.step = step_;
+
+    sparse::BcrsMatrix r_k;
+    {
+      util::ScopedPhase t(stats.timers, phase::kConstruct);
+      r_k = sim_->assemble();
+    }
+
+    // One factorization serves the Brownian force and both solves.
+    std::unique_ptr<dense::Cholesky> chol;
+    {
+      util::ScopedPhase t(stats.timers, phase_direct::kFactor);
+      chol = std::make_unique<dense::Cholesky>(r_k.to_dense());
+    }
+
+    // f_B = -amplitude * L z: cov(L z) = L L^T = R exactly.
+    sim_->noise(step_, z);
+    {
+      util::ScopedPhase t(stats.timers, phase_direct::kBrownian);
+      const dense::Matrix& l = chol->factor();
+      for (std::size_t i = 0; i < n; ++i) {
+        double s = 0.0;
+        const auto row = l.row(i);
+        for (std::size_t j = 0; j <= i; ++j) s += row[j] * z[j];
+        f[i] = -amplitude * s;
+      }
+    }
+
+    // First solve: direct.
+    {
+      util::ScopedPhase t(stats.timers, phase::kFirstSolve);
+      std::copy(f.begin(), f.end(), u.begin());
+      chol->solve_in_place(u);
+      rec.iters_first_solve = 0;
+    }
+
+    // Midpoint solve: iterative refinement with the frozen factor,
+    // seeded by u_k (the paper's optimization).
+    const auto start = sim_->system().snapshot();
+    sim_->system().advance(u, 0.5 * dt, max_step);
+    sparse::BcrsMatrix r_half;
+    {
+      util::ScopedPhase t(stats.timers, phase::kConstruct);
+      r_half = sim_->assemble();
+    }
+    solver::BcrsOperator op_half(r_half, config.threads);
+    u_mid = u;
+    {
+      util::ScopedPhase t(stats.timers, phase::kSecondSolve);
+      const auto result = solver::iterative_refinement(
+          op_half, f, u_mid,
+          [&](std::span<double> r) { chol->solve_in_place(r); },
+          config.solver_tol);
+      rec.iters_second_solve = result.iterations;
+    }
+    full_step_from(sim_->system(), start, u_mid, dt, max_step);
+    stats.steps.push_back(rec);
+  }
+  stats.seconds_total = total.seconds();
+  return stats;
+}
+
+BrownianDynamicsAlgorithm::BrownianDynamicsAlgorithm(
+    SdSimulation& sim, std::size_t bounds_refresh)
+    : sim_(&sim), bounds_refresh_(bounds_refresh == 0 ? 1 : bounds_refresh) {}
+
+RunStats BrownianDynamicsAlgorithm::run(std::size_t count) {
+  RunStats stats;
+  const SdConfig& config = sim_->config();
+  const std::size_t n = sim_->dof();
+  const double dt = sim_->dt();
+  // dr = sqrt(2 kT dt) * sqrt(M) z gives cov(dr) = 2 kT dt M.
+  const double amplitude = std::sqrt(2.0 * config.kT * dt);
+  const double max_step = sim_->max_step_length();
+
+  std::vector<double> z(n), dr(n), u(n);
+  util::WallTimer total;
+
+  for (std::size_t local = 0; local < count; ++local, ++step_) {
+    StepRecord rec;
+    rec.step = step_;
+
+    const sd::RpyMobilityOperator mobility(sim_->system(),
+                                           config.viscosity);
+    if (!have_bounds_ || step_ % bounds_refresh_ == 0) {
+      util::ScopedPhase t(stats.timers, phase::kEigBounds);
+      bounds_ = solver::lanczos_bounds(mobility);
+      have_bounds_ = true;
+    }
+    const solver::ChebyshevSqrt cheb(bounds_, config.chebyshev_order);
+
+    sim_->noise(step_, z);
+    {
+      util::ScopedPhase t(stats.timers, phase::kChebSingle);
+      cheb.apply(mobility, z, dr);
+    }
+    // Convert the displacement into a velocity for the shared advance
+    // path (u dt = amplitude * S(M) z).
+    const double scale = amplitude / dt;
+    for (std::size_t i = 0; i < n; ++i) u[i] = scale * dr[i];
+    sim_->system().advance(u, dt, max_step);
+    stats.steps.push_back(rec);
+  }
+  stats.seconds_total = total.seconds();
+  return stats;
+}
+
+MrhsAlgorithm::MrhsAlgorithm(SdSimulation& sim, std::size_t rhs)
+    : sim_(&sim), rhs_(rhs == 0 ? 1 : rhs) {}
+
+RunStats MrhsAlgorithm::run(std::size_t count) {
+  RunStats stats;
+  std::size_t done = 0;
+  while (done < count) {
+    const std::size_t chunk = std::min(rhs_, count - done);
+    RunStats chunk_stats = run_chunk(chunk);
+    stats.timers.merge(chunk_stats.timers);
+    stats.steps.insert(stats.steps.end(), chunk_stats.steps.begin(),
+                       chunk_stats.steps.end());
+    stats.block_iterations += chunk_stats.block_iterations;
+    stats.seconds_total += chunk_stats.seconds_total;
+    done += chunk;
+  }
+  return stats;
+}
+
+RunStats MrhsAlgorithm::run_chunk(std::size_t chunk_len) {
+  RunStats stats;
+  const SdConfig& config = sim_->config();
+  const std::size_t n = sim_->dof();
+  const std::size_t m = chunk_len;
+  const double dt = sim_->dt();
+  const double amplitude = std::sqrt(2.0 * config.kT / dt);
+  const double max_step = sim_->max_step_length();
+
+  util::WallTimer total;
+
+  // Construct R_0 and calibrate the Chebyshev interval on it.
+  sparse::BcrsMatrix r_0;
+  {
+    util::ScopedPhase t(stats.timers, phase::kConstruct);
+    r_0 = sim_->assemble();
+  }
+  solver::BcrsOperator op0(r_0, config.threads);
+  solver::EigBounds bounds;
+  {
+    util::ScopedPhase t(stats.timers, phase::kEigBounds);
+    bounds = solver::lanczos_bounds(op0);
+  }
+  const solver::ChebyshevSqrt cheb(bounds, config.chebyshev_order);
+
+  // All m noise vectors for the chunk are available up front: Z.
+  sparse::MultiVector z_block(n, m);
+  std::vector<double> z(n);
+  for (std::size_t k = 0; k < m; ++k) {
+    sim_->noise(step_ + k, z);
+    z_block.copy_col_in(k, z);
+  }
+
+  // F_B = amplitude * S(R_0) Z, computed with block Chebyshev (GSPMV).
+  sparse::MultiVector rhs_block(n, m);
+  {
+    util::ScopedPhase t(stats.timers, phase::kChebVectors);
+    cheb.apply_block(op0, z_block, rhs_block);
+    rhs_block.scale(-amplitude);
+  }
+
+  // Augmented solve R_0 U = F_B with block CG (the "Calc guesses"
+  // phase). Column 0 is the exact step-0 solution; columns 1..m-1 are
+  // the initial guesses for the coming steps.
+  sparse::MultiVector guesses(n, m);
+  {
+    util::ScopedPhase t(stats.timers, phase::kCalcGuesses);
+    solver::BlockCgOptions opts;
+    opts.tol = config.solver_tol;
+    opts.max_iters = config.solver_max_iters;
+    const auto result =
+        solver::block_conjugate_gradient(op0, rhs_block, guesses, opts);
+    stats.block_iterations += result.iterations;
+  }
+
+  std::vector<double> f(n), u(n), u_mid(n), guess(n);
+  for (std::size_t k = 0; k < m; ++k) {
+    StepRecord rec;
+    rec.step = step_ + k;
+
+    sparse::BcrsMatrix r_k;
+    if (k == 0) {
+      r_k = std::move(r_0);
+    } else {
+      util::ScopedPhase t(stats.timers, phase::kConstruct);
+      r_k = sim_->assemble();
+    }
+    solver::BcrsOperator op(r_k, config.threads);
+
+    if (k == 0) {
+      // The augmented solve already produced u_0 and f_0.
+      rhs_block.copy_col_out(0, f);
+      guesses.copy_col_out(0, u);
+      rec.iters_first_solve = 0;
+      rec.guess_rel_error = 0.0;
+    } else {
+      // f_k = -amplitude * S(R_k) z_k at the *current* configuration.
+      sim_->noise(step_ + k, z);
+      {
+        util::ScopedPhase t(stats.timers, phase::kChebSingle);
+        const solver::ChebyshevSqrt cheb_k(bounds, config.chebyshev_order);
+        cheb_k.apply(op, z, f);
+        for (double& v : f) v *= -amplitude;
+      }
+      guesses.copy_col_out(k, guess);
+      u = guess;
+      {
+        util::ScopedPhase t(stats.timers, phase::kFirstSolve);
+        const auto result = solver::conjugate_gradient(op, f, u,
+                                                       cg_options(config));
+        rec.iters_first_solve = result.iterations;
+      }
+      const double u_norm = util::norm2(u);
+      rec.guess_rel_error =
+          u_norm > 0.0 ? util::diff_norm2(u, guess) / u_norm : 0.0;
+    }
+
+    // Midpoint half-step and second solve, seeded with u_k.
+    const auto start = sim_->system().snapshot();
+    sim_->system().advance(u, 0.5 * dt, max_step);
+    sparse::BcrsMatrix r_half;
+    {
+      util::ScopedPhase t(stats.timers, phase::kConstruct);
+      r_half = sim_->assemble();
+    }
+    solver::BcrsOperator op_half(r_half, config.threads);
+    u_mid = u;
+    {
+      util::ScopedPhase t(stats.timers, phase::kSecondSolve);
+      const auto result = solver::conjugate_gradient(op_half, f, u_mid,
+                                                     cg_options(config));
+      rec.iters_second_solve = result.iterations;
+    }
+    full_step_from(sim_->system(), start, u_mid, dt, max_step);
+    stats.steps.push_back(rec);
+  }
+
+  step_ += m;
+  stats.seconds_total = total.seconds();
+  return stats;
+}
+
+}  // namespace mrhs::core

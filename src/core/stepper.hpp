@@ -1,0 +1,151 @@
+// The two SD time-stepping algorithms from the paper:
+//
+//   OriginalAlgorithm — Algorithm 1: per step, construct R_k, compute
+//     the Brownian force with a Chebyshev polynomial (single vector),
+//     solve R_k u_k = -f_B from a zero initial guess, and solve the
+//     midpoint system R_{k+1/2} u = -f_B seeded with u_k.
+//
+//   MrhsAlgorithm — Algorithm 2 (the contribution): per chunk of m
+//     steps, compute all m Brownian forces at once with block
+//     Chebyshev (GSPMV), solve the augmented system R_0 U = F_B with
+//     block CG (GSPMV), and use column k of U as the initial guess for
+//     the first solve of step k.
+//
+// Phase names in the emitted timings match the rows of paper
+// Tables VI and VII.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/sd_simulation.hpp"
+#include "solver/lanczos.hpp"
+#include "util/timer.hpp"
+
+namespace mrhs::core {
+
+/// Per-step diagnostics (Fig 5, Fig 6, Table V).
+struct StepRecord {
+  std::size_t step = 0;
+  std::size_t iters_first_solve = 0;
+  std::size_t iters_second_solve = 0;
+  /// ||u_k - u'_k|| / ||u_k||, guess vs converged solution; negative
+  /// when the step had no initial guess.
+  double guess_rel_error = -1.0;
+};
+
+struct RunStats {
+  util::PhaseTimers timers;
+  std::vector<StepRecord> steps;
+  /// Total block-CG iterations spent on augmented systems (MRHS only).
+  std::size_t block_iterations = 0;
+  double seconds_total = 0.0;
+
+  [[nodiscard]] double avg_step_seconds() const {
+    return steps.empty() ? 0.0
+                         : seconds_total / static_cast<double>(steps.size());
+  }
+  [[nodiscard]] double mean_first_solve_iters() const;
+};
+
+/// Phase labels (paper Tables VI/VII rows).
+namespace phase {
+inline constexpr const char* kConstruct = "Construct";
+inline constexpr const char* kEigBounds = "Eig bounds";
+inline constexpr const char* kChebVectors = "Cheb vectors";
+inline constexpr const char* kCalcGuesses = "Calc guesses";
+inline constexpr const char* kChebSingle = "Cheb single";
+inline constexpr const char* kFirstSolve = "1st solve";
+inline constexpr const char* kSecondSolve = "2nd solve";
+}  // namespace phase
+
+class OriginalAlgorithm {
+ public:
+  /// `bounds_refresh`: Lanczos recalibration period in steps.
+  explicit OriginalAlgorithm(SdSimulation& sim,
+                             std::size_t bounds_refresh = 16);
+
+  /// Advance `count` steps; appends to the simulation trajectory.
+  RunStats run(std::size_t count);
+
+  [[nodiscard]] std::size_t current_step() const { return step_; }
+
+ private:
+  SdSimulation* sim_;
+  std::size_t bounds_refresh_;
+  std::size_t step_ = 0;
+  solver::EigBounds bounds_{};
+  bool have_bounds_ = false;
+};
+
+/// The paper's small-problem path (Section II-C): one dense Cholesky
+/// factorization of R_k per step provides the Brownian force exactly
+/// (f_B = L z), the first solve directly, and the midpoint solve via
+/// iterative refinement with the *frozen* factor — "only one Cholesky
+/// factorization, rather than two, is needed per time step."
+/// O(n^3): refuses systems above `max_dof`.
+class CholeskyAlgorithm {
+ public:
+  explicit CholeskyAlgorithm(SdSimulation& sim, std::size_t max_dof = 3600);
+
+  RunStats run(std::size_t count);
+
+  [[nodiscard]] std::size_t current_step() const { return step_; }
+
+ private:
+  SdSimulation* sim_;
+  std::size_t step_ = 0;
+};
+
+namespace phase_direct {
+inline constexpr const char* kFactor = "Cholesky factor";
+inline constexpr const char* kBrownian = "Brownian (L z)";
+}  // namespace phase_direct
+
+/// Brownian dynamics comparator (Ermak–McCammon with RPY mobility):
+/// the method the paper contrasts SD against. Displacements come
+/// directly from the far-field mobility,
+///   dr = sqrt(2 kT dt) S(M) z   (S(M) ~ sqrt(M_inf), Chebyshev),
+/// with no lubrication — so it is cheap but "cannot accurately model
+/// short-range forces" and is only valid for dilute systems. The RPY
+/// divergence is zero (paper Section II-C), so no midpoint correction
+/// is needed. O(n^2) per apply via the matrix-free mobility operator.
+class BrownianDynamicsAlgorithm {
+ public:
+  /// `bounds_refresh`: Lanczos recalibration period in steps.
+  explicit BrownianDynamicsAlgorithm(SdSimulation& sim,
+                                     std::size_t bounds_refresh = 16);
+
+  RunStats run(std::size_t count);
+
+  [[nodiscard]] std::size_t current_step() const { return step_; }
+
+ private:
+  SdSimulation* sim_;
+  std::size_t bounds_refresh_;
+  std::size_t step_ = 0;
+  solver::EigBounds bounds_{};
+  bool have_bounds_ = false;
+};
+
+class MrhsAlgorithm {
+ public:
+  /// `rhs` is m, the number of right-hand sides per chunk.
+  MrhsAlgorithm(SdSimulation& sim, std::size_t rhs);
+
+  /// Advance `count` steps (processed in chunks of m; a final partial
+  /// chunk uses fewer right-hand sides).
+  RunStats run(std::size_t count);
+
+  [[nodiscard]] std::size_t current_step() const { return step_; }
+  [[nodiscard]] std::size_t rhs() const { return rhs_; }
+
+ private:
+  RunStats run_chunk(std::size_t chunk_len);
+
+  SdSimulation* sim_;
+  std::size_t rhs_;
+  std::size_t step_ = 0;
+};
+
+}  // namespace mrhs::core

@@ -1,0 +1,279 @@
+#include "dense/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mrhs::dense {
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::from_rows(
+    std::initializer_list<std::initializer_list<double>> rows) {
+  const std::size_t r = rows.size();
+  const std::size_t c = r == 0 ? 0 : rows.begin()->size();
+  Matrix m(r, c);
+  std::size_t i = 0;
+  for (const auto& row : rows) {
+    if (row.size() != c) {
+      throw std::invalid_argument("Matrix::from_rows: ragged rows");
+    }
+    std::size_t j = 0;
+    for (double v : row) m(i, j++) = v;
+    ++i;
+  }
+  return m;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t j = 0; j < cols_; ++j) t(j, i) = (*this)(i, j);
+  }
+  return t;
+}
+
+double Matrix::frobenius_norm() const {
+  double s = 0.0;
+  for (double v : data_) s += v * v;
+  return std::sqrt(s);
+}
+
+double Matrix::asymmetry() const {
+  if (rows_ != cols_) throw std::invalid_argument("asymmetry: not square");
+  double m = 0.0;
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t j = i + 1; j < cols_; ++j) {
+      m = std::max(m, std::abs((*this)(i, j) - (*this)(j, i)));
+    }
+  }
+  return m;
+}
+
+void gemm(double alpha, const Matrix& a, bool transpose_a, const Matrix& b,
+          bool transpose_b, double beta, Matrix& c) {
+  const std::size_t m = transpose_a ? a.cols() : a.rows();
+  const std::size_t k = transpose_a ? a.rows() : a.cols();
+  const std::size_t kb = transpose_b ? b.cols() : b.rows();
+  const std::size_t n = transpose_b ? b.rows() : b.cols();
+  if (k != kb || c.rows() != m || c.cols() != n) {
+    throw std::invalid_argument("gemm: shape mismatch");
+  }
+  auto at = [&](std::size_t i, std::size_t p) {
+    return transpose_a ? a(p, i) : a(i, p);
+  };
+  auto bt = [&](std::size_t p, std::size_t j) {
+    return transpose_b ? b(j, p) : b(p, j);
+  };
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double s = 0.0;
+      for (std::size_t p = 0; p < k; ++p) s += at(i, p) * bt(p, j);
+      c(i, j) = alpha * s + beta * c(i, j);
+    }
+  }
+}
+
+void gemv(double alpha, const Matrix& a, std::span<const double> x,
+          double beta, std::span<double> y) {
+  if (x.size() != a.cols() || y.size() != a.rows()) {
+    throw std::invalid_argument("gemv: shape mismatch");
+  }
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    double s = 0.0;
+    const auto row = a.row(i);
+    for (std::size_t j = 0; j < a.cols(); ++j) s += row[j] * x[j];
+    y[i] = alpha * s + beta * y[i];
+  }
+}
+
+Cholesky::Cholesky(const Matrix& a) : l_(a.rows(), a.cols()) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("Cholesky: matrix not square");
+  }
+  const std::size_t n = a.rows();
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (std::size_t p = 0; p < j; ++p) diag -= l_(j, p) * l_(j, p);
+    if (diag <= 0.0 || !std::isfinite(diag)) {
+      throw std::runtime_error("Cholesky: matrix not positive definite");
+    }
+    const double ljj = std::sqrt(diag);
+    l_(j, j) = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double s = a(i, j);
+      for (std::size_t p = 0; p < j; ++p) s -= l_(i, p) * l_(j, p);
+      l_(i, j) = s / ljj;
+    }
+  }
+}
+
+void Cholesky::solve_in_place(std::span<double> b) const {
+  const std::size_t n = l_.rows();
+  if (b.size() != n) throw std::invalid_argument("Cholesky::solve: size");
+  // Forward substitution L y = b.
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (std::size_t j = 0; j < i; ++j) s -= l_(i, j) * b[j];
+    b[i] = s / l_(i, i);
+  }
+  // Back substitution L^T x = y.
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = b[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) s -= l_(j, ii) * b[j];
+    b[ii] = s / l_(ii, ii);
+  }
+}
+
+void Cholesky::solve_in_place(Matrix& b) const {
+  const std::size_t n = l_.rows();
+  if (b.rows() != n) throw std::invalid_argument("Cholesky::solve: rows");
+  const std::size_t k = b.cols();
+  // Forward substitution over all columns at once (row-major friendly).
+  for (std::size_t i = 0; i < n; ++i) {
+    auto bi = b.row(i);
+    for (std::size_t j = 0; j < i; ++j) {
+      const double lij = l_(i, j);
+      const auto bj = b.row(j);
+      for (std::size_t c = 0; c < k; ++c) bi[c] -= lij * bj[c];
+    }
+    const double inv = 1.0 / l_(i, i);
+    for (std::size_t c = 0; c < k; ++c) bi[c] *= inv;
+  }
+  for (std::size_t ii = n; ii-- > 0;) {
+    auto bi = b.row(ii);
+    for (std::size_t j = ii + 1; j < n; ++j) {
+      const double lji = l_(j, ii);
+      const auto bj = b.row(j);
+      for (std::size_t c = 0; c < k; ++c) bi[c] -= lji * bj[c];
+    }
+    const double inv = 1.0 / l_(ii, ii);
+    for (std::size_t c = 0; c < k; ++c) bi[c] *= inv;
+  }
+}
+
+double Cholesky::log_det() const {
+  double s = 0.0;
+  for (std::size_t i = 0; i < l_.rows(); ++i) s += std::log(l_(i, i));
+  return 2.0 * s;
+}
+
+EigenSym eigen_symmetric(const Matrix& a, double tol, int max_sweeps) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("eigen_symmetric: not square");
+  }
+  const std::size_t n = a.rows();
+  Matrix d = a;
+  Matrix v = Matrix::identity(n);
+
+  auto off_diag_norm = [&]() {
+    double s = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) s += d(i, j) * d(i, j);
+    }
+    return std::sqrt(2.0 * s);
+  };
+
+  const double scale = std::max(d.frobenius_norm(), 1e-300);
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    if (off_diag_norm() <= tol * scale) break;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = d(p, q);
+        if (std::abs(apq) <= 1e-300) continue;
+        const double theta = (d(q, q) - d(p, p)) / (2.0 * apq);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        // Apply the rotation to rows/columns p and q of D and to V.
+        for (std::size_t i = 0; i < n; ++i) {
+          const double dip = d(i, p);
+          const double diq = d(i, q);
+          d(i, p) = c * dip - s * diq;
+          d(i, q) = s * dip + c * diq;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          const double dpi = d(p, i);
+          const double dqi = d(q, i);
+          d(p, i) = c * dpi - s * dqi;
+          d(q, i) = s * dpi + c * dqi;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          const double vip = v(i, p);
+          const double viq = v(i, q);
+          v(i, p) = c * vip - s * viq;
+          v(i, q) = s * vip + c * viq;
+        }
+      }
+    }
+  }
+
+  EigenSym out;
+  out.eigenvalues.resize(n);
+  for (std::size_t i = 0; i < n; ++i) out.eigenvalues[i] = d(i, i);
+
+  // Sort ascending, permuting eigenvector columns to match.
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    return out.eigenvalues[x] < out.eigenvalues[y];
+  });
+  EigenSym sorted;
+  sorted.eigenvalues.resize(n);
+  sorted.eigenvectors = Matrix(n, n);
+  for (std::size_t k = 0; k < n; ++k) {
+    sorted.eigenvalues[k] = out.eigenvalues[order[k]];
+    for (std::size_t i = 0; i < n; ++i) {
+      sorted.eigenvectors(i, k) = v(i, order[k]);
+    }
+  }
+  return sorted;
+}
+
+void sqrt_apply_reference(const Matrix& a, std::span<const double> x,
+                          std::span<double> y) {
+  const EigenSym es = eigen_symmetric(a);
+  const std::size_t n = a.rows();
+  if (x.size() != n || y.size() != n) {
+    throw std::invalid_argument("sqrt_apply_reference: size mismatch");
+  }
+  std::vector<double> w(n, 0.0);
+  // w = V^T x
+  for (std::size_t k = 0; k < n; ++k) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < n; ++i) s += es.eigenvectors(i, k) * x[i];
+    // Clamp tiny negative eigenvalues from roundoff on PSD inputs.
+    const double lam = std::max(es.eigenvalues[k], 0.0);
+    w[k] = std::sqrt(lam) * s;
+  }
+  // y = V w
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = 0.0;
+    for (std::size_t k = 0; k < n; ++k) s += es.eigenvectors(i, k) * w[k];
+    y[i] = s;
+  }
+}
+
+Matrix sqrt_reference(const Matrix& a) {
+  const EigenSym es = eigen_symmetric(a);
+  const std::size_t n = a.rows();
+  Matrix out(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double s = 0.0;
+      for (std::size_t k = 0; k < n; ++k) {
+        const double lam = std::max(es.eigenvalues[k], 0.0);
+        s += es.eigenvectors(i, k) * std::sqrt(lam) * es.eigenvectors(j, k);
+      }
+      out(i, j) = s;
+    }
+  }
+  return out;
+}
+
+}  // namespace mrhs::dense

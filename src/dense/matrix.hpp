@@ -1,0 +1,112 @@
+// Small dense matrix type and kernels.
+//
+// This is deliberately a *small-matrix* library: it backs the m-by-m
+// solves inside block conjugate gradients, the dense-Cholesky direct
+// path the paper uses for small Stokesian systems, and the reference
+// matrix-square-root used to validate the Chebyshev approximation.
+// It is row-major and unblocked; do not use it for large n.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+#include "util/aligned.hpp"
+
+namespace mrhs::dense {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  static Matrix identity(std::size_t n);
+  static Matrix from_rows(
+      std::initializer_list<std::initializer_list<double>> rows);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] std::span<double> row(std::size_t r) {
+    return {data_.data() + r * cols_, cols_};
+  }
+  [[nodiscard]] std::span<const double> row(std::size_t r) const {
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  [[nodiscard]] double* data() { return data_.data(); }
+  [[nodiscard]] const double* data() const { return data_.data(); }
+
+  void fill(double v) { std::fill(data_.begin(), data_.end(), v); }
+
+  [[nodiscard]] Matrix transposed() const;
+
+  /// Frobenius norm.
+  [[nodiscard]] double frobenius_norm() const;
+
+  /// Largest |a_ij - a_ji|; zero for exactly symmetric matrices.
+  [[nodiscard]] double asymmetry() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  util::AlignedVector<double> data_;
+};
+
+/// C = alpha * op(A) * op(B) + beta * C, with op in {identity, transpose}.
+void gemm(double alpha, const Matrix& a, bool transpose_a, const Matrix& b,
+          bool transpose_b, double beta, Matrix& c);
+
+/// y = alpha * A * x + beta * y.
+void gemv(double alpha, const Matrix& a, std::span<const double> x,
+          double beta, std::span<double> y);
+
+/// Result of a Cholesky factorization A = L * L^T (lower triangular L).
+class Cholesky {
+ public:
+  /// Factors a symmetric positive definite matrix; throws
+  /// std::runtime_error if a non-positive pivot is hit.
+  explicit Cholesky(const Matrix& a);
+
+  /// Solve A x = b in place (b becomes x).
+  void solve_in_place(std::span<double> b) const;
+
+  /// Solve A X = B column-block-wise; B is n-by-k row-major.
+  void solve_in_place(Matrix& b) const;
+
+  [[nodiscard]] const Matrix& factor() const { return l_; }
+
+  /// log(det(A)) computed from the factor diagonal.
+  [[nodiscard]] double log_det() const;
+
+ private:
+  Matrix l_;
+};
+
+/// Symmetric eigendecomposition by the cyclic Jacobi method.
+/// A = V * diag(eigenvalues) * V^T with eigenvalues ascending.
+struct EigenSym {
+  std::vector<double> eigenvalues;
+  Matrix eigenvectors;  // columns are eigenvectors
+};
+EigenSym eigen_symmetric(const Matrix& a, double tol = 1e-13,
+                         int max_sweeps = 64);
+
+/// Reference y = sqrt(A) * x for symmetric positive semidefinite A,
+/// via full eigendecomposition. O(n^3); for validation only.
+void sqrt_apply_reference(const Matrix& a, std::span<const double> x,
+                          std::span<double> y);
+
+/// Reference principal square root matrix of symmetric PSD A.
+Matrix sqrt_reference(const Matrix& a);
+
+}  // namespace mrhs::dense

@@ -1,0 +1,78 @@
+#include "perf/machine.hpp"
+
+#include <omp.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "sparse/bcrs.hpp"
+#include "sparse/gspmv.hpp"
+#include "sparse/multivector.hpp"
+#include "util/aligned.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace mrhs::perf {
+
+double measure_stream_bandwidth(const StreamOptions& opts) {
+  const std::size_t n = opts.elements;
+  util::AlignedVector<double> a(n, 0.0), b(n, 1.0), c(n, 2.0);
+  const int threads = opts.threads > 0 ? opts.threads : omp_get_max_threads();
+  const double scalar = 3.0;
+
+  auto triad = [&]() {
+#pragma omp parallel for num_threads(threads) schedule(static)
+    for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(n); ++i) {
+      a[i] = b[i] + scalar * c[i];
+    }
+  };
+
+  triad();  // warm up (page faults, TLB)
+  double best = 0.0;
+  for (int rep = 0; rep < opts.repetitions; ++rep) {
+    util::WallTimer timer;
+    triad();
+    const double secs = timer.seconds();
+    // 2 reads + 1 write + 1 write-allocate fill per element.
+    const double bytes = 4.0 * static_cast<double>(n) * sizeof(double);
+    best = std::max(best, bytes / secs);
+  }
+  return best;
+}
+
+double measure_kernel_flops(std::size_t m, const KernelFlopsOptions& opts) {
+  // A small dense-banded BCRS tile that, together with its vectors,
+  // stays resident in cache: repeated GSPMV on it is compute-bound.
+  const auto tile = sparse::make_random_bcrs(
+      opts.block_rows, static_cast<double>(opts.blocks_per_row),
+      /*seed=*/0xF10b5, /*symmetric=*/false);
+  sparse::MultiVector x(tile.cols(), m), y(tile.rows(), m);
+  util::StreamRng rng(7);
+  x.fill_normal(rng);
+
+  const sparse::GspmvEngine engine(tile, /*threads=*/1);
+  const double secs = util::time_per_call(
+      [&]() { engine.apply(x, y, sparse::GspmvKernel::kAuto); },
+      opts.min_seconds);
+  return engine.flops(m) / secs;
+}
+
+double measure_kernel_flops_average(const KernelFlopsOptions& opts) {
+  double sum = 0.0;
+  int count = 0;
+  for (std::size_t m : {2, 4, 8, 12, 16, 24, 32, 48, 64}) {
+    sum += measure_kernel_flops(m, opts);
+    ++count;
+  }
+  return sum / count;
+}
+
+MachineParams measure_machine(const StreamOptions& stream,
+                              const KernelFlopsOptions& kern) {
+  MachineParams params;
+  params.bandwidth = measure_stream_bandwidth(stream);
+  params.flops = measure_kernel_flops_average(kern);
+  return params;
+}
+
+}  // namespace mrhs::perf

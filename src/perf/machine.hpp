@@ -1,0 +1,54 @@
+// Machine characterization: the measured quantities the paper feeds
+// into its model — STREAM-like achievable bandwidth B and the
+// achievable flop rate F of the basic 3x3-by-3xm kernel run from cache.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mrhs::perf {
+
+struct MachineParams {
+  double bandwidth = 0.0;  // B, bytes/s
+  double flops = 0.0;      // F, flops/s
+  [[nodiscard]] double bytes_per_flop() const {
+    return flops > 0.0 ? bandwidth / flops : 0.0;
+  }
+};
+
+struct StreamOptions {
+  /// Elements per array (three arrays are allocated). Default works
+  /// out to 3 x 256 MiB/8 = 96 MiB working set — far beyond LLC.
+  std::size_t elements = 12u << 20;
+  int repetitions = 5;
+  int threads = 0;  // 0 = omp_get_max_threads()
+};
+
+/// Triad bandwidth a[i] = b[i] + s*c[i], counted as 4 accesses per
+/// element (two reads, one write plus its write-allocate fill — the
+/// paper's 4/3 scaling of non-temporal-free STREAM).
+[[nodiscard]] double measure_stream_bandwidth(const StreamOptions& opts = {});
+
+struct KernelFlopsOptions {
+  /// Cache-resident working set: block rows and blocks per row of the
+  /// repeatedly-multiplied matrix tile.
+  std::size_t block_rows = 64;
+  std::size_t blocks_per_row = 25;
+  double min_seconds = 0.05;
+};
+
+/// Achievable flop rate of the basic kernel for a given m, computing
+/// repeatedly with the same (cached) block of memory, as in the paper.
+[[nodiscard]] double measure_kernel_flops(std::size_t m,
+                                          const KernelFlopsOptions& opts = {});
+
+/// The paper's F: the average over m in [2, 64] (m = 1 is excluded for
+/// its low SIMD parallelism).
+[[nodiscard]] double measure_kernel_flops_average(
+    const KernelFlopsOptions& opts = {});
+
+/// Measure both B and F.
+[[nodiscard]] MachineParams measure_machine(const StreamOptions& stream = {},
+                                            const KernelFlopsOptions& kern = {});
+
+}  // namespace mrhs::perf

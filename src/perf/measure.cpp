@@ -1,0 +1,47 @@
+#include "perf/measure.hpp"
+
+#include "sparse/gspmv.hpp"
+#include "sparse/multivector.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace mrhs::perf {
+
+double measure_gspmv_seconds(const sparse::BcrsMatrix& a, std::size_t m,
+                             int threads, double min_seconds) {
+  sparse::MultiVector x(a.cols(), m), y(a.rows(), m);
+  util::StreamRng rng(11);
+  x.fill_normal(rng);
+  const sparse::GspmvEngine engine(a, threads);
+  return util::time_per_call(
+      [&]() { engine.apply(x, y, sparse::GspmvKernel::kAuto); }, min_seconds);
+}
+
+std::vector<RelativeTimePoint> measure_relative_time(
+    const sparse::BcrsMatrix& a, std::span<const std::size_t> m_values,
+    int threads, double min_seconds) {
+  const double base = measure_gspmv_seconds(a, 1, threads, min_seconds);
+  std::vector<RelativeTimePoint> out;
+  out.reserve(m_values.size());
+  for (std::size_t m : m_values) {
+    RelativeTimePoint pt;
+    pt.m = m;
+    pt.seconds =
+        m == 1 ? base : measure_gspmv_seconds(a, m, threads, min_seconds);
+    pt.relative = pt.seconds / base;
+    out.push_back(pt);
+  }
+  return out;
+}
+
+SpmvThroughput measure_spmv_throughput(const sparse::BcrsMatrix& a,
+                                       int threads, double min_seconds) {
+  SpmvThroughput out;
+  out.seconds = measure_gspmv_seconds(a, 1, threads, min_seconds);
+  const sparse::GspmvEngine engine(a, threads);
+  out.gbytes_per_sec = engine.min_bytes(1) / out.seconds * 1e-9;
+  out.gflops = engine.flops(1) / out.seconds * 1e-9;
+  return out;
+}
+
+}  // namespace mrhs::perf

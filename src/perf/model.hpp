@@ -1,0 +1,79 @@
+// The paper's GSPMV performance model (Section IV-B, equation 8).
+//
+// Memory traffic of one GSPMV with m vectors (per-scalar-row form;
+// see the note in memory_traffic() about the paper's printed formula):
+//   Mtr(m) = m*nb*3*(3 + k(m))*sx + 4*nb + nnzb*(4 + sa)
+// time bounds:
+//   Tbw(m)   = Mtr(m) / B          (bandwidth bound)
+//   Tcomp(m) = fa * m * nnzb / F   (compute bound)
+//   T(m)     = max(Tbw, Tcomp)
+// relative time r(m) = T(m) / Tbw(1), and the crossover m_s where the
+// kernel switches from bandwidth- to compute-bound — the quantity the
+// paper ties to the optimal number of right-hand sides.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace mrhs::perf {
+
+struct GspmvModel {
+  // Matrix shape.
+  double block_rows = 1.0;     // nb
+  double nonzero_blocks = 1.0; // nnzb
+  // Machine characteristics.
+  double bandwidth = 1.0;      // B, bytes/s
+  double flops = 1.0;          // F, flops/s (achievable, basic kernel)
+  // Format constants (3x3 blocks, double precision).
+  double sx = 8.0;             // bytes per vector entry
+  double sa = 72.0;            // bytes per matrix block
+  double fa = 18.0;            // flops per block per vector
+  // Extra accesses to X per element; the paper's k(m). Constant by
+  // default ("for matrices typical in our SD simulation, k(m) is only
+  // a weak function of m"); replaceable for sensitivity studies.
+  std::function<double(std::size_t)> k = [](std::size_t) { return 0.0; };
+
+  [[nodiscard]] double blocks_per_row() const {
+    return nonzero_blocks / block_rows;
+  }
+
+  /// Mtr(m): bytes moved by one GSPMV with m vectors.
+  [[nodiscard]] double memory_traffic(std::size_t m) const;
+
+  [[nodiscard]] double time_bandwidth_bound(std::size_t m) const;
+  [[nodiscard]] double time_compute_bound(std::size_t m) const;
+
+  /// T(m) = max of the two bounds.
+  [[nodiscard]] double time(std::size_t m) const;
+
+  /// r(m) = T(m) / Tbw(1)  (the paper assumes the single-vector
+  /// product is bandwidth bound).
+  [[nodiscard]] double relative_time(std::size_t m) const;
+
+  /// Largest m with r(m) <= ratio (paper Fig 1 uses ratio = 2);
+  /// scans m = 1..max_m.
+  [[nodiscard]] std::size_t vectors_within_ratio(double ratio,
+                                                 std::size_t max_m = 512) const;
+
+  /// m_s: smallest m at which the compute bound dominates, or max_m+1
+  /// if the kernel stays bandwidth-bound throughout.
+  [[nodiscard]] std::size_t crossover_m(std::size_t max_m = 512) const;
+};
+
+/// Convenience: a model in "per block row" units given only nnzb/nb
+/// and the byte-per-flop ratio B/F — all that r(m) depends on. Used
+/// for the Fig 1 profile.
+[[nodiscard]] GspmvModel ratio_model(double blocks_per_row,
+                                     double bytes_per_flop, double k = 0.0);
+
+/// Infer the paper's k(m) — the extra X accesses per element beyond
+/// the compulsory read — from a measured GSPMV time: solve
+/// Tbw(m; k) = seconds for k, assuming the bandwidth bound is active.
+/// Returns a negative k when the measurement beats the compulsory
+/// traffic (vectors retained in cache, the paper's "negative k(m)"
+/// case), and NaN when the time is not bandwidth-explainable (compute
+/// bound active).
+[[nodiscard]] double infer_k(const GspmvModel& model, std::size_t m,
+                             double seconds);
+
+}  // namespace mrhs::perf

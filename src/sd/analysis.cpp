@@ -1,0 +1,37 @@
+#include "sd/analysis.hpp"
+
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace mrhs::sd {
+
+void MsdTracker::sample(const ParticleSystem& system, double t) {
+  if (!times_.empty() && t <= times_.back()) {
+    throw std::invalid_argument("MsdTracker: times must increase");
+  }
+  times_.push_back(t);
+  msd_.push_back(system.mean_squared_displacement());
+}
+
+MsdTracker::DiffusionFit MsdTracker::fit_diffusion(
+    double discard_fraction) const {
+  if (times_.size() < 3) {
+    throw std::runtime_error("MsdTracker: need >= 3 samples to fit");
+  }
+  const auto skip = static_cast<std::size_t>(
+      discard_fraction * static_cast<double>(times_.size()));
+  const std::size_t first = std::min(skip, times_.size() - 3);
+  const std::span<const double> ts(times_.data() + first,
+                                   times_.size() - first);
+  const std::span<const double> ms(msd_.data() + first,
+                                   msd_.size() - first);
+  const auto line = util::linear_fit(ts, ms);
+  DiffusionFit fit;
+  fit.d = line.slope / 6.0;
+  fit.intercept = line.intercept;
+  fit.r2 = line.r2;
+  return fit;
+}
+
+}  // namespace mrhs::sd

@@ -1,0 +1,48 @@
+// Trajectory analysis: mean-squared displacement and diffusion
+// estimates — the macroscopic observables SD simulations exist to
+// compute ("of scientific and engineering interest are the macroscopic
+// properties of the particle motion, such as average diffusion
+// constants").
+#pragma once
+
+#include <cstddef>
+#include <numbers>
+#include <vector>
+
+#include "sd/particle_system.hpp"
+
+namespace mrhs::sd {
+
+/// Records MSD(t) samples during a simulation and fits the long-time
+/// diffusive regime MSD = 6 D t + c.
+class MsdTracker {
+ public:
+  /// Sample the tracked system's current MSD at simulation time `t`.
+  void sample(const ParticleSystem& system, double t);
+
+  [[nodiscard]] std::size_t samples() const { return times_.size(); }
+  [[nodiscard]] const std::vector<double>& times() const { return times_; }
+  [[nodiscard]] const std::vector<double>& msd() const { return msd_; }
+
+  struct DiffusionFit {
+    double d = 0.0;         // diffusion coefficient
+    double intercept = 0.0; // ballistic/short-time offset
+    double r2 = 0.0;
+  };
+
+  /// Least-squares fit of MSD = 6 D t + c over the recorded samples,
+  /// optionally discarding a leading fraction (short-time transient).
+  [[nodiscard]] DiffusionFit fit_diffusion(double discard_fraction = 0.2) const;
+
+ private:
+  std::vector<double> times_;
+  std::vector<double> msd_;
+};
+
+/// Dilute Stokes–Einstein diffusion coefficient kT / (6 pi eta a).
+[[nodiscard]] inline double stokes_einstein_d(double kT, double viscosity,
+                                              double radius) {
+  return kT / (6.0 * std::numbers::pi * viscosity * radius);
+}
+
+}  // namespace mrhs::sd

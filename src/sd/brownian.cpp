@@ -1,0 +1,38 @@
+#include "sd/brownian.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace mrhs::sd {
+
+BrownianForce::BrownianForce(const solver::LinearOperator& r, double dt,
+                             const BrownianParams& params)
+    : bounds_(solver::lanczos_bounds(r, params.lanczos)),
+      chebyshev_(bounds_, params.chebyshev_order),
+      amplitude_(std::sqrt(2.0 * params.kT / dt)) {
+  if (dt <= 0.0) throw std::invalid_argument("BrownianForce: dt <= 0");
+}
+
+void BrownianForce::compute(const solver::LinearOperator& r,
+                            std::span<const double> z,
+                            std::span<double> f) const {
+  chebyshev_.apply(r, z, f);
+  for (double& v : f) v *= amplitude_;
+}
+
+void BrownianForce::compute_block(const solver::LinearOperator& r,
+                                  const sparse::MultiVector& z,
+                                  sparse::MultiVector& f) const {
+  chebyshev_.apply_block(r, z, f);
+  f.scale(amplitude_);
+}
+
+void noise_for_step(std::uint64_t seed, std::uint64_t step,
+                    std::span<double> z) {
+  util::StreamRng rng(seed, /*stream=*/0xb0153 + step);
+  rng.fill_normal(z);
+}
+
+}  // namespace mrhs::sd

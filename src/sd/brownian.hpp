@@ -1,0 +1,59 @@
+// Brownian force generation: f_B = sqrt(2 kT / dt) * S(R) z, with S a
+// Chebyshev approximation of the matrix square root (Fixman 1986).
+// The covariance of f_B is then 2 kT R / dt as required by the
+// fluctuation–dissipation theorem.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "solver/chebyshev.hpp"
+#include "solver/lanczos.hpp"
+#include "solver/operator.hpp"
+#include "sparse/multivector.hpp"
+
+namespace mrhs::sd {
+
+struct BrownianParams {
+  double kT = 1.0;
+  std::size_t chebyshev_order = 30;  // paper's maximum order
+  solver::LanczosOptions lanczos;
+};
+
+class BrownianForce {
+ public:
+  /// Calibrate the Chebyshev interval for operator `r` (costs one short
+  /// Lanczos run, ~lanczos.steps SPMVs).
+  BrownianForce(const solver::LinearOperator& r, double dt,
+                const BrownianParams& params = {});
+
+  /// f = sqrt(2 kT / dt) S(R) z for a single noise vector.
+  void compute(const solver::LinearOperator& r, std::span<const double> z,
+               std::span<double> f) const;
+
+  /// F = sqrt(2 kT / dt) S(R) Z for a block of noise vectors — the
+  /// MRHS "Cheb vectors" phase, executed with GSPMV.
+  void compute_block(const solver::LinearOperator& r,
+                     const sparse::MultiVector& z,
+                     sparse::MultiVector& f) const;
+
+  [[nodiscard]] const solver::ChebyshevSqrt& chebyshev() const {
+    return chebyshev_;
+  }
+  [[nodiscard]] const solver::EigBounds& bounds() const { return bounds_; }
+  [[nodiscard]] double amplitude() const { return amplitude_; }
+
+ private:
+  solver::EigBounds bounds_;
+  solver::ChebyshevSqrt chebyshev_;
+  double amplitude_;
+};
+
+/// Generate the standard normal noise vector z_k for time step `step`.
+/// Keyed by (seed, step): both SD algorithms — and chunks of future
+/// steps in MRHS — can regenerate the identical stream independently.
+void noise_for_step(std::uint64_t seed, std::uint64_t step,
+                    std::span<double> z);
+
+}  // namespace mrhs::sd

@@ -1,0 +1,36 @@
+// Far-field effective viscosity for the sparse resistance
+// approximation R = mu_F I + R_lub (Torres & Gilbert 1996).
+//
+// The dense long-range component (M_inf)^{-1} is replaced by an
+// isotropic drag at an *effective* suspension viscosity that grows with
+// volume fraction; we use the Eilers fit, a standard empirical
+// correlation valid through dense packing. Per the paper we "use a
+// slight modification of this technique to account for different
+// particle radii": each particle's diagonal block is its own Stokes
+// drag 6*pi*eta_eff(phi)*a_i.
+#pragma once
+
+#include <numbers>
+
+namespace mrhs::sd {
+
+/// Far-field effective drag ratio. The Eilers fit
+/// (1 + 1.25 phi/(1 - phi/phi_max))^2 describes the *total* suspension
+/// shear viscosity, which double-counts the near-field part that R_lub
+/// already carries; for the far-field drag we use its square root
+/// (the unsquared Eilers form), phi_max = 0.64.
+[[nodiscard]] inline double effective_viscosity_ratio(double phi) {
+  constexpr double kPhiMax = 0.64;
+  const double denom = 1.0 - phi / kPhiMax;
+  return 1.0 + 1.25 * phi / (denom > 0.05 ? denom : 0.05);
+}
+
+/// Far-field drag coefficient mu_F for a particle of radius a at
+/// solvent viscosity eta and system volume fraction phi.
+[[nodiscard]] inline double far_field_drag(double radius, double eta,
+                                           double phi) {
+  return 6.0 * std::numbers::pi * eta * effective_viscosity_ratio(phi) *
+         radius;
+}
+
+}  // namespace mrhs::sd

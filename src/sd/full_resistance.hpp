@@ -1,0 +1,39 @@
+// Exact (small-system) Stokesian dynamics resistance:
+//   R = (M_inf)^{-1} + R_lub,
+// the form the paper describes before adopting the Torres–Gilbert
+// sparse approximation R = mu_F I + R_lub. The dense far-field inverse
+// costs O(n^3), so this path exists for validation and for small
+// production systems — exactly the regime where the paper uses the
+// Cholesky stepper.
+#pragma once
+
+#include "dense/matrix.hpp"
+#include "sd/particle_system.hpp"
+#include "sd/resistance.hpp"
+
+namespace mrhs::sd {
+
+/// Dense R = (M_inf)^{-1} + R_lub at the current configuration.
+/// Throws above 4096 degrees of freedom. Note: M_inf is built with the
+/// minimum-image convention, which preserves RPY's positive
+/// definiteness only while the box is large relative to the particles
+/// (dilute-to-moderate occupancy). Crowded periodic systems need the
+/// Ewald-summed far field (PME) — which the paper also defers to
+/// future work; the production path is the sparse mu_F I + R_lub.
+[[nodiscard]] dense::Matrix full_resistance_dense(
+    const ParticleSystem& system, const ResistanceParams& params);
+
+/// The far-field part alone: (M_inf)^{-1} with RPY blocks.
+[[nodiscard]] dense::Matrix far_field_resistance_dense(
+    const ParticleSystem& system, double viscosity = 1.0);
+
+/// Relative difference of the velocities the sparse and the full model
+/// give for the same force field: || (R_sparse^{-1} - R_full^{-1}) f ||
+/// / || R_full^{-1} f ||. A one-number accuracy probe of the paper's
+/// sparse approximation (valid "when the particle interactions are
+/// dominated by lubrication forces").
+[[nodiscard]] double sparse_model_velocity_error(
+    const ParticleSystem& system, const ResistanceParams& params,
+    std::span<const double> force);
+
+}  // namespace mrhs::sd

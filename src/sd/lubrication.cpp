@@ -1,0 +1,77 @@
+#include "sd/lubrication.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace mrhs::sd {
+
+LubricationScalars lubrication_scalars(double xi, double beta) {
+  if (xi <= 0.0 || beta <= 0.0) {
+    throw std::invalid_argument("lubrication_scalars: xi and beta must be > 0");
+  }
+  // Jeffrey & Onishi (1984) leading-order coefficients for X^A_11 and
+  // Y^A_11 with beta = b/a:
+  //   g1 = 2 beta^2 / (1+beta)^3            (squeeze, 1/xi)
+  //   g2 = beta (1 + 7 beta + beta^2) / (5 (1+beta)^3)   (squeeze, log)
+  //   g4 = 4 beta (2 + beta + 2 beta^2) / (15 (1+beta)^3) (shear, log)
+  const double b1 = 1.0 + beta;
+  const double b13 = b1 * b1 * b1;
+  const double g1 = 2.0 * beta * beta / b13;
+  const double g2 = beta * (1.0 + 7.0 * beta + beta * beta) / (5.0 * b13);
+  const double g4 =
+      4.0 * beta * (2.0 + beta + 2.0 * beta * beta) / (15.0 * b13);
+
+  const double log_term = std::log(1.0 / xi);
+  LubricationScalars out;
+  out.squeeze = g1 / xi + g2 * log_term;
+  out.shear = g4 * log_term;
+  // The expansions are only valid (and positive) for small xi; clamp at
+  // zero so a wide cutoff cannot inject negative (non-physical,
+  // indefinite) resistance.
+  out.squeeze = std::max(out.squeeze, 0.0);
+  out.shear = std::max(out.shear, 0.0);
+  return out;
+}
+
+bool lubrication_active(double gap, double radius_i, double radius_j,
+                        const LubricationParams& params) {
+  const double mean_radius = 0.5 * (radius_i + radius_j);
+  return gap < params.max_gap_scaled * mean_radius;
+}
+
+double lubrication_cutoff_distance(double max_radius,
+                                   const LubricationParams& params) {
+  // Largest center distance of an active pair: both spheres at the
+  // maximum radius plus the scaled-gap cutoff.
+  return 2.0 * max_radius + params.max_gap_scaled * max_radius;
+}
+
+void lubrication_pair_tensor(const Vec3& unit, double radius_i,
+                             double radius_j, double gap,
+                             const LubricationParams& params,
+                             std::span<double, 9> out) {
+  const double mean_radius = 0.5 * (radius_i + radius_j);
+  double xi = gap / mean_radius;
+  xi = std::clamp(xi, params.min_gap_scaled, params.max_gap_scaled);
+
+  const double beta = radius_j / radius_i;
+  const LubricationScalars s = lubrication_scalars(xi, beta);
+  // Jeffrey–Onishi normalization is 6*pi*eta*a with a the first radius.
+  const double prefactor =
+      6.0 * std::numbers::pi * params.viscosity * radius_i;
+  const double xa = prefactor * s.squeeze;
+  const double ya = prefactor * s.shear;
+
+  const double d[3] = {unit.x, unit.y, unit.z};
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      const double dd = d[r] * d[c];
+      const double id = (r == c) ? 1.0 : 0.0;
+      out[r * 3 + c] = xa * dd + ya * (id - dd);
+    }
+  }
+}
+
+}  // namespace mrhs::sd

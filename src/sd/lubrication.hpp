@@ -1,0 +1,55 @@
+// Near-field (lubrication) pair resistance for two unequal spheres.
+//
+// Jeffrey & Onishi (1984) leading-order resistance functions for the
+// translational problem: the squeeze mode diverges as 1/xi and the
+// shear mode as log(1/xi), where xi is the surface gap scaled by the
+// mean radius. Following the paper, the pair contribution is projected
+// onto *relative* motion only ("project out the collective motion of
+// pairs of particles", Cichocki et al. 1999), which makes each pair
+// contribution — and therefore R_lub — symmetric positive semidefinite.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "sd/cell_list.hpp"
+#include "sd/vec3.hpp"
+
+namespace mrhs::sd {
+
+struct LubricationParams {
+  double viscosity = 1.0;  // solvent viscosity (reduced units)
+  /// Gap floor: xi is clamped below at this value so grazing contacts
+  /// produce a large-but-finite resistance (standard SD practice).
+  double min_gap_scaled = 1e-4;
+  /// Pairs with scaled gap above this contribute nothing (the paper's
+  /// lubrication cutoff; it controls nnzb/nb of the matrix).
+  double max_gap_scaled = 0.1;
+};
+
+/// Scalar resistance functions at scaled gap xi for radius ratio
+/// beta = b/a, in units of 6*pi*eta*a (Jeffrey–Onishi normalization).
+struct LubricationScalars {
+  double squeeze;  // X^A mode, ~ g1/xi + g2 log(1/xi)
+  double shear;    // Y^A mode, ~ g4 log(1/xi)
+};
+[[nodiscard]] LubricationScalars lubrication_scalars(double xi, double beta);
+
+/// The 3x3 pair tensor T such that the lubrication force on i is
+///   f_i = -T (u_i - u_j),   f_j = +T (u_i - u_j).
+/// `unit` points from j to i. Row-major 9 doubles into `out`.
+void lubrication_pair_tensor(const Vec3& unit, double radius_i,
+                             double radius_j, double gap,
+                             const LubricationParams& params,
+                             std::span<double, 9> out);
+
+/// True if this pair contributes lubrication blocks at all.
+[[nodiscard]] bool lubrication_active(double gap, double radius_i,
+                                      double radius_j,
+                                      const LubricationParams& params);
+
+/// Center distance below which a pair is active; the cell-list cutoff.
+[[nodiscard]] double lubrication_cutoff_distance(
+    double max_radius, const LubricationParams& params);
+
+}  // namespace mrhs::sd

@@ -1,0 +1,95 @@
+#include "sd/mobility_operator.hpp"
+
+#include <stdexcept>
+
+#include "sd/rpy.hpp"
+
+namespace mrhs::sd {
+
+void RpyMobilityOperator::apply(std::span<const double> x,
+                                std::span<double> y) const {
+  const std::size_t n = system_->size();
+  if (x.size() != 3 * n || y.size() != 3 * n) {
+    throw std::invalid_argument("RpyMobilityOperator: size mismatch");
+  }
+  const auto pos = system_->positions();
+  const auto radii = system_->radii();
+  const auto& box = system_->box();
+
+  double blk[9];
+  // Self terms.
+  for (std::size_t i = 0; i < n; ++i) {
+    rpy_self_tensor(radii[i], viscosity_, std::span<double, 9>(blk));
+    for (int r = 0; r < 3; ++r) {
+      y[3 * i + r] = blk[r * 3 + r] * x[3 * i + r];
+    }
+  }
+  // Pair terms: M is symmetric with symmetric 3x3 blocks, so one block
+  // serves both (i,j) and (j,i).
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const Vec3 rij = box.min_image(pos[i], pos[j]);
+      rpy_pair_tensor(rij, radii[i], radii[j], viscosity_,
+                      std::span<double, 9>(blk));
+      for (int r = 0; r < 3; ++r) {
+        double acc_i = 0.0, acc_j = 0.0;
+        for (int c = 0; c < 3; ++c) {
+          acc_i += blk[r * 3 + c] * x[3 * j + c];
+          acc_j += blk[c * 3 + r] * x[3 * i + c];
+        }
+        y[3 * i + r] += acc_i;
+        y[3 * j + r] += acc_j;
+      }
+    }
+  }
+  count(1);
+}
+
+void RpyMobilityOperator::apply_block(const sparse::MultiVector& x,
+                                      sparse::MultiVector& y) const {
+  const std::size_t n = system_->size();
+  const std::size_t m = x.cols();
+  if (x.rows() != 3 * n || y.rows() != 3 * n || y.cols() != m) {
+    throw std::invalid_argument("RpyMobilityOperator: shape mismatch");
+  }
+  const auto pos = system_->positions();
+  const auto radii = system_->radii();
+  const auto& box = system_->box();
+
+  double blk[9];
+  y.set_zero();
+  for (std::size_t i = 0; i < n; ++i) {
+    rpy_self_tensor(radii[i], viscosity_, std::span<double, 9>(blk));
+    for (int r = 0; r < 3; ++r) {
+      const double d = blk[r * 3 + r];
+      double* yr = y.data() + (3 * i + r) * m;
+      const double* xr = x.data() + (3 * i + r) * m;
+      for (std::size_t k = 0; k < m; ++k) yr[k] += d * xr[k];
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const Vec3 rij = box.min_image(pos[i], pos[j]);
+      rpy_pair_tensor(rij, radii[i], radii[j], viscosity_,
+                      std::span<double, 9>(blk));
+      for (int r = 0; r < 3; ++r) {
+        double* yi = y.data() + (3 * i + r) * m;
+        double* yj = y.data() + (3 * j + r) * m;
+        for (int c = 0; c < 3; ++c) {
+          const double a = blk[r * 3 + c];
+          const double at = blk[c * 3 + r];
+          const double* xj = x.data() + (3 * j + c) * m;
+          const double* xi = x.data() + (3 * i + c) * m;
+#pragma omp simd
+          for (std::size_t k = 0; k < m; ++k) {
+            yi[k] += a * xj[k];
+            yj[k] += at * xi[k];
+          }
+        }
+      }
+    }
+  }
+  count(static_cast<long>(m));
+}
+
+}  // namespace mrhs::sd

@@ -1,0 +1,35 @@
+// Matrix-free RPY mobility operator: y = M_inf x without forming the
+// dense matrix (O(n^2) per apply, O(n) memory). This powers the
+// Brownian dynamics comparator — the method the paper contrasts SD
+// with: BD uses the far-field mobility only and therefore "cannot
+// accurately model short-range forces".
+#pragma once
+
+#include "sd/particle_system.hpp"
+#include "solver/operator.hpp"
+
+namespace mrhs::sd {
+
+class RpyMobilityOperator final : public solver::LinearOperator {
+ public:
+  explicit RpyMobilityOperator(const ParticleSystem& system,
+                               double viscosity = 1.0)
+      : system_(&system), viscosity_(viscosity) {}
+
+  [[nodiscard]] std::size_t size() const override {
+    return 3 * system_->size();
+  }
+
+  void apply(std::span<const double> x, std::span<double> y) const override;
+
+  void apply_block(const sparse::MultiVector& x,
+                   sparse::MultiVector& y) const override;
+
+  [[nodiscard]] double viscosity() const { return viscosity_; }
+
+ private:
+  const ParticleSystem* system_;
+  double viscosity_;
+};
+
+}  // namespace mrhs::sd

@@ -1,0 +1,91 @@
+#include "sd/pair_correlation.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "sd/cell_list.hpp"
+
+namespace mrhs::sd {
+
+PairCorrelation pair_correlation(const ParticleSystem& system, double r_max,
+                                 std::size_t bins) {
+  const double box_len = system.box().length();
+  if (r_max <= 0.0 || r_max > 0.5 * box_len) {
+    throw std::invalid_argument(
+        "pair_correlation: r_max must be in (0, L/2]");
+  }
+  if (bins == 0) throw std::invalid_argument("pair_correlation: bins == 0");
+
+  PairCorrelation out;
+  out.bin_width = r_max / static_cast<double>(bins);
+  out.r.resize(bins);
+  out.g.assign(bins, 0.0);
+  for (std::size_t b = 0; b < bins; ++b) {
+    out.r[b] = (static_cast<double>(b) + 0.5) * out.bin_width;
+  }
+
+  const CellList cells(system, r_max);
+  cells.for_each_pair([&](const Pair& p) {
+    const auto bin = static_cast<std::size_t>(p.distance / out.bin_width);
+    if (bin < bins) out.g[bin] += 1.0;
+  });
+
+  // Normalize by the ideal-gas expectation: each ordered pair appears
+  // once here (i < j), so the reference count per bin is
+  //   n * rho * shell_volume / 2.
+  const double n = static_cast<double>(system.size());
+  const double rho = n / system.box().volume();
+  for (std::size_t b = 0; b < bins; ++b) {
+    const double r_lo = static_cast<double>(b) * out.bin_width;
+    const double r_hi = r_lo + out.bin_width;
+    const double shell = 4.0 / 3.0 * std::numbers::pi *
+                         (r_hi * r_hi * r_hi - r_lo * r_lo * r_lo);
+    const double expected = 0.5 * n * rho * shell;
+    out.g[b] = expected > 0.0 ? out.g[b] / expected : 0.0;
+  }
+  return out;
+}
+
+PairCorrelation gap_correlation(const ParticleSystem& system, double x_max,
+                                std::size_t bins) {
+  if (x_max <= 0.0) {
+    throw std::invalid_argument("gap_correlation: x_max <= 0");
+  }
+  if (bins == 0) throw std::invalid_argument("gap_correlation: bins == 0");
+
+  PairCorrelation out;
+  out.bin_width = x_max / static_cast<double>(bins);
+  out.r.resize(bins);
+  out.g.assign(bins, 0.0);
+  for (std::size_t b = 0; b < bins; ++b) {
+    out.r[b] = (static_cast<double>(b) + 0.5) * out.bin_width;
+  }
+
+  // Conservative center-distance cutoff covering the largest pair at
+  // scaled gap x_max (capped at L/2 for minimum-image validity).
+  const double cutoff =
+      std::min(2.0 * system.max_radius() * (1.0 + 0.5 * x_max),
+               0.499 * system.box().length());
+  const CellList cells(system, cutoff);
+  const auto radii = system.radii();
+  std::size_t pair_count = 0;
+  cells.for_each_pair([&](const Pair& p) {
+    const double mean_radius = 0.5 * (radii[p.i] + radii[p.j]);
+    const double x = p.gap / mean_radius;
+    if (x < 0.0 || x >= x_max) return;
+    const auto bin = static_cast<std::size_t>(x / out.bin_width);
+    out.g[bin] += 1.0;
+    ++pair_count;
+  });
+  // Normalize to unit mean over the populated range so the histogram
+  // is comparable across systems.
+  if (pair_count > 0) {
+    const double mean =
+        static_cast<double>(pair_count) / static_cast<double>(bins);
+    for (double& v : out.g) v /= mean;
+  }
+  return out;
+}
+
+}  // namespace mrhs::sd

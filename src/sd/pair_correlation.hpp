@@ -1,0 +1,34 @@
+// Radial distribution function g(r): the standard structural probe of
+// a suspension. Used to validate that the packer produces liquid-like
+// configurations (no crystalline artifacts, exclusion hole below
+// contact, g -> 1 at large separations) — the structure that the
+// resistance matrix statistics (nnzb/nb, conditioning) inherit.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sd/particle_system.hpp"
+
+namespace mrhs::sd {
+
+struct PairCorrelation {
+  std::vector<double> r;        // bin centers
+  std::vector<double> g;        // g(r) values
+  double bin_width = 0.0;
+};
+
+/// Histogram g(r) of center-center distances up to `r_max` (must be
+/// below half the box length so the minimum image is unambiguous).
+[[nodiscard]] PairCorrelation pair_correlation(const ParticleSystem& system,
+                                               double r_max,
+                                               std::size_t bins = 64);
+
+/// Same, normalized by *surface* separation scaled with the pair mean
+/// radius — the polydisperse analogue, aligned with the lubrication
+/// activity variable xi. g_xi(x) uses x = gap / mean_pair_radius.
+[[nodiscard]] PairCorrelation gap_correlation(const ParticleSystem& system,
+                                              double x_max,
+                                              std::size_t bins = 64);
+
+}  // namespace mrhs::sd

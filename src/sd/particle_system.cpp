@@ -1,0 +1,78 @@
+#include "sd/particle_system.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "sd/radii.hpp"
+
+namespace mrhs::sd {
+
+ParticleSystem::ParticleSystem(std::vector<Vec3> positions,
+                               std::vector<double> radii, PeriodicBox box)
+    : positions_(std::move(positions)),
+      radii_(std::move(radii)),
+      box_(box) {
+  if (positions_.size() != radii_.size()) {
+    throw std::invalid_argument("ParticleSystem: positions/radii mismatch");
+  }
+  for (auto& p : positions_) p = box_.wrap(p);
+  unwrapped_.assign(positions_.size(), Vec3{});
+}
+
+double ParticleSystem::max_radius() const {
+  double m = 0.0;
+  for (double r : radii_) m = std::max(m, r);
+  return m;
+}
+
+double ParticleSystem::volume_fraction() const {
+  return total_volume(radii_) / box_.volume();
+}
+
+void ParticleSystem::advance(std::span<const double> u, double dt,
+                             double max_step) {
+  if (u.size() != 3 * positions_.size()) {
+    throw std::invalid_argument("ParticleSystem::advance: velocity size");
+  }
+  for (std::size_t i = 0; i < positions_.size(); ++i) {
+    Vec3 d{u[3 * i] * dt, u[3 * i + 1] * dt, u[3 * i + 2] * dt};
+    if (max_step > 0.0) {
+      const double len = d.norm();
+      if (len > max_step) d *= max_step / len;
+    }
+    positions_[i] = box_.wrap(positions_[i] + d);
+    unwrapped_[i] += d;
+  }
+}
+
+double ParticleSystem::mean_squared_displacement() const {
+  if (unwrapped_.empty()) return 0.0;
+  double s = 0.0;
+  for (const auto& d : unwrapped_) s += d.norm2();
+  return s / static_cast<double>(unwrapped_.size());
+}
+
+double ParticleSystem::min_gap_bruteforce() const {
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < positions_.size(); ++i) {
+    for (std::size_t j = i + 1; j < positions_.size(); ++j) {
+      const Vec3 d = box_.min_image(positions_[i], positions_[j]);
+      best = std::min(best, d.norm() - radii_[i] - radii_[j]);
+    }
+  }
+  return best;
+}
+
+std::size_t ParticleSystem::overlap_count_bruteforce(double tolerance) const {
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < positions_.size(); ++i) {
+    for (std::size_t j = i + 1; j < positions_.size(); ++j) {
+      const Vec3 d = box_.min_image(positions_[i], positions_[j]);
+      if (d.norm() < radii_[i] + radii_[j] - tolerance) ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace mrhs::sd

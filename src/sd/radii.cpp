@@ -1,0 +1,81 @@
+#include "sd/radii.hpp"
+
+#include <array>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace mrhs::sd {
+
+namespace {
+// Paper Table IV: distribution of particle radii (Angstrom, percent).
+constexpr std::array<RadiusBin, 15> kEcoli = {{
+    {115.24, 0.0243},
+    {85.23, 0.0316},
+    {66.49, 0.0655},
+    {49.16, 0.0097},
+    {45.43, 0.0049},
+    {43.06, 0.0364},
+    {42.48, 0.0291},
+    {39.16, 0.0267},
+    {36.76, 0.0801},
+    {35.94, 0.0801},
+    {31.71, 0.1092},
+    {27.77, 0.2597},
+    {25.75, 0.0825},
+    {24.01, 0.0995},
+    {21.42, 0.0607},
+}};
+}  // namespace
+
+std::span<const RadiusBin> ecoli_cytoplasm_distribution() { return kEcoli; }
+
+double distribution_mean(std::span<const RadiusBin> bins) {
+  double mass = 0.0;
+  double mean = 0.0;
+  for (const auto& b : bins) {
+    mass += b.fraction;
+    mean += b.fraction * b.radius_angstrom;
+  }
+  if (mass <= 0.0) throw std::invalid_argument("distribution_mean: no mass");
+  return mean / mass;
+}
+
+std::vector<double> sample_radii(std::span<const RadiusBin> bins,
+                                 std::size_t count, std::uint64_t seed) {
+  if (bins.empty()) throw std::invalid_argument("sample_radii: empty bins");
+  const double mean = distribution_mean(bins);
+  double mass = 0.0;
+  for (const auto& b : bins) mass += b.fraction;
+
+  util::StreamRng rng(seed, /*stream=*/0x5ad11);
+  std::vector<double> out(count);
+  for (double& r : out) {
+    double u = rng.uniform() * mass;
+    double acc = 0.0;
+    r = bins.back().radius_angstrom / mean;
+    for (const auto& b : bins) {
+      acc += b.fraction;
+      if (u <= acc) {
+        r = b.radius_angstrom / mean;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+double total_volume(std::span<const double> radii) {
+  double v = 0.0;
+  for (double r : radii) v += r * r * r;
+  return 4.0 / 3.0 * std::numbers::pi * v;
+}
+
+double box_length_for_occupancy(std::span<const double> radii, double phi) {
+  if (phi <= 0.0 || phi >= 1.0) {
+    throw std::invalid_argument("box_length_for_occupancy: phi out of range");
+  }
+  return std::cbrt(total_volume(radii) / phi);
+}
+
+}  // namespace mrhs::sd

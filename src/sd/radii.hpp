@@ -1,0 +1,42 @@
+// Particle radius distributions, including the paper's Table IV:
+// the size distribution of proteins in the E. coli cytoplasm
+// (Ando & Skolnick 2010), used for all Stokesian dynamics workloads.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace mrhs::sd {
+
+/// One entry of a discrete radius distribution.
+struct RadiusBin {
+  double radius_angstrom;
+  double fraction;  // probability mass
+};
+
+/// The 15-bin E. coli cytoplasm protein distribution of paper Table IV.
+[[nodiscard]] std::span<const RadiusBin> ecoli_cytoplasm_distribution();
+
+/// Mean radius of a discrete distribution (Angstrom for Table IV).
+[[nodiscard]] double distribution_mean(std::span<const RadiusBin> bins);
+
+/// Sample `count` radii from `bins`, normalized so the distribution
+/// mean maps to 1.0 (the simulation length unit). Deterministic in
+/// `seed`; the sample histogram converges to the bin fractions.
+[[nodiscard]] std::vector<double> sample_radii(std::span<const RadiusBin> bins,
+                                               std::size_t count,
+                                               std::uint64_t seed);
+
+/// Total sphere volume of a set of radii.
+[[nodiscard]] double total_volume(std::span<const double> radii);
+
+/// Edge length of the cubic box that puts `radii` at volume
+/// occupancy `phi` (0 < phi < 1).
+[[nodiscard]] double box_length_for_occupancy(std::span<const double> radii,
+                                              double phi);
+
+}  // namespace mrhs::sd

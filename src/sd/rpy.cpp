@@ -1,0 +1,99 @@
+#include "sd/rpy.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace mrhs::sd {
+
+namespace {
+void outer_combination(const double d[3], double iso, double dd,
+                       std::span<double, 9> out) {
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      out[r * 3 + c] = dd * d[r] * d[c] + (r == c ? iso : 0.0);
+    }
+  }
+}
+}  // namespace
+
+void rpy_self_tensor(double radius, double viscosity,
+                     std::span<double, 9> out) {
+  const double mobility = 1.0 / (6.0 * std::numbers::pi * viscosity * radius);
+  const double d[3] = {0, 0, 0};
+  outer_combination(d, mobility, 0.0, out);
+}
+
+void rpy_pair_tensor(const Vec3& r, double radius_i, double radius_j,
+                     double viscosity, std::span<double, 9> out) {
+  const double dist = r.norm();
+  if (dist <= 0.0) {
+    throw std::invalid_argument("rpy_pair_tensor: coincident particles");
+  }
+  const double a = radius_i;
+  const double b = radius_j;
+  const double d[3] = {r.x / dist, r.y / dist, r.z / dist};
+  const double pre = 1.0 / (8.0 * std::numbers::pi * viscosity * dist);
+
+  if (dist > a + b) {
+    // Non-overlapping RPY for unequal spheres:
+    //   M = pre [ (1 + (a^2+b^2)/(3 r^2)) I + (1 - (a^2+b^2)/r^2) dd^T ]
+    const double s2 = (a * a + b * b) / (dist * dist);
+    const double iso = pre * (1.0 + s2 / 3.0);
+    const double dd = pre * (1.0 - s2);
+    outer_combination(d, iso, dd, out);
+    return;
+  }
+
+  // Overlapping correction (Rotne–Prager form, generalized with the
+  // larger-sphere interior limit): keeps M_inf positive semidefinite
+  // for configurations with overlap. For dist below |a-b| the smaller
+  // sphere is inside the larger: mobility of the bigger sphere.
+  const double amax = std::max(a, b);
+  if (dist <= std::abs(a - b)) {
+    const double iso = 1.0 / (6.0 * std::numbers::pi * viscosity * amax);
+    outer_combination(d, iso, 0.0, out);
+    return;
+  }
+  // Equal-radii-style interpolation on the overlap shell, using the
+  // mean radius; exact for a == b (Rotne & Prager 1969).
+  const double am = 0.5 * (a + b);
+  const double c0 = 1.0 / (6.0 * std::numbers::pi * viscosity * am);
+  const double iso = c0 * (1.0 - 9.0 * dist / (32.0 * am));
+  const double dd = c0 * (3.0 * dist / (32.0 * am));
+  outer_combination(d, iso, dd, out);
+}
+
+dense::Matrix rpy_mobility_dense(const ParticleSystem& system,
+                                 double viscosity) {
+  const std::size_t n = system.size();
+  if (3 * n > 4096) {
+    throw std::runtime_error("rpy_mobility_dense: system too large");
+  }
+  dense::Matrix m(3 * n, 3 * n);
+  const auto pos = system.positions();
+  const auto radii = system.radii();
+  double blk[9];
+  for (std::size_t i = 0; i < n; ++i) {
+    rpy_self_tensor(radii[i], viscosity, std::span<double, 9>(blk));
+    for (std::size_t r = 0; r < 3; ++r) {
+      for (std::size_t c = 0; c < 3; ++c) {
+        m(3 * i + r, 3 * i + c) = blk[r * 3 + c];
+      }
+    }
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const Vec3 rij = system.box().min_image(pos[i], pos[j]);
+      rpy_pair_tensor(rij, radii[i], radii[j], viscosity,
+                      std::span<double, 9>(blk));
+      for (std::size_t r = 0; r < 3; ++r) {
+        for (std::size_t c = 0; c < 3; ++c) {
+          m(3 * i + r, 3 * j + c) = blk[r * 3 + c];
+          m(3 * j + r, 3 * i + c) = blk[c * 3 + r];
+        }
+      }
+    }
+  }
+  return m;
+}
+
+}  // namespace mrhs::sd

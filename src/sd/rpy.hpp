@@ -1,0 +1,36 @@
+// Rotne–Prager–Yamakawa far-field mobility tensors.
+//
+// The paper's full Stokesian dynamics resistance is
+// R = (M_inf)^{-1} + R_lub, where M_inf is the dense far-field mobility
+// whose 3x3 blocks are Oseen or RPY tensors. The production sparse
+// path replaces (M_inf)^{-1} with mu_F I, but the substrate still
+// provides RPY so small systems can be run with the full model (tests,
+// examples, and accuracy comparisons of the sparse approximation).
+#pragma once
+
+#include <span>
+
+#include "dense/matrix.hpp"
+#include "sd/particle_system.hpp"
+#include "sd/vec3.hpp"
+
+namespace mrhs::sd {
+
+/// RPY pair mobility block (3x3, row-major) for spheres of radii a, b
+/// separated by `r` = x_i - x_j (minimum image already applied).
+/// Uses the unequal-radii generalization, including the overlapping
+/// correction that keeps M_inf positive definite for equal radii.
+void rpy_pair_tensor(const Vec3& r, double radius_i, double radius_j,
+                     double viscosity, std::span<double, 9> out);
+
+/// Self-mobility block: I / (6 pi eta a).
+void rpy_self_tensor(double radius, double viscosity,
+                     std::span<double, 9> out);
+
+/// Dense far-field mobility M_inf for a small system (3n x 3n); throws
+/// above 1365 particles (4096 scalar rows). Open boundary conditions:
+/// images are ignored, pair displacement uses the minimum image.
+[[nodiscard]] dense::Matrix rpy_mobility_dense(const ParticleSystem& system,
+                                               double viscosity = 1.0);
+
+}  // namespace mrhs::sd

@@ -1,0 +1,88 @@
+// Minimal 3-vector for particle kinematics.
+#pragma once
+
+#include <cmath>
+
+namespace mrhs::sd {
+
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  Vec3& operator+=(const Vec3& o) {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+  Vec3& operator-=(const Vec3& o) {
+    x -= o.x;
+    y -= o.y;
+    z -= o.z;
+    return *this;
+  }
+  Vec3& operator*=(double s) {
+    x *= s;
+    y *= s;
+    z *= s;
+    return *this;
+  }
+
+  friend Vec3 operator+(Vec3 a, const Vec3& b) { return a += b; }
+  friend Vec3 operator-(Vec3 a, const Vec3& b) { return a -= b; }
+  friend Vec3 operator*(double s, Vec3 a) { return a *= s; }
+  friend Vec3 operator*(Vec3 a, double s) { return a *= s; }
+
+  [[nodiscard]] double dot(const Vec3& o) const {
+    return x * o.x + y * o.y + z * o.z;
+  }
+  [[nodiscard]] double norm2() const { return dot(*this); }
+  [[nodiscard]] double norm() const { return std::sqrt(norm2()); }
+};
+
+/// Periodic cubic box of edge length `length` with corner at the origin.
+class PeriodicBox {
+ public:
+  PeriodicBox() = default;
+  explicit PeriodicBox(double length) : length_(length) {}
+
+  [[nodiscard]] double length() const { return length_; }
+  [[nodiscard]] double volume() const { return length_ * length_ * length_; }
+
+  /// Wrap a coordinate into [0, L).
+  [[nodiscard]] double wrap1(double v) const {
+    v = std::fmod(v, length_);
+    return v < 0.0 ? v + length_ : v;
+  }
+
+  [[nodiscard]] Vec3 wrap(Vec3 p) const {
+    return {wrap1(p.x), wrap1(p.y), wrap1(p.z)};
+  }
+
+  /// Minimum-image displacement a - b. Branchless-friendly fast path
+  /// for coordinates already wrapped into [0, L) (|d| < L); falls back
+  /// to the general reduction otherwise.
+  [[nodiscard]] Vec3 min_image(const Vec3& a, const Vec3& b) const {
+    const double half = 0.5 * length_;
+    Vec3 d = a - b;
+    if (d.x > half) d.x -= length_;
+    if (d.x < -half) d.x += length_;
+    if (d.y > half) d.y -= length_;
+    if (d.y < -half) d.y += length_;
+    if (d.z > half) d.z -= length_;
+    if (d.z < -half) d.z += length_;
+    if (std::abs(d.x) > half || std::abs(d.y) > half ||
+        std::abs(d.z) > half) {
+      d.x -= length_ * std::nearbyint(d.x / length_);
+      d.y -= length_ * std::nearbyint(d.y / length_);
+      d.z -= length_ * std::nearbyint(d.z / length_);
+    }
+    return d;
+  }
+
+ private:
+  double length_ = 0.0;
+};
+
+}  // namespace mrhs::sd

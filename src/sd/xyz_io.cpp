@@ -1,0 +1,73 @@
+#include "sd/xyz_io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace mrhs::sd {
+
+void write_xyz_frame(std::ostream& out, const ParticleSystem& system,
+                     const std::string& comment) {
+  const double box_len = system.box().length();
+  out << system.size() << '\n';
+  out << "Lattice=\"" << box_len << " 0 0 0 " << box_len << " 0 0 0 "
+      << box_len << "\" Properties=species:S:1:pos:R:3:radius:R:1";
+  if (!comment.empty()) out << ' ' << comment;
+  out << '\n';
+  out << std::setprecision(12);
+  const auto pos = system.positions();
+  const auto radii = system.radii();
+  for (std::size_t i = 0; i < system.size(); ++i) {
+    out << "P " << pos[i].x << ' ' << pos[i].y << ' ' << pos[i].z << ' '
+        << radii[i] << '\n';
+  }
+}
+
+std::vector<XyzFrame> read_xyz(std::istream& in) {
+  std::vector<XyzFrame> frames;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::size_t count = 0;
+    try {
+      count = std::stoul(line);
+    } catch (const std::exception&) {
+      throw std::runtime_error("read_xyz: bad particle count line: " + line);
+    }
+    XyzFrame frame;
+    if (!std::getline(in, frame.comment)) {
+      throw std::runtime_error("read_xyz: missing comment line");
+    }
+    // Box length from Lattice="L 0 0 ..." when present.
+    const auto lattice = frame.comment.find("Lattice=\"");
+    if (lattice != std::string::npos) {
+      std::istringstream ls(frame.comment.substr(lattice + 9));
+      ls >> frame.box_length;
+    }
+    frame.positions.resize(count);
+    frame.radii.resize(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      if (!std::getline(in, line)) {
+        throw std::runtime_error("read_xyz: truncated frame");
+      }
+      std::istringstream ps(line);
+      std::string species;
+      if (!(ps >> species >> frame.positions[i].x >> frame.positions[i].y >>
+            frame.positions[i].z >> frame.radii[i])) {
+        throw std::runtime_error("read_xyz: bad particle line: " + line);
+      }
+    }
+    frames.push_back(std::move(frame));
+  }
+  return frames;
+}
+
+void append_xyz_file(const std::string& path, const ParticleSystem& system,
+                     const std::string& comment) {
+  std::ofstream out(path, std::ios::app);
+  if (!out) throw std::runtime_error("append_xyz_file: cannot open " + path);
+  write_xyz_frame(out, system, comment);
+}
+
+}  // namespace mrhs::sd

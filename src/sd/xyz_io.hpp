@@ -1,0 +1,36 @@
+// Extended-XYZ trajectory output (and a minimal reader for round-trip
+// tests). One frame per time step; columns: element tag, x, y, z,
+// radius. Loads directly into OVITO/VMD for visual inspection of the
+// packed suspensions and trajectories.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sd/particle_system.hpp"
+
+namespace mrhs::sd {
+
+/// Append one frame to `out`. `comment` lands on the XYZ comment line
+/// together with the box length (Lattice=...).
+void write_xyz_frame(std::ostream& out, const ParticleSystem& system,
+                     const std::string& comment = "");
+
+/// A parsed frame.
+struct XyzFrame {
+  std::vector<Vec3> positions;
+  std::vector<double> radii;
+  double box_length = 0.0;
+  std::string comment;
+};
+
+/// Read every frame from the stream; throws std::runtime_error on
+/// malformed input.
+[[nodiscard]] std::vector<XyzFrame> read_xyz(std::istream& in);
+
+/// Convenience: append a frame to a file (creates it if missing).
+void append_xyz_file(const std::string& path, const ParticleSystem& system,
+                     const std::string& comment = "");
+
+}  // namespace mrhs::sd

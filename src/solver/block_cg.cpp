@@ -1,0 +1,119 @@
+#include "solver/block_cg.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "dense/matrix.hpp"
+
+namespace mrhs::solver {
+
+namespace {
+
+/// Cholesky with a ridge retry: block CG's P^T A P can become
+/// numerically singular when columns of P are nearly dependent.
+dense::Cholesky factor_with_repair(dense::Matrix g, double rel_ridge,
+                                   std::size_t* repairs) {
+  double trace = 0.0;
+  for (std::size_t i = 0; i < g.rows(); ++i) trace += g(i, i);
+  const double base =
+      rel_ridge * (trace > 0.0 ? trace / static_cast<double>(g.rows()) : 1.0);
+  double ridge = 0.0;
+  for (int attempt = 0; attempt < 6; ++attempt) {
+    try {
+      if (ridge > 0.0) {
+        for (std::size_t i = 0; i < g.rows(); ++i) g(i, i) += ridge;
+        ++*repairs;
+      }
+      return dense::Cholesky(g);
+    } catch (const std::runtime_error&) {
+      ridge = (ridge == 0.0) ? base : ridge * 100.0;
+    }
+  }
+  throw std::runtime_error("block_cg: persistent breakdown in P^T A P");
+}
+
+}  // namespace
+
+BlockCgResult block_conjugate_gradient(const LinearOperator& a,
+                                       const sparse::MultiVector& b,
+                                       sparse::MultiVector& x,
+                                       const BlockCgOptions& opts) {
+  const std::size_t n = a.size();
+  const std::size_t m = b.cols();
+  if (b.rows() != n || x.rows() != n || x.cols() != m || m == 0) {
+    throw std::invalid_argument("block_cg: shape mismatch");
+  }
+
+  sparse::MultiVector r(n, m), p(n, m), q(n, m);
+  std::vector<double> b_norms(m);
+  b.col_norms(b_norms);
+
+  // R = B - A X.
+  a.apply_block(x, r);
+  axpby(1.0, b, -1.0, r);
+
+  BlockCgResult result;
+  result.relative_residuals.assign(m, 0.0);
+
+  // Classic rho-based block CG (O'Leary): per iteration one GSPMV and
+  // two Gram matrices; residual norms come free from diag(rho).
+  dense::Matrix rho = gram(r, r);
+  auto all_converged = [&]() {
+    bool ok = true;
+    for (std::size_t j = 0; j < m; ++j) {
+      const double denom = b_norms[j] > 0.0 ? b_norms[j] : 1.0;
+      result.relative_residuals[j] =
+          std::sqrt(std::max(rho(j, j), 0.0)) / denom;
+      if (result.relative_residuals[j] > opts.tol) ok = false;
+    }
+    return ok;
+  };
+
+  if (all_converged()) {
+    result.converged = true;
+    return result;
+  }
+
+  p = r;
+  for (std::size_t it = 0; it < opts.max_iters; ++it) {
+    a.apply_block(p, q);                       // Q = A P
+    dense::Matrix paq = gram(p, q);            // P^T A P
+    const dense::Cholesky chol =
+        factor_with_repair(paq, opts.breakdown_ridge,
+                           &result.breakdown_repairs);
+
+    // alpha = (P^T A P)^{-1} R^T R  (P^T R = R^T R by construction).
+    dense::Matrix alpha = rho;
+    chol.solve_in_place(alpha);
+
+    add_multiplied(x, p, alpha);               // X += P alpha
+    // R -= Q alpha.
+    dense::Matrix neg_alpha = alpha;
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t j = 0; j < m; ++j) neg_alpha(i, j) = -alpha(i, j);
+    }
+    add_multiplied(r, q, neg_alpha);
+
+    dense::Matrix rho_next = gram(r, r);
+    result.iterations = it + 1;
+    dense::Matrix rho_prev = rho;
+    rho = rho_next;
+    if (all_converged()) {
+      result.converged = true;
+      break;
+    }
+
+    // beta = rho_prev^{-1} rho_next.
+    const dense::Cholesky chol_rho =
+        factor_with_repair(rho_prev, opts.breakdown_ridge,
+                           &result.breakdown_repairs);
+    dense::Matrix beta = rho;
+    chol_rho.solve_in_place(beta);
+    // P = R + P beta, in place (no large per-iteration allocation).
+    multiply_in_place_right(p, beta);
+    p.axpy(1.0, r);
+  }
+  return result;
+}
+
+}  // namespace mrhs::solver

@@ -1,0 +1,135 @@
+#include "solver/cg.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "solver/preconditioner.hpp"
+#include "util/stats.hpp"
+
+namespace mrhs::solver {
+
+CgResult conjugate_gradient(const LinearOperator& a, std::span<const double> b,
+                            std::span<double> x, const CgOptions& opts) {
+  const std::size_t n = a.size();
+  if (b.size() != n || x.size() != n) {
+    throw std::invalid_argument("conjugate_gradient: size mismatch");
+  }
+
+  std::vector<double> r(n), p(n), q(n);
+
+  // r = b - A x (x is the initial guess).
+  a.apply(x, r);
+  for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
+
+  const double b_norm = util::norm2(b);
+  CgResult result;
+  if (b_norm == 0.0) {
+    std::fill(x.begin(), x.end(), 0.0);
+    result.converged = true;
+    return result;
+  }
+
+  double rr = 0.0;
+  for (double v : r) rr += v * v;
+  double res_norm = std::sqrt(rr);
+  if (res_norm <= opts.tol * b_norm) {
+    result.converged = true;
+    result.relative_residual = res_norm / b_norm;
+    return result;
+  }
+
+  p.assign(r.begin(), r.end());
+  for (std::size_t it = 0; it < opts.max_iters; ++it) {
+    a.apply(p, q);
+    double pq = 0.0;
+    for (std::size_t i = 0; i < n; ++i) pq += p[i] * q[i];
+    if (pq <= 0.0) {
+      // Loss of positive definiteness (should not happen for SPD A);
+      // bail out with the current iterate.
+      break;
+    }
+    const double alpha = rr / pq;
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] += alpha * p[i];
+      r[i] -= alpha * q[i];
+    }
+    double rr_new = 0.0;
+    for (double v : r) rr_new += v * v;
+    result.iterations = it + 1;
+    res_norm = std::sqrt(rr_new);
+    if (res_norm <= opts.tol * b_norm) {
+      result.converged = true;
+      break;
+    }
+    const double beta = rr_new / rr;
+    for (std::size_t i = 0; i < n; ++i) p[i] = r[i] + beta * p[i];
+    rr = rr_new;
+  }
+  result.relative_residual = res_norm / b_norm;
+  return result;
+}
+
+CgResult preconditioned_conjugate_gradient(const LinearOperator& a,
+                                           const Preconditioner& precond,
+                                           std::span<const double> b,
+                                           std::span<double> x,
+                                           const CgOptions& opts) {
+  const std::size_t n = a.size();
+  if (b.size() != n || x.size() != n || precond.size() != n) {
+    throw std::invalid_argument("pcg: size mismatch");
+  }
+
+  std::vector<double> r(n), z(n), p(n), q(n);
+
+  a.apply(x, r);
+  for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
+
+  const double b_norm = util::norm2(b);
+  CgResult result;
+  if (b_norm == 0.0) {
+    std::fill(x.begin(), x.end(), 0.0);
+    result.converged = true;
+    return result;
+  }
+
+  double res_norm = util::norm2(r);
+  if (res_norm <= opts.tol * b_norm) {
+    result.converged = true;
+    result.relative_residual = res_norm / b_norm;
+    return result;
+  }
+
+  precond.apply(r, z);
+  p.assign(z.begin(), z.end());
+  double rz = 0.0;
+  for (std::size_t i = 0; i < n; ++i) rz += r[i] * z[i];
+
+  for (std::size_t it = 0; it < opts.max_iters; ++it) {
+    a.apply(p, q);
+    double pq = 0.0;
+    for (std::size_t i = 0; i < n; ++i) pq += p[i] * q[i];
+    if (pq <= 0.0) break;
+    const double alpha = rz / pq;
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] += alpha * p[i];
+      r[i] -= alpha * q[i];
+    }
+    result.iterations = it + 1;
+    res_norm = util::norm2(r);
+    if (res_norm <= opts.tol * b_norm) {
+      result.converged = true;
+      break;
+    }
+    precond.apply(r, z);
+    double rz_new = 0.0;
+    for (std::size_t i = 0; i < n; ++i) rz_new += r[i] * z[i];
+    const double beta = rz_new / rz;
+    for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+    rz = rz_new;
+  }
+  result.relative_residual = res_norm / b_norm;
+  return result;
+}
+
+}  // namespace mrhs::solver

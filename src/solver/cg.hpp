@@ -1,0 +1,42 @@
+// Conjugate gradients for SPD systems, with initial-guess support.
+//
+// The stopping rule matches the paper: iterate until the residual norm
+// drops below `tol` times the norm of the right-hand side.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "solver/operator.hpp"
+
+namespace mrhs::solver {
+
+struct CgOptions {
+  double tol = 1e-6;       // relative residual target (paper's 1e-6)
+  std::size_t max_iters = 1000;
+};
+
+struct CgResult {
+  std::size_t iterations = 0;
+  bool converged = false;
+  double relative_residual = 0.0;
+};
+
+/// Solve A x = b. `x` carries the initial guess in and the solution
+/// out. Counts an iteration per A-application after the initial
+/// residual evaluation.
+CgResult conjugate_gradient(const LinearOperator& a, std::span<const double> b,
+                            std::span<double> x, const CgOptions& opts = {});
+
+class Preconditioner;
+
+/// Preconditioned CG: same contract, with M^{-1}-applications from
+/// `precond` each iteration. Stopping is still on the true residual
+/// norm so results are comparable with the unpreconditioned solver.
+CgResult preconditioned_conjugate_gradient(const LinearOperator& a,
+                                           const Preconditioner& precond,
+                                           std::span<const double> b,
+                                           std::span<double> x,
+                                           const CgOptions& opts = {});
+
+}  // namespace mrhs::solver

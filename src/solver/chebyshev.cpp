@@ -1,0 +1,134 @@
+#include "solver/chebyshev.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace mrhs::solver {
+
+ChebyshevSqrt::ChebyshevSqrt(EigBounds bounds, std::size_t order)
+    : bounds_(bounds), coeffs_(order + 1, 0.0) {
+  if (bounds_.lambda_min <= 0.0 || bounds_.lambda_max <= bounds_.lambda_min) {
+    throw std::invalid_argument("ChebyshevSqrt: bad spectral interval");
+  }
+  // Chebyshev–Gauss interpolation of f(t) = sqrt(t) mapped to [-1, 1]:
+  //   c_j = (2/K) sum_k f(t(cos(theta_k))) cos(j theta_k),
+  // with theta_k = pi (k + 1/2) / K at K = order + 1 nodes.
+  const std::size_t K = order + 1;
+  const double half_width = 0.5 * (bounds_.lambda_max - bounds_.lambda_min);
+  const double center = 0.5 * (bounds_.lambda_max + bounds_.lambda_min);
+  for (std::size_t j = 0; j <= order; ++j) {
+    double sum = 0.0;
+    for (std::size_t k = 0; k < K; ++k) {
+      const double theta = std::numbers::pi *
+                           (static_cast<double>(k) + 0.5) /
+                           static_cast<double>(K);
+      const double t = center + half_width * std::cos(theta);
+      sum += std::sqrt(t) * std::cos(static_cast<double>(j) * theta);
+    }
+    coeffs_[j] = 2.0 * sum / static_cast<double>(K);
+  }
+}
+
+double ChebyshevSqrt::evaluate_scalar(double t) const {
+  const double half_width = 0.5 * (bounds_.lambda_max - bounds_.lambda_min);
+  const double center = 0.5 * (bounds_.lambda_max + bounds_.lambda_min);
+  const double x = (t - center) / half_width;
+  // Clenshaw recurrence.
+  double b1 = 0.0, b2 = 0.0;
+  for (std::size_t j = coeffs_.size(); j-- > 1;) {
+    const double b0 = coeffs_[j] + 2.0 * x * b1 - b2;
+    b2 = b1;
+    b1 = b0;
+  }
+  return 0.5 * coeffs_[0] + x * b1 - b2;
+}
+
+double ChebyshevSqrt::max_interval_error(std::size_t samples) const {
+  double worst = 0.0;
+  for (std::size_t s = 0; s < samples; ++s) {
+    const double t = bounds_.lambda_min +
+                     (bounds_.lambda_max - bounds_.lambda_min) *
+                         static_cast<double>(s) /
+                         static_cast<double>(samples - 1);
+    worst = std::max(worst, std::abs(evaluate_scalar(t) - std::sqrt(t)));
+  }
+  return worst;
+}
+
+void ChebyshevSqrt::apply(const LinearOperator& a, std::span<const double> z,
+                          std::span<double> y) const {
+  const std::size_t n = a.size();
+  if (z.size() != n || y.size() != n) {
+    throw std::invalid_argument("ChebyshevSqrt::apply: size mismatch");
+  }
+  const double half_width = 0.5 * (bounds_.lambda_max - bounds_.lambda_min);
+  const double center = 0.5 * (bounds_.lambda_max + bounds_.lambda_min);
+  const double scale = 1.0 / half_width;
+  const double shift = center / half_width;
+
+  // Three-term recurrence on T_k(M) z with M = (A - center I)/half_width:
+  //   t0 = z; t1 = M z; t_{k+1} = 2 M t_k - t_{k-1}.
+  std::vector<double> t0(z.begin(), z.end());
+  std::vector<double> t1(n), t2(n), az(n);
+
+  for (std::size_t i = 0; i < n; ++i) y[i] = 0.5 * coeffs_[0] * t0[i];
+  if (coeffs_.size() == 1) return;
+
+  a.apply(t0, az);
+  for (std::size_t i = 0; i < n; ++i) t1[i] = scale * az[i] - shift * t0[i];
+  for (std::size_t i = 0; i < n; ++i) y[i] += coeffs_[1] * t1[i];
+
+  for (std::size_t k = 2; k < coeffs_.size(); ++k) {
+    a.apply(t1, az);
+    for (std::size_t i = 0; i < n; ++i) {
+      t2[i] = 2.0 * (scale * az[i] - shift * t1[i]) - t0[i];
+    }
+    for (std::size_t i = 0; i < n; ++i) y[i] += coeffs_[k] * t2[i];
+    std::swap(t0, t1);
+    std::swap(t1, t2);
+  }
+}
+
+void ChebyshevSqrt::apply_block(const LinearOperator& a,
+                                const sparse::MultiVector& z,
+                                sparse::MultiVector& y) const {
+  const std::size_t n = a.size();
+  const std::size_t m = z.cols();
+  if (z.rows() != n || y.rows() != n || y.cols() != m) {
+    throw std::invalid_argument("ChebyshevSqrt::apply_block: shape mismatch");
+  }
+  const double half_width = 0.5 * (bounds_.lambda_max - bounds_.lambda_min);
+  const double center = 0.5 * (bounds_.lambda_max + bounds_.lambda_min);
+  const double scale = 1.0 / half_width;
+  const double shift = center / half_width;
+
+  sparse::MultiVector t0 = z;
+  sparse::MultiVector t1(n, m), t2(n, m), az(n, m);
+
+  y.set_zero();
+  y.axpy(0.5 * coeffs_[0], t0);
+  if (coeffs_.size() == 1) return;
+
+  a.apply_block(t0, az);
+  t1.set_zero();
+  t1.axpy(scale, az);
+  t1.axpy(-shift, t0);
+  y.axpy(coeffs_[1], t1);
+
+  for (std::size_t k = 2; k < coeffs_.size(); ++k) {
+    a.apply_block(t1, az);
+    // t2 = 2 (scale az - shift t1) - t0.
+    t2.set_zero();
+    t2.axpy(2.0 * scale, az);
+    t2.axpy(-2.0 * shift, t1);
+    t2.axpy(-1.0, t0);
+    y.axpy(coeffs_[k], t2);
+    std::swap(t0, t1);
+    std::swap(t1, t2);
+  }
+}
+
+}  // namespace mrhs::solver

@@ -1,0 +1,53 @@
+// Shifted Chebyshev polynomial approximation of the matrix square root.
+//
+// Stokesian/Brownian dynamics needs f_B = sqrt(R) z without ever
+// forming sqrt(R) (Fixman 1986). We build the degree-C Chebyshev
+// interpolant S of sqrt(.) on a spectral interval [a, b] of R; applying
+// S(R) z then costs C products of R with a vector — or, in the MRHS
+// algorithm, C GSPMVs with the whole block Z.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "solver/lanczos.hpp"
+#include "solver/operator.hpp"
+#include "sparse/multivector.hpp"
+
+namespace mrhs::solver {
+
+class ChebyshevSqrt {
+ public:
+  /// Interpolant of sqrt on [bounds.lambda_min, bounds.lambda_max] of
+  /// degree `order` (the paper uses order = 30).
+  ChebyshevSqrt(EigBounds bounds, std::size_t order = 30);
+
+  [[nodiscard]] std::size_t order() const { return coeffs_.size() - 1; }
+  [[nodiscard]] const EigBounds& bounds() const { return bounds_; }
+  [[nodiscard]] std::span<const double> coefficients() const {
+    return coeffs_;
+  }
+
+  /// Evaluate the scalar polynomial S(t) (for accuracy checks).
+  [[nodiscard]] double evaluate_scalar(double t) const;
+
+  /// Max |S(t) - sqrt(t)| sampled over the interval; the paper picks
+  /// the order so this is below the Brownian-force accuracy target.
+  [[nodiscard]] double max_interval_error(std::size_t samples = 2048) const;
+
+  /// y = S(A) z using `order` operator applications.
+  void apply(const LinearOperator& a, std::span<const double> z,
+             std::span<double> y) const;
+
+  /// Y = S(A) Z column-block-wise via GSPMV (the "Cheb vectors" phase
+  /// of the MRHS algorithm).
+  void apply_block(const LinearOperator& a, const sparse::MultiVector& z,
+                   sparse::MultiVector& y) const;
+
+ private:
+  EigBounds bounds_;
+  std::vector<double> coeffs_;
+};
+
+}  // namespace mrhs::solver

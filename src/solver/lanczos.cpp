@@ -1,0 +1,86 @@
+#include "solver/lanczos.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "dense/matrix.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace mrhs::solver {
+
+EigBounds lanczos_bounds(const LinearOperator& a, const LanczosOptions& opts) {
+  const std::size_t n = a.size();
+  const std::size_t k = std::min(opts.steps, n);
+  if (k == 0) throw std::invalid_argument("lanczos_bounds: empty operator");
+
+  util::StreamRng rng(opts.seed);
+  std::vector<std::vector<double>> basis;  // full reorthogonalization
+  basis.reserve(k);
+
+  std::vector<double> v(n), w(n);
+  rng.fill_normal(v);
+  {
+    const double nv = util::norm2(v);
+    for (double& x : v) x /= nv;
+  }
+
+  std::vector<double> alpha, beta;  // tridiagonal entries
+  alpha.reserve(k);
+  beta.reserve(k);
+
+  for (std::size_t j = 0; j < k; ++j) {
+    basis.push_back(v);
+    a.apply(v, w);
+    double aj = 0.0;
+    for (std::size_t i = 0; i < n; ++i) aj += v[i] * w[i];
+    alpha.push_back(aj);
+
+    // w = w - alpha_j v - beta_{j-1} v_{j-1}, then full reorthogonalize.
+    for (std::size_t i = 0; i < n; ++i) w[i] -= aj * v[i];
+    if (j > 0) {
+      const double bj = beta.back();
+      const auto& prev = basis[j - 1];
+      for (std::size_t i = 0; i < n; ++i) w[i] -= bj * prev[i];
+    }
+    for (const auto& u : basis) {
+      double proj = 0.0;
+      for (std::size_t i = 0; i < n; ++i) proj += u[i] * w[i];
+      for (std::size_t i = 0; i < n; ++i) w[i] -= proj * u[i];
+    }
+
+    const double bnext = util::norm2(w);
+    if (bnext < 1e-14 || j + 1 == k) break;
+    beta.push_back(bnext);
+    for (std::size_t i = 0; i < n; ++i) v[i] = w[i] / bnext;
+  }
+
+  const std::size_t steps = alpha.size();
+  dense::Matrix t(steps, steps);
+  for (std::size_t i = 0; i < steps; ++i) {
+    t(i, i) = alpha[i];
+    if (i + 1 < steps) {
+      t(i, i + 1) = beta[i];
+      t(i + 1, i) = beta[i];
+    }
+  }
+  const dense::EigenSym es = dense::eigen_symmetric(t);
+
+  EigBounds bounds;
+  bounds.lambda_min = es.eigenvalues.front();
+  bounds.lambda_max = es.eigenvalues.back();
+  // Ritz values underestimate the spread; widen by the safety margin.
+  bounds.lambda_min =
+      std::max(bounds.lambda_min * (1.0 - opts.safety_margin), 0.0);
+  bounds.lambda_max *= 1.0 + opts.safety_margin;
+  if (bounds.lambda_min <= 0.0) {
+    // SPD operators must have a positive interval; fall back to a tiny
+    // positive floor relative to lambda_max.
+    bounds.lambda_min = 1e-8 * bounds.lambda_max;
+  }
+  return bounds;
+}
+
+}  // namespace mrhs::solver

@@ -1,0 +1,32 @@
+// Lanczos estimation of the extreme eigenvalues of an SPD operator.
+//
+// The Chebyshev square-root approximation needs a spectral interval
+// [lambda_min, lambda_max] containing the spectrum of R. A short
+// Lanczos run with full reorthogonalization gives tight Ritz bounds,
+// which are then widened by a safety margin.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "solver/operator.hpp"
+
+namespace mrhs::solver {
+
+struct EigBounds {
+  double lambda_min = 0.0;
+  double lambda_max = 0.0;
+};
+
+struct LanczosOptions {
+  std::size_t steps = 30;
+  /// Interval is widened to [lambda_min*(1-margin), lambda_max*(1+margin)].
+  double safety_margin = 0.05;
+  std::uint64_t seed = 0x9d2c5680;
+};
+
+/// Estimate the spectral interval of SPD operator `a`.
+EigBounds lanczos_bounds(const LinearOperator& a,
+                         const LanczosOptions& opts = {});
+
+}  // namespace mrhs::solver

@@ -1,0 +1,73 @@
+// Abstract SPD linear operator used by all iterative methods.
+//
+// The solvers only ever need y = A x (single vector) and Y = A X
+// (multivector, the GSPMV path); concrete operators wrap a BCRS matrix,
+// a dense matrix (tests), or the distributed-matrix simulation.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "sparse/bcrs.hpp"
+#include "sparse/gspmv.hpp"
+#include "sparse/multivector.hpp"
+
+namespace mrhs::solver {
+
+class LinearOperator {
+ public:
+  virtual ~LinearOperator() = default;
+
+  /// Square dimension of the operator.
+  [[nodiscard]] virtual std::size_t size() const = 0;
+
+  /// y = A x
+  virtual void apply(std::span<const double> x, std::span<double> y) const = 0;
+
+  /// Y = A X (block of x.cols() vectors).
+  virtual void apply_block(const sparse::MultiVector& x,
+                           sparse::MultiVector& y) const = 0;
+
+  /// Number of apply calls so far, weighted by vector count — i.e. the
+  /// total number of (sparse matrix) x (one vector) products. This is
+  /// what the paper counts when it reports solver cost in SPMVs.
+  [[nodiscard]] long applications() const { return applications_; }
+  void reset_application_count() { applications_ = 0; }
+
+ protected:
+  void count(long vectors) const { applications_ += vectors; }
+
+ private:
+  mutable long applications_ = 0;
+};
+
+/// LinearOperator view over a BCRS matrix via the GSPMV engine.
+class BcrsOperator final : public LinearOperator {
+ public:
+  explicit BcrsOperator(const sparse::BcrsMatrix& a, int threads = 0,
+                        sparse::GspmvKernel kernel = sparse::GspmvKernel::kAuto)
+      : engine_(a, threads), kernel_(kernel) {}
+
+  [[nodiscard]] std::size_t size() const override {
+    return engine_.matrix().rows();
+  }
+
+  void apply(std::span<const double> x, std::span<double> y) const override {
+    engine_.apply(x, y);
+    count(1);
+  }
+
+  void apply_block(const sparse::MultiVector& x,
+                   sparse::MultiVector& y) const override {
+    engine_.apply(x, y, kernel_);
+    count(static_cast<long>(x.cols()));
+  }
+
+  [[nodiscard]] const sparse::GspmvEngine& engine() const { return engine_; }
+
+ private:
+  sparse::GspmvEngine engine_;
+  sparse::GspmvKernel kernel_;
+};
+
+}  // namespace mrhs::solver

@@ -1,0 +1,96 @@
+#include "solver/preconditioner.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mrhs::solver {
+
+void IdentityPreconditioner::apply(std::span<const double> r,
+                                   std::span<double> z) const {
+  if (r.size() != n_ || z.size() != n_) {
+    throw std::invalid_argument("IdentityPreconditioner: size mismatch");
+  }
+  std::copy(r.begin(), r.end(), z.begin());
+}
+
+void IdentityPreconditioner::apply_block(const sparse::MultiVector& r,
+                                         sparse::MultiVector& z) const {
+  if (r.rows() != n_ || z.rows() != n_ || r.cols() != z.cols()) {
+    throw std::invalid_argument("IdentityPreconditioner: shape mismatch");
+  }
+  std::copy(r.data(), r.data() + r.rows() * r.cols(), z.data());
+}
+
+namespace {
+
+/// Invert a 3x3 SPD matrix via the adjugate; throws on a (numerically)
+/// singular block.
+void invert3x3(const double* a, double* out) {
+  const double c00 = a[4] * a[8] - a[5] * a[7];
+  const double c01 = a[5] * a[6] - a[3] * a[8];
+  const double c02 = a[3] * a[7] - a[4] * a[6];
+  const double det = a[0] * c00 + a[1] * c01 + a[2] * c02;
+  if (!(std::abs(det) > 1e-300)) {
+    throw std::runtime_error("BlockJacobi: singular diagonal block");
+  }
+  const double inv_det = 1.0 / det;
+  out[0] = c00 * inv_det;
+  out[1] = (a[2] * a[7] - a[1] * a[8]) * inv_det;
+  out[2] = (a[1] * a[5] - a[2] * a[4]) * inv_det;
+  out[3] = c01 * inv_det;
+  out[4] = (a[0] * a[8] - a[2] * a[6]) * inv_det;
+  out[5] = (a[2] * a[3] - a[0] * a[5]) * inv_det;
+  out[6] = c02 * inv_det;
+  out[7] = (a[1] * a[6] - a[0] * a[7]) * inv_det;
+  out[8] = (a[0] * a[4] - a[1] * a[3]) * inv_det;
+}
+
+}  // namespace
+
+BlockJacobiPreconditioner::BlockJacobiPreconditioner(
+    const sparse::BcrsMatrix& a)
+    : blocks_(a.block_rows()), inverses_(a.block_rows() * 9, 0.0) {
+  const auto diags = a.diagonal_blocks();
+  for (std::size_t i = 0; i < blocks_; ++i) {
+    invert3x3(diags.data() + 9 * i, inverses_.data() + 9 * i);
+  }
+}
+
+void BlockJacobiPreconditioner::apply(std::span<const double> r,
+                                      std::span<double> z) const {
+  if (r.size() != size() || z.size() != size()) {
+    throw std::invalid_argument("BlockJacobi: size mismatch");
+  }
+  for (std::size_t i = 0; i < blocks_; ++i) {
+    const double* inv = inverses_.data() + 9 * i;
+    const double r0 = r[3 * i], r1 = r[3 * i + 1], r2 = r[3 * i + 2];
+    z[3 * i + 0] = inv[0] * r0 + inv[1] * r1 + inv[2] * r2;
+    z[3 * i + 1] = inv[3] * r0 + inv[4] * r1 + inv[5] * r2;
+    z[3 * i + 2] = inv[6] * r0 + inv[7] * r1 + inv[8] * r2;
+  }
+}
+
+void BlockJacobiPreconditioner::apply_block(const sparse::MultiVector& r,
+                                            sparse::MultiVector& z) const {
+  if (r.rows() != size() || z.rows() != size() || r.cols() != z.cols()) {
+    throw std::invalid_argument("BlockJacobi: shape mismatch");
+  }
+  const std::size_t m = r.cols();
+  for (std::size_t i = 0; i < blocks_; ++i) {
+    const double* inv = inverses_.data() + 9 * i;
+    const double* r0 = r.data() + (3 * i + 0) * m;
+    const double* r1 = r.data() + (3 * i + 1) * m;
+    const double* r2 = r.data() + (3 * i + 2) * m;
+    double* z0 = z.data() + (3 * i + 0) * m;
+    double* z1 = z.data() + (3 * i + 1) * m;
+    double* z2 = z.data() + (3 * i + 2) * m;
+#pragma omp simd
+    for (std::size_t j = 0; j < m; ++j) {
+      z0[j] = inv[0] * r0[j] + inv[1] * r1[j] + inv[2] * r2[j];
+      z1[j] = inv[3] * r0[j] + inv[4] * r1[j] + inv[5] * r2[j];
+      z2[j] = inv[6] * r0[j] + inv[7] * r1[j] + inv[8] * r2[j];
+    }
+  }
+}
+
+}  // namespace mrhs::solver

@@ -1,0 +1,85 @@
+#include "solver/projection_guess.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "dense/matrix.hpp"
+
+namespace mrhs::solver {
+
+ProjectionGuess::ProjectionGuess(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+void ProjectionGuess::observe(std::span<const double> solution) {
+  if (!window_.empty() && solution.size() != window_.front().size()) {
+    throw std::invalid_argument("ProjectionGuess: dimension changed");
+  }
+  window_.emplace_back(solution.begin(), solution.end());
+  while (window_.size() > capacity_) window_.pop_front();
+}
+
+bool ProjectionGuess::make_guess(const LinearOperator& a,
+                                 std::span<const double> b,
+                                 std::span<double> x0) const {
+  const std::size_t n = a.size();
+  if (b.size() != n || x0.size() != n) {
+    throw std::invalid_argument("ProjectionGuess: size mismatch");
+  }
+  std::fill(x0.begin(), x0.end(), 0.0);
+  if (window_.empty()) return false;
+  if (window_.front().size() != n) {
+    throw std::invalid_argument("ProjectionGuess: window dimension mismatch");
+  }
+
+  const std::size_t k = window_.size();
+  // G = U^T A U and rhs = U^T b.
+  std::vector<std::vector<double>> au(k, std::vector<double>(n));
+  for (std::size_t j = 0; j < k; ++j) a.apply(window_[j], au[j]);
+
+  dense::Matrix g(k, k);
+  std::vector<double> rhs(k, 0.0);
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = 0; j < k; ++j) {
+      double s = 0.0;
+      for (std::size_t t = 0; t < n; ++t) s += window_[i][t] * au[j][t];
+      g(i, j) = s;
+    }
+    double s = 0.0;
+    for (std::size_t t = 0; t < n; ++t) s += window_[i][t] * b[t];
+    rhs[i] = s;
+  }
+  // Symmetrize (A SPD makes G symmetric up to roundoff).
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = i + 1; j < k; ++j) {
+      const double v = 0.5 * (g(i, j) + g(j, i));
+      g(i, j) = v;
+      g(j, i) = v;
+    }
+  }
+
+  // Nearly dependent window vectors make G singular; add a relative
+  // ridge and give up if even that fails.
+  double trace = 0.0;
+  for (std::size_t i = 0; i < k; ++i) trace += g(i, i);
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    try {
+      const dense::Cholesky chol(g);
+      chol.solve_in_place(rhs);
+      for (std::size_t j = 0; j < k; ++j) {
+        const double coef = rhs[j];
+        const auto& u = window_[j];
+        for (std::size_t t = 0; t < n; ++t) x0[t] += coef * u[t];
+      }
+      return true;
+    } catch (const std::runtime_error&) {
+      const double ridge =
+          (trace > 0.0 ? trace / static_cast<double>(k) : 1.0) * 1e-10 *
+          std::pow(100.0, attempt);
+      for (std::size_t i = 0; i < k; ++i) g(i, i) += ridge;
+    }
+  }
+  std::fill(x0.begin(), x0.end(), 0.0);
+  return false;
+}
+
+}  // namespace mrhs::solver

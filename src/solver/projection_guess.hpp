@@ -1,0 +1,46 @@
+// Subspace-projection initial guesses — the lightweight end of the
+// "recycling Krylov subspaces" family the paper cites (Parks, de
+// Sturler et al.) as the second technique for sequences of slowly
+// varying systems.
+//
+// A window of previous solutions U is retained; for a new system
+// A x = b the starting guess is the Galerkin minimizer over span(U):
+//   x0 = U (U^T A U)^{-1} U^T b,
+// which costs k operator applications for a window of k vectors. This
+// composes with (and is orthogonal to) the MRHS guesses: MRHS predicts
+// *forward* from one augmented solve, projection recycles *backward*
+// from past solutions.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <span>
+#include <vector>
+
+#include "solver/operator.hpp"
+
+namespace mrhs::solver {
+
+class ProjectionGuess {
+ public:
+  explicit ProjectionGuess(std::size_t capacity = 8);
+
+  /// Record a converged solution (oldest entries are evicted).
+  void observe(std::span<const double> solution);
+
+  [[nodiscard]] std::size_t window_size() const { return window_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  void clear() { window_.clear(); }
+
+  /// Fill `x0` with the Galerkin guess for A x = b. Returns false (and
+  /// zeroes x0) when the window is empty or the projected system is
+  /// numerically singular. Costs window_size() applications of `a`.
+  bool make_guess(const LinearOperator& a, std::span<const double> b,
+                  std::span<double> x0) const;
+
+ private:
+  std::size_t capacity_;
+  std::deque<std::vector<double>> window_;
+};
+
+}  // namespace mrhs::solver

@@ -1,0 +1,43 @@
+#include "solver/refinement.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace mrhs::solver {
+
+RefinementResult iterative_refinement(
+    const LinearOperator& a, std::span<const double> b, std::span<double> x,
+    const std::function<void(std::span<double>)>& approximate_solve,
+    double tol, std::size_t max_iters) {
+  const std::size_t n = a.size();
+  if (b.size() != n || x.size() != n) {
+    throw std::invalid_argument("iterative_refinement: size mismatch");
+  }
+  const double b_norm = util::norm2(b);
+  RefinementResult result;
+  if (b_norm == 0.0) {
+    std::fill(x.begin(), x.end(), 0.0);
+    result.converged = true;
+    return result;
+  }
+
+  std::vector<double> r(n);
+  for (std::size_t it = 0; it <= max_iters; ++it) {
+    a.apply(x, r);
+    for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
+    result.relative_residual = util::norm2(r) / b_norm;
+    if (result.relative_residual <= tol) {
+      result.converged = true;
+      return result;
+    }
+    if (it == max_iters) break;
+    approximate_solve(r);  // r <- (approx A)^{-1} r
+    for (std::size_t i = 0; i < n; ++i) x[i] += r[i];
+    result.iterations = it + 1;
+  }
+  return result;
+}
+
+}  // namespace mrhs::solver

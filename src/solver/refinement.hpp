@@ -1,0 +1,31 @@
+// Iterative refinement with a frozen approximate inverse.
+//
+// The paper's Cholesky-based SD path factors R_k once per step and
+// reuses the factor for the midpoint solve with R_{k+1/2} via a few
+// refinement sweeps — "only one Cholesky factorization, rather than
+// two, is needed per time step."
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+
+#include "solver/operator.hpp"
+
+namespace mrhs::solver {
+
+struct RefinementResult {
+  std::size_t iterations = 0;
+  bool converged = false;
+  double relative_residual = 0.0;
+};
+
+/// Solve a x = b by repeated correction with `approximate_solve`,
+/// which overwrites its argument with (approx A)^{-1} * argument.
+/// `x` carries the initial guess in and the solution out.
+RefinementResult iterative_refinement(
+    const LinearOperator& a, std::span<const double> b, std::span<double> x,
+    const std::function<void(std::span<double>)>& approximate_solve,
+    double tol = 1e-6, std::size_t max_iters = 50);
+
+}  // namespace mrhs::solver

@@ -1,0 +1,33 @@
+#include "solver/reusable_preconditioner.hpp"
+
+#include <stdexcept>
+
+namespace mrhs::solver {
+
+const Preconditioner& ReusablePreconditioner::get(
+    const sparse::BcrsMatrix& current) {
+  if (rebuild_pending_ || !cached_) {
+    cached_ = std::make_unique<BlockJacobiPreconditioner>(current);
+    rebuild_pending_ = false;
+    have_baseline_ = false;  // next report sets the fresh baseline
+    ++rebuilds_;
+  }
+  return *cached_;
+}
+
+void ReusablePreconditioner::report(std::size_t iterations) {
+  if (!cached_) {
+    throw std::logic_error("ReusablePreconditioner: report before get");
+  }
+  if (!have_baseline_) {
+    baseline_iterations_ = iterations;
+    have_baseline_ = true;
+    return;
+  }
+  if (static_cast<double>(iterations) >
+      degradation_ * static_cast<double>(baseline_iterations_)) {
+    rebuild_pending_ = true;
+  }
+}
+
+}  // namespace mrhs::solver

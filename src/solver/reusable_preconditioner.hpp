@@ -1,0 +1,46 @@
+// Reusable preconditioner with a degradation-triggered rebuild policy —
+// the paper's technique #1 for sequences of slowly varying systems:
+// "invest in constructing a preconditioner that can be reused for
+// solving with many matrices. As the matrices evolve, the
+// preconditioner is recomputed when the convergence rate has
+// sufficiently degraded."
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "solver/preconditioner.hpp"
+#include "sparse/bcrs.hpp"
+
+namespace mrhs::solver {
+
+class ReusablePreconditioner {
+ public:
+  /// `degradation`: rebuild once the observed iteration count exceeds
+  /// this factor times the count right after the last rebuild.
+  explicit ReusablePreconditioner(double degradation = 1.3)
+      : degradation_(degradation) {}
+
+  /// Preconditioner for the current matrix of the sequence. Builds on
+  /// first use; afterwards returns the cached one until report()
+  /// triggers a rebuild.
+  const Preconditioner& get(const sparse::BcrsMatrix& current);
+
+  /// Report the iteration count of the solve just performed with the
+  /// returned preconditioner; schedules a rebuild when convergence has
+  /// degraded past the threshold.
+  void report(std::size_t iterations);
+
+  [[nodiscard]] std::size_t rebuilds() const { return rebuilds_; }
+  [[nodiscard]] bool rebuild_pending() const { return rebuild_pending_; }
+
+ private:
+  double degradation_;
+  std::unique_ptr<BlockJacobiPreconditioner> cached_;
+  bool rebuild_pending_ = true;  // no preconditioner yet
+  std::size_t baseline_iterations_ = 0;
+  bool have_baseline_ = false;
+  std::size_t rebuilds_ = 0;
+};
+
+}  // namespace mrhs::solver

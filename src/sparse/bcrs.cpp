@@ -1,0 +1,259 @@
+#include "sparse/bcrs.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstring>
+#include <map>
+#include <set>
+#include <stdexcept>
+
+#include "dense/matrix.hpp"
+#include "sparse/csr.hpp"
+#include "util/rng.hpp"
+
+namespace mrhs::sparse {
+
+BcrsMatrix::BcrsMatrix(std::size_t block_rows, std::size_t block_cols,
+                       std::vector<std::int64_t> row_ptr,
+                       std::vector<std::int32_t> col_idx,
+                       util::AlignedVector<double> values)
+    : block_rows_(block_rows),
+      block_cols_(block_cols),
+      row_ptr_(std::move(row_ptr)),
+      col_idx_(std::move(col_idx)),
+      values_(std::move(values)) {
+  if (row_ptr_.size() != block_rows_ + 1 ||
+      values_.size() != col_idx_.size() * kBlockSize ||
+      static_cast<std::size_t>(row_ptr_.back()) != col_idx_.size()) {
+    throw std::invalid_argument("BcrsMatrix: inconsistent structure");
+  }
+}
+
+CsrMatrix BcrsMatrix::to_csr() const {
+  CooBuilder coo(rows(), cols());
+  for (std::size_t bi = 0; bi < block_rows_; ++bi) {
+    for (std::int64_t p = row_ptr_[bi]; p < row_ptr_[bi + 1]; ++p) {
+      const std::size_t bj = col_idx_[p];
+      const double* blk = block(p);
+      for (std::size_t r = 0; r < kBlockDim; ++r) {
+        for (std::size_t c = 0; c < kBlockDim; ++c) {
+          const double v = blk[r * kBlockDim + c];
+          if (v != 0.0) {
+            coo.add(bi * kBlockDim + r, bj * kBlockDim + c, v);
+          }
+        }
+      }
+    }
+  }
+  return coo.build();
+}
+
+dense::Matrix BcrsMatrix::to_dense() const {
+  if (rows() > 4096 || cols() > 4096) {
+    throw std::runtime_error("BcrsMatrix::to_dense: matrix too large");
+  }
+  dense::Matrix out(rows(), cols());
+  for (std::size_t bi = 0; bi < block_rows_; ++bi) {
+    for (std::int64_t p = row_ptr_[bi]; p < row_ptr_[bi + 1]; ++p) {
+      const std::size_t bj = col_idx_[p];
+      const double* blk = block(p);
+      for (std::size_t r = 0; r < kBlockDim; ++r) {
+        for (std::size_t c = 0; c < kBlockDim; ++c) {
+          out(bi * kBlockDim + r, bj * kBlockDim + c) +=
+              blk[r * kBlockDim + c];
+        }
+      }
+    }
+  }
+  return out;
+}
+
+double BcrsMatrix::asymmetry() const {
+  if (block_rows_ != block_cols_) {
+    throw std::invalid_argument("asymmetry: matrix not square");
+  }
+  // Map from (brow, bcol) to block pointer for transpose lookup.
+  std::map<std::pair<std::size_t, std::size_t>, const double*> index;
+  for (std::size_t bi = 0; bi < block_rows_; ++bi) {
+    for (std::int64_t p = row_ptr_[bi]; p < row_ptr_[bi + 1]; ++p) {
+      index[{bi, static_cast<std::size_t>(col_idx_[p])}] = block(p);
+    }
+  }
+  double worst = 0.0;
+  for (const auto& [key, blk] : index) {
+    const auto [bi, bj] = key;
+    auto it = index.find({bj, bi});
+    for (std::size_t r = 0; r < kBlockDim; ++r) {
+      for (std::size_t c = 0; c < kBlockDim; ++c) {
+        const double a = blk[r * kBlockDim + c];
+        const double at =
+            it == index.end() ? 0.0 : it->second[c * kBlockDim + r];
+        worst = std::max(worst, std::abs(a - at));
+      }
+    }
+  }
+  return worst;
+}
+
+util::AlignedVector<double> BcrsMatrix::diagonal_blocks() const {
+  util::AlignedVector<double> out(block_rows_ * kBlockSize, 0.0);
+  for (std::size_t bi = 0; bi < block_rows_; ++bi) {
+    double* dst = out.data() + bi * kBlockSize;
+    bool found = false;
+    for (std::int64_t p = row_ptr_[bi]; p < row_ptr_[bi + 1]; ++p) {
+      if (static_cast<std::size_t>(col_idx_[p]) == bi) {
+        std::memcpy(dst, block(p), kBlockSize * sizeof(double));
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      for (std::size_t r = 0; r < kBlockDim; ++r) dst[r * kBlockDim + r] = 1.0;
+    }
+  }
+  return out;
+}
+
+BcrsBuilder::BcrsBuilder(std::size_t block_rows, std::size_t block_cols)
+    : block_rows_(block_rows), block_cols_(block_cols) {}
+
+void BcrsBuilder::add_block(std::size_t brow, std::size_t bcol,
+                            std::span<const double, kBlockSize> blk) {
+  if (brow >= block_rows_ || bcol >= block_cols_) {
+    throw std::out_of_range("BcrsBuilder::add_block: index out of range");
+  }
+  Entry e;
+  e.brow = static_cast<std::int64_t>(brow);
+  e.bcol = static_cast<std::int32_t>(bcol);
+  std::memcpy(e.block, blk.data(), sizeof(e.block));
+  entries_.push_back(e);
+}
+
+void BcrsBuilder::add_scaled_identity(std::size_t brow, double value) {
+  double blk[kBlockSize] = {value, 0, 0, 0, value, 0, 0, 0, value};
+  add_block(brow, brow, std::span<const double, kBlockSize>(blk));
+}
+
+BcrsMatrix BcrsBuilder::build() const {
+  // Sort compact (key, index) pairs instead of permuting through the
+  // 88-byte entries — assembly rebuilds this structure twice per SD
+  // time step, so the sort is hot.
+  std::vector<std::uint64_t> keyed(entries_.size());
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    keyed[i] = (static_cast<std::uint64_t>(entries_[i].brow) << 32) |
+               static_cast<std::uint64_t>(
+                   static_cast<std::uint32_t>(entries_[i].bcol));
+  }
+  std::vector<std::uint32_t> order(entries_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    order[i] = static_cast<std::uint32_t>(i);
+  }
+  std::sort(order.begin(), order.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              return keyed[a] != keyed[b] ? keyed[a] < keyed[b] : a < b;
+            });
+
+  std::vector<std::int64_t> row_ptr(block_rows_ + 1, 0);
+  std::vector<std::int32_t> col_idx;
+  util::AlignedVector<double> values;
+  col_idx.reserve(entries_.size());
+  values.reserve(entries_.size() * kBlockSize);
+
+  for (std::size_t i = 0; i < order.size();) {
+    const std::uint64_t key = keyed[order[i]];
+    const Entry& first = entries_[order[i]];
+    double acc[kBlockSize] = {};
+    std::size_t j = i;
+    while (j < order.size() && keyed[order[j]] == key) {
+      const Entry& e = entries_[order[j]];
+      for (std::size_t k = 0; k < kBlockSize; ++k) acc[k] += e.block[k];
+      ++j;
+    }
+    col_idx.push_back(first.bcol);
+    values.insert(values.end(), acc, acc + kBlockSize);
+    row_ptr[first.brow + 1] += 1;
+    i = j;
+  }
+  for (std::size_t r = 0; r < block_rows_; ++r) row_ptr[r + 1] += row_ptr[r];
+
+  return BcrsMatrix(block_rows_, block_cols_, std::move(row_ptr),
+                    std::move(col_idx), std::move(values));
+}
+
+BcrsMatrix csr_to_bcrs(const CsrMatrix& csr) {
+  if (csr.rows() % kBlockDim != 0 || csr.cols() % kBlockDim != 0) {
+    throw std::invalid_argument("csr_to_bcrs: dims not divisible by 3");
+  }
+  BcrsBuilder builder(csr.rows() / kBlockDim, csr.cols() / kBlockDim);
+  const auto row_ptr = csr.row_ptr();
+  const auto col_idx = csr.col_idx();
+  const auto vals = csr.values();
+  // Gather scalar entries into per-(brow,bcol) blocks.
+  std::map<std::pair<std::size_t, std::size_t>,
+           std::array<double, kBlockSize>>
+      blocks;
+  for (std::size_t i = 0; i < csr.rows(); ++i) {
+    for (std::int64_t p = row_ptr[i]; p < row_ptr[i + 1]; ++p) {
+      const std::size_t j = col_idx[p];
+      auto& blk = blocks[{i / kBlockDim, j / kBlockDim}];
+      blk[(i % kBlockDim) * kBlockDim + (j % kBlockDim)] += vals[p];
+    }
+  }
+  for (const auto& [key, blk] : blocks) {
+    builder.add_block(key.first, key.second,
+                      std::span<const double, kBlockSize>(blk));
+  }
+  return builder.build();
+}
+
+BcrsMatrix make_random_bcrs(std::size_t block_rows, double blocks_per_row,
+                            std::uint64_t seed, bool symmetric,
+                            double diagonal_boost) {
+  util::StreamRng rng(seed);
+  BcrsBuilder builder(block_rows, block_rows);
+
+  // Choose off-diagonal partners per block row; for the symmetric case
+  // each chosen pair contributes a block and its transpose.
+  const std::size_t off_per_row = static_cast<std::size_t>(std::max(
+      0.0, symmetric ? (blocks_per_row - 1.0) / 2.0 : blocks_per_row - 1.0));
+  std::vector<double> row_weight(block_rows, 0.0);
+
+  for (std::size_t bi = 0; bi < block_rows; ++bi) {
+    std::set<std::size_t> partners;
+    while (partners.size() < off_per_row && block_rows > 1) {
+      const std::size_t bj =
+          static_cast<std::size_t>(rng.uniform() * block_rows) % block_rows;
+      if (bj != bi) partners.insert(bj);
+    }
+    for (std::size_t bj : partners) {
+      double blk[kBlockSize];
+      for (double& v : blk) v = rng.uniform(-1.0, 1.0);
+      builder.add_block(bi, bj, std::span<const double, kBlockSize>(blk));
+      double sum = 0.0;
+      for (double v : blk) sum += std::abs(v);
+      row_weight[bi] += sum;
+      if (symmetric) {
+        double blk_t[kBlockSize];
+        for (std::size_t r = 0; r < kBlockDim; ++r) {
+          for (std::size_t c = 0; c < kBlockDim; ++c) {
+            blk_t[c * kBlockDim + r] = blk[r * kBlockDim + c];
+          }
+        }
+        builder.add_block(bj, bi, std::span<const double, kBlockSize>(blk_t));
+        row_weight[bj] += sum;
+      }
+    }
+  }
+  // Diagonally dominant diagonal blocks make the matrix SPD so the same
+  // generator feeds the solver tests.
+  for (std::size_t bi = 0; bi < block_rows; ++bi) {
+    double blk[kBlockSize] = {};
+    const double d = diagonal_boost * (row_weight[bi] + 1.0);
+    for (std::size_t r = 0; r < kBlockDim; ++r) blk[r * kBlockDim + r] = d;
+    builder.add_block(bi, bi, std::span<const double, kBlockSize>(blk));
+  }
+  return builder.build();
+}
+
+}  // namespace mrhs::sparse

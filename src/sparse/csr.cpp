@@ -1,0 +1,94 @@
+#include "sparse/csr.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "dense/matrix.hpp"
+
+namespace mrhs::sparse {
+
+CsrMatrix::CsrMatrix(std::size_t rows, std::size_t cols,
+                     std::vector<std::int64_t> row_ptr,
+                     std::vector<std::int32_t> col_idx,
+                     util::AlignedVector<double> values)
+    : rows_(rows),
+      cols_(cols),
+      row_ptr_(std::move(row_ptr)),
+      col_idx_(std::move(col_idx)),
+      values_(std::move(values)) {
+  if (row_ptr_.size() != rows_ + 1 || col_idx_.size() != values_.size() ||
+      static_cast<std::size_t>(row_ptr_.back()) != values_.size()) {
+    throw std::invalid_argument("CsrMatrix: inconsistent structure");
+  }
+}
+
+void CsrMatrix::multiply(std::span<const double> x,
+                         std::span<double> y) const {
+  if (x.size() != cols_ || y.size() != rows_) {
+    throw std::invalid_argument("CsrMatrix::multiply: shape mismatch");
+  }
+  for (std::size_t i = 0; i < rows_; ++i) {
+    double s = 0.0;
+    for (std::int64_t p = row_ptr_[i]; p < row_ptr_[i + 1]; ++p) {
+      s += values_[p] * x[col_idx_[p]];
+    }
+    y[i] = s;
+  }
+}
+
+dense::Matrix CsrMatrix::to_dense() const {
+  if (rows_ > 4096 || cols_ > 4096) {
+    throw std::runtime_error("CsrMatrix::to_dense: matrix too large");
+  }
+  dense::Matrix out(rows_, cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::int64_t p = row_ptr_[i]; p < row_ptr_[i + 1]; ++p) {
+      out(i, col_idx_[p]) += values_[p];
+    }
+  }
+  return out;
+}
+
+CooBuilder::CooBuilder(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols) {}
+
+void CooBuilder::add(std::size_t row, std::size_t col, double value) {
+  if (row >= rows_ || col >= cols_) {
+    throw std::out_of_range("CooBuilder::add: index out of range");
+  }
+  entries_.push_back(Entry{static_cast<std::int64_t>(row),
+                           static_cast<std::int32_t>(col), value});
+}
+
+CsrMatrix CooBuilder::build() const {
+  std::vector<Entry> sorted = entries_;
+  std::sort(sorted.begin(), sorted.end(), [](const Entry& a, const Entry& b) {
+    return a.row != b.row ? a.row < b.row : a.col < b.col;
+  });
+
+  std::vector<std::int64_t> row_ptr(rows_ + 1, 0);
+  std::vector<std::int32_t> col_idx;
+  util::AlignedVector<double> values;
+  col_idx.reserve(sorted.size());
+  values.reserve(sorted.size());
+
+  for (std::size_t i = 0; i < sorted.size();) {
+    std::size_t j = i;
+    double sum = 0.0;
+    while (j < sorted.size() && sorted[j].row == sorted[i].row &&
+           sorted[j].col == sorted[i].col) {
+      sum += sorted[j].value;
+      ++j;
+    }
+    col_idx.push_back(sorted[i].col);
+    values.push_back(sum);
+    row_ptr[sorted[i].row + 1] += 1;
+    i = j;
+  }
+  for (std::size_t r = 0; r < rows_; ++r) row_ptr[r + 1] += row_ptr[r];
+
+  return CsrMatrix(rows_, cols_, std::move(row_ptr), std::move(col_idx),
+                   std::move(values));
+}
+
+}  // namespace mrhs::sparse

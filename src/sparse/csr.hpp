@@ -1,0 +1,76 @@
+// Scalar Compressed Sparse Row matrix and a coordinate-format builder.
+//
+// CSR is the generality/testing format here; the production format for
+// Stokesian dynamics matrices is the 3x3 Block CSR in bcrs.hpp.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/aligned.hpp"
+
+namespace mrhs::dense {
+class Matrix;
+}
+
+namespace mrhs::sparse {
+
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+  CsrMatrix(std::size_t rows, std::size_t cols,
+            std::vector<std::int64_t> row_ptr,
+            std::vector<std::int32_t> col_idx,
+            util::AlignedVector<double> values);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] std::size_t nnz() const { return values_.size(); }
+
+  [[nodiscard]] std::span<const std::int64_t> row_ptr() const {
+    return row_ptr_;
+  }
+  [[nodiscard]] std::span<const std::int32_t> col_idx() const {
+    return col_idx_;
+  }
+  [[nodiscard]] std::span<const double> values() const { return values_; }
+  [[nodiscard]] std::span<double> values() { return values_; }
+
+  /// y = A x
+  void multiply(std::span<const double> x, std::span<double> y) const;
+
+  /// Dense copy (tests only; throws above 4096 rows/cols).
+  [[nodiscard]] dense::Matrix to_dense() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::int64_t> row_ptr_;
+  std::vector<std::int32_t> col_idx_;
+  util::AlignedVector<double> values_;
+};
+
+/// Accumulating coordinate-format builder: duplicate (row, col) entries
+/// are summed, rows are sorted by column on build.
+class CooBuilder {
+ public:
+  CooBuilder(std::size_t rows, std::size_t cols);
+
+  void add(std::size_t row, std::size_t col, double value);
+
+  [[nodiscard]] CsrMatrix build() const;
+
+ private:
+  struct Entry {
+    std::int64_t row;
+    std::int32_t col;
+    double value;
+  };
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace mrhs::sparse

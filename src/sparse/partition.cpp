@@ -1,0 +1,52 @@
+#include "sparse/partition.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sparse/bcrs.hpp"
+
+namespace mrhs::sparse {
+
+std::vector<RowRange> balanced_row_partition(const BcrsMatrix& a,
+                                             std::size_t parts) {
+  if (parts == 0) throw std::invalid_argument("partition: parts == 0");
+  const auto row_ptr = a.row_ptr();
+  const std::size_t nb = a.block_rows();
+  const double total = static_cast<double>(a.nnzb());
+
+  std::vector<RowRange> out(parts);
+  std::size_t row = 0;
+  for (std::size_t p = 0; p < parts; ++p) {
+    out[p].begin = row;
+    if (p + 1 == parts) {
+      row = nb;  // last part takes whatever remains
+    } else {
+      // Walk rows until the running nnzb prefix crosses the target for
+      // the end of part p. Rows are never split across parts.
+      const double target =
+          total * static_cast<double>(p + 1) / static_cast<double>(parts);
+      while (row < nb && static_cast<double>(row_ptr[row + 1]) < target) {
+        ++row;
+      }
+    }
+    out[p].end = row;
+  }
+  return out;
+}
+
+double partition_imbalance(const BcrsMatrix& a,
+                           const std::vector<RowRange>& parts) {
+  if (parts.empty()) throw std::invalid_argument("partition_imbalance: empty");
+  const auto row_ptr = a.row_ptr();
+  std::size_t max_nnzb = 0;
+  for (const auto& r : parts) {
+    const std::size_t nnzb =
+        static_cast<std::size_t>(row_ptr[r.end] - row_ptr[r.begin]);
+    max_nnzb = std::max(max_nnzb, nnzb);
+  }
+  const double mean =
+      static_cast<double>(a.nnzb()) / static_cast<double>(parts.size());
+  return mean == 0.0 ? 1.0 : static_cast<double>(max_nnzb) / mean;
+}
+
+}  // namespace mrhs::sparse

@@ -1,0 +1,31 @@
+// Nonzero-balanced row-block partitioning.
+//
+// Used twice: (1) to assign contiguous block-row ranges to OpenMP
+// threads inside the GSPMV engine, and (2) as the naive comparator for
+// the cluster substrate's coordinate-based partitioner.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mrhs::sparse {
+
+class BcrsMatrix;
+
+/// Half-open block-row range [begin, end).
+struct RowRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  [[nodiscard]] std::size_t size() const { return end - begin; }
+};
+
+/// Split the block rows of `a` into `parts` contiguous ranges so the
+/// stored nonzero blocks are as evenly distributed as possible.
+std::vector<RowRange> balanced_row_partition(const BcrsMatrix& a,
+                                             std::size_t parts);
+
+/// Max-over-parts nnzb divided by mean nnzb; 1.0 means perfect balance.
+double partition_imbalance(const BcrsMatrix& a,
+                           const std::vector<RowRange>& parts);
+
+}  // namespace mrhs::sparse

@@ -1,0 +1,59 @@
+// Aligned storage primitives.
+//
+// All hot-path arrays (matrix blocks, multivectors) are 64-byte aligned
+// so the SIMD kernels can use aligned loads and whole cache lines are
+// owned by one array.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <limits>
+#include <new>
+#include <vector>
+
+namespace mrhs::util {
+
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+/// Minimal C++17 allocator returning 64-byte aligned memory.
+template <class T, std::size_t Alignment = kCacheLineBytes>
+class AlignedAllocator {
+ public:
+  using value_type = T;
+  static constexpr std::align_val_t alignment{Alignment};
+
+  AlignedAllocator() noexcept = default;
+  template <class U>
+  explicit AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  template <class U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    if (n > std::numeric_limits<std::size_t>::max() / sizeof(T)) {
+      throw std::bad_alloc();
+    }
+    return static_cast<T*>(::operator new(n * sizeof(T), alignment));
+  }
+
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, alignment);
+  }
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) {
+    return true;
+  }
+};
+
+/// std::vector with cache-line-aligned storage.
+template <class T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+/// Round `n` up to the next multiple of `multiple` (multiple > 0).
+constexpr std::size_t round_up(std::size_t n, std::size_t multiple) {
+  return ((n + multiple - 1) / multiple) * multiple;
+}
+
+}  // namespace mrhs::util

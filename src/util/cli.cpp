@@ -1,0 +1,128 @@
+#include "util/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+namespace mrhs::util {
+
+ArgParser::ArgParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void ArgParser::add_flag(const std::string& name, Kind kind, void* target,
+                         const std::string& help, std::string default_repr) {
+  if (find(name) != nullptr) {
+    throw std::logic_error("duplicate flag --" + name);
+  }
+  flags_.push_back(Flag{name, kind, target, help, std::move(default_repr)});
+}
+
+void ArgParser::add(const std::string& name, int& value,
+                    const std::string& help) {
+  add_flag(name, Kind::kInt, &value, help, std::to_string(value));
+}
+
+void ArgParser::add(const std::string& name, std::int64_t& value,
+                    const std::string& help) {
+  add_flag(name, Kind::kInt64, &value, help, std::to_string(value));
+}
+
+void ArgParser::add(const std::string& name, double& value,
+                    const std::string& help) {
+  std::ostringstream os;
+  os << value;
+  add_flag(name, Kind::kDouble, &value, help, os.str());
+}
+
+void ArgParser::add(const std::string& name, std::string& value,
+                    const std::string& help) {
+  add_flag(name, Kind::kString, &value, help, value);
+}
+
+void ArgParser::add(const std::string& name, bool& value,
+                    const std::string& help) {
+  add_flag(name, Kind::kBool, &value, help, value ? "true" : "false");
+}
+
+ArgParser::Flag* ArgParser::find(const std::string& name) {
+  for (auto& flag : flags_) {
+    if (flag.name == name) return &flag;
+  }
+  return nullptr;
+}
+
+std::string ArgParser::usage() const {
+  std::ostringstream os;
+  os << program_ << " — " << description_ << "\n\nFlags:\n";
+  for (const auto& flag : flags_) {
+    os << "  --" << flag.name << "  " << flag.help
+       << " (default: " << flag.default_repr << ")\n";
+  }
+  os << "  --help  show this message\n";
+  return os.str();
+}
+
+void ArgParser::parse(int argc, const char* const* argv) {
+  auto fail = [&](const std::string& msg) {
+    std::fprintf(stderr, "%s: %s\n\n%s", program_.c_str(), msg.c_str(),
+                 usage().c_str());
+    std::exit(2);
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::printf("%s", usage().c_str());
+      std::exit(0);
+    }
+    if (arg.rfind("--", 0) != 0) fail("unexpected argument '" + arg + "'");
+
+    std::string name = arg.substr(2);
+    std::string value;
+    bool have_value = false;
+    if (auto eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      have_value = true;
+    }
+
+    Flag* flag = find(name);
+    if (flag == nullptr) fail("unknown flag --" + name);
+
+    if (flag->kind == Kind::kBool && !have_value) {
+      *static_cast<bool*>(flag->target) = true;
+      continue;
+    }
+    if (!have_value) {
+      if (i + 1 >= argc) fail("flag --" + name + " needs a value");
+      value = argv[++i];
+      have_value = true;
+    }
+
+    try {
+      switch (flag->kind) {
+        case Kind::kInt:
+          *static_cast<int*>(flag->target) = std::stoi(value);
+          break;
+        case Kind::kInt64:
+          *static_cast<std::int64_t*>(flag->target) = std::stoll(value);
+          break;
+        case Kind::kDouble:
+          *static_cast<double*>(flag->target) = std::stod(value);
+          break;
+        case Kind::kString:
+          *static_cast<std::string*>(flag->target) = value;
+          break;
+        case Kind::kBool:
+          *static_cast<bool*>(flag->target) =
+              (value == "1" || value == "true" || value == "yes");
+          break;
+      }
+    } catch (const std::exception&) {
+      fail("bad value '" + value + "' for flag --" + name);
+    }
+  }
+}
+
+}  // namespace mrhs::util

@@ -1,0 +1,55 @@
+// Minimal command-line flag parser for the bench and example binaries.
+//
+// Usage:
+//   util::ArgParser args("fig07_tmrhs_vs_m", "Reproduce paper Fig. 7");
+//   int particles = 3000;
+//   args.add("particles", particles, "number of particles");
+//   args.parse(argc, argv);   // exits with help text on --help / bad flag
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mrhs::util {
+
+class ArgParser {
+ public:
+  ArgParser(std::string program, std::string description);
+
+  // Registers a flag bound to `value`; the current value is the default.
+  void add(const std::string& name, int& value, const std::string& help);
+  void add(const std::string& name, std::int64_t& value,
+           const std::string& help);
+  void add(const std::string& name, double& value, const std::string& help);
+  void add(const std::string& name, std::string& value,
+           const std::string& help);
+  void add(const std::string& name, bool& value, const std::string& help);
+
+  /// Parses `--name value` (or `--name=value`; bare `--name` for bools).
+  /// On `--help` prints usage and exits 0; on an unknown flag or a
+  /// malformed value prints usage and exits 2.
+  void parse(int argc, const char* const* argv);
+
+  [[nodiscard]] std::string usage() const;
+
+ private:
+  enum class Kind { kInt, kInt64, kDouble, kString, kBool };
+  struct Flag {
+    std::string name;
+    Kind kind;
+    void* target;
+    std::string help;
+    std::string default_repr;
+  };
+
+  void add_flag(const std::string& name, Kind kind, void* target,
+                const std::string& help, std::string default_repr);
+  Flag* find(const std::string& name);
+
+  std::string program_;
+  std::string description_;
+  std::vector<Flag> flags_;
+};
+
+}  // namespace mrhs::util

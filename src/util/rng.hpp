@@ -1,0 +1,97 @@
+// Deterministic, stream-keyed random number generation.
+//
+// Dynamical simulations need one independent noise stream per time step
+// *known in advance* — that is exactly what makes the paper's MRHS trick
+// possible (the right-hand sides z_k for future steps can be generated
+// before those steps run). StreamRng(seed, stream) gives a reproducible
+// generator for (seed, step index) so the MRHS and original algorithms
+// can be driven by bit-identical noise.
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+#include <numbers>
+#include <span>
+
+namespace mrhs::util {
+
+/// SplitMix64: used to expand (seed, stream) keys into generator state.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** — fast, high-quality, trivially seedable PRNG.
+class StreamRng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit StreamRng(std::uint64_t seed, std::uint64_t stream = 0) {
+    std::uint64_t key = seed ^ (stream * 0xda942042e4dd58b5ULL + 0x2545f4914f6cdd1dULL);
+    for (auto& s : s_) s = splitmix64(key);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Standard normal via Box–Muller (caches the second variate).
+  double normal() {
+    if (have_cached_) {
+      have_cached_ = false;
+      return cached_;
+    }
+    double u1 = uniform();
+    double u2 = uniform();
+    // Guard against log(0).
+    while (u1 <= 0x1.0p-60) u1 = uniform();
+    const double radius = std::sqrt(-2.0 * std::log(u1));
+    const double angle = 2.0 * std::numbers::pi * u2;
+    cached_ = radius * std::sin(angle);
+    have_cached_ = true;
+    return radius * std::cos(angle);
+  }
+
+  /// Fill `out` with i.i.d. standard normal samples.
+  void fill_normal(std::span<double> out) {
+    for (double& x : out) x = normal();
+  }
+
+  /// Fill `out` with uniform samples in [lo, hi).
+  void fill_uniform(std::span<double> out, double lo, double hi) {
+    for (double& x : out) x = uniform(lo, hi);
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4]{};
+  double cached_ = 0.0;
+  bool have_cached_ = false;
+};
+
+}  // namespace mrhs::util

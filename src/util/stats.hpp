@@ -1,0 +1,48 @@
+// Small statistics helpers shared by tests and benchmark harnesses.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace mrhs::util {
+
+[[nodiscard]] double mean(std::span<const double> xs);
+[[nodiscard]] double variance(std::span<const double> xs);  // unbiased
+[[nodiscard]] double stddev(std::span<const double> xs);
+[[nodiscard]] double median(std::span<const double> xs);
+[[nodiscard]] double min_of(std::span<const double> xs);
+[[nodiscard]] double max_of(std::span<const double> xs);
+
+/// Result of an ordinary least-squares fit y = slope*x + intercept.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r2 = 0.0;  // coefficient of determination
+};
+
+/// Least-squares line through (xs[i], ys[i]).
+[[nodiscard]] LinearFit linear_fit(std::span<const double> xs,
+                                   std::span<const double> ys);
+
+/// Fit y = c * x^p by regressing log y on log x. All inputs must be > 0.
+/// Returns {slope=p, intercept=log(c), r2}. Used to verify the paper's
+/// Fig. 5 square-root growth of the initial-guess error.
+[[nodiscard]] LinearFit power_law_fit(std::span<const double> xs,
+                                      std::span<const double> ys);
+
+/// Euclidean norm of a vector.
+[[nodiscard]] double norm2(std::span<const double> xs);
+
+/// Euclidean norm of the difference of two equal-length vectors.
+[[nodiscard]] double diff_norm2(std::span<const double> a,
+                                std::span<const double> b);
+
+/// max_i |a[i] - b[i]|
+[[nodiscard]] double max_abs_diff(std::span<const double> a,
+                                  std::span<const double> b);
+
+}  // namespace mrhs::util

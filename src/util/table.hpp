@@ -1,0 +1,33 @@
+// Plain-text table printer used by the bench harness so every
+// reproduced table/figure prints in a consistent, paper-like format.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mrhs::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append a row; must have the same arity as the headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with `precision` significant digits.
+  static std::string fmt(double v, int precision = 4);
+  static std::string fmt_fixed(double v, int decimals = 3);
+  static std::string fmt_pct(double fraction, int decimals = 0);
+
+  /// Render with column alignment and a header rule.
+  [[nodiscard]] std::string str() const;
+
+  /// Print to stdout with an optional caption line above.
+  void print(const std::string& caption = "") const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mrhs::util

@@ -1,0 +1,115 @@
+// Wall-clock timing utilities and named-phase accumulation.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mrhs::util {
+
+/// Monotonic wall-clock timer with seconds granularity in double.
+class WallTimer {
+ public:
+  WallTimer() { reset(); }
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates wall time into named phases; used for the per-step
+/// breakdowns of paper Tables VI and VII.
+class PhaseTimers {
+ public:
+  /// Add `seconds` to phase `name` and bump its call count.
+  void add(const std::string& name, double seconds) {
+    auto& slot = phases_[name];
+    slot.seconds += seconds;
+    slot.calls += 1;
+  }
+
+  [[nodiscard]] double seconds(const std::string& name) const {
+    auto it = phases_.find(name);
+    return it == phases_.end() ? 0.0 : it->second.seconds;
+  }
+
+  [[nodiscard]] std::size_t calls(const std::string& name) const {
+    auto it = phases_.find(name);
+    return it == phases_.end() ? 0 : it->second.calls;
+  }
+
+  [[nodiscard]] double total() const {
+    double t = 0.0;
+    for (const auto& [_, slot] : phases_) t += slot.seconds;
+    return t;
+  }
+
+  [[nodiscard]] std::vector<std::string> names() const {
+    std::vector<std::string> out;
+    out.reserve(phases_.size());
+    for (const auto& [name, _] : phases_) out.push_back(name);
+    return out;
+  }
+
+  void clear() { phases_.clear(); }
+
+  /// Merge another set of phase timers into this one.
+  void merge(const PhaseTimers& other) {
+    for (const auto& [name, slot] : other.phases_) {
+      auto& mine = phases_[name];
+      mine.seconds += slot.seconds;
+      mine.calls += slot.calls;
+    }
+  }
+
+ private:
+  struct Slot {
+    double seconds = 0.0;
+    std::size_t calls = 0;
+  };
+  std::map<std::string, Slot> phases_;
+};
+
+/// RAII helper: adds the scope's wall time to a phase on destruction.
+class ScopedPhase {
+ public:
+  ScopedPhase(PhaseTimers& timers, std::string name)
+      : timers_(timers), name_(std::move(name)) {}
+  ~ScopedPhase() { timers_.add(name_, timer_.seconds()); }
+
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  PhaseTimers& timers_;
+  std::string name_;
+  WallTimer timer_;
+};
+
+/// Run `fn` repeatedly until at least `min_seconds` of wall time or
+/// `max_reps` repetitions have elapsed; return seconds per repetition.
+/// Used by the microbenchmarks that calibrate B and F.
+template <class Fn>
+double time_per_call(Fn&& fn, double min_seconds = 0.05,
+                     std::size_t max_reps = 1u << 20) {
+  // One warm-up call so page faults and cache fills don't pollute timing.
+  fn();
+  std::size_t reps = 0;
+  WallTimer timer;
+  do {
+    fn();
+    ++reps;
+  } while (timer.seconds() < min_seconds && reps < max_reps);
+  return timer.seconds() / static_cast<double>(reps);
+}
+
+}  // namespace mrhs::util

@@ -1,0 +1,94 @@
+// Tests for Brownian force generation and noise streams.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sd/brownian.hpp"
+#include "solver/operator.hpp"
+#include "sparse/bcrs.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace mrhs;
+
+TEST(Noise, DeterministicAndStepKeyed) {
+  std::vector<double> a(30), b(30), c(30);
+  sd::noise_for_step(42, 5, a);
+  sd::noise_for_step(42, 5, b);
+  sd::noise_for_step(42, 6, c);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(Noise, StandardNormalMoments) {
+  std::vector<double> z(100000);
+  sd::noise_for_step(7, 0, z);
+  EXPECT_NEAR(util::mean(z), 0.0, 0.02);
+  EXPECT_NEAR(util::stddev(z), 1.0, 0.02);
+}
+
+TEST(Brownian, AmplitudeMatchesFluctuationDissipation) {
+  const auto r = sparse::make_random_bcrs(20, 5.0, 91);
+  solver::BcrsOperator op(r, 1);
+  sd::BrownianParams params;
+  params.kT = 2.0;
+  const double dt = 0.25;
+  const sd::BrownianForce bf(op, dt, params);
+  EXPECT_NEAR(bf.amplitude(), std::sqrt(2.0 * 2.0 / 0.25), 1e-12);
+  EXPECT_THROW(sd::BrownianForce(op, 0.0, params), std::invalid_argument);
+}
+
+TEST(Brownian, ChebyshevIntervalCoversSpectrum) {
+  const auto r = sparse::make_random_bcrs(25, 6.0, 93);
+  solver::BcrsOperator op(r, 1);
+  const sd::BrownianForce bf(op, 0.1);
+  EXPECT_GT(bf.bounds().lambda_min, 0.0);
+  EXPECT_GT(bf.bounds().lambda_max, bf.bounds().lambda_min);
+  EXPECT_EQ(bf.chebyshev().order(), 30u);
+  // The interpolant should be accurate on its interval.
+  EXPECT_LT(bf.chebyshev().max_interval_error() /
+                std::sqrt(bf.bounds().lambda_max),
+            1e-5);
+}
+
+TEST(Brownian, BlockMatchesSingleVectorPath) {
+  const auto r = sparse::make_random_bcrs(30, 5.0, 95);
+  solver::BcrsOperator op(r, 1);
+  const sd::BrownianForce bf(op, 0.05);
+
+  const std::size_t m = 5;
+  sparse::MultiVector z(op.size(), m), f_block(op.size(), m);
+  for (std::size_t k = 0; k < m; ++k) {
+    std::vector<double> zk(op.size());
+    sd::noise_for_step(1, k, zk);
+    z.copy_col_in(k, zk);
+  }
+  bf.compute_block(op, z, f_block);
+
+  std::vector<double> zk(op.size()), fk(op.size()), fcol(op.size());
+  for (std::size_t k = 0; k < m; ++k) {
+    sd::noise_for_step(1, k, zk);
+    bf.compute(op, zk, fk);
+    f_block.copy_col_out(k, fcol);
+    EXPECT_LT(util::diff_norm2(fk, fcol), 1e-9 * (1.0 + util::norm2(fk)));
+  }
+}
+
+TEST(Brownian, ForceVarianceScalesWithInverseDt) {
+  const auto r = sparse::make_random_bcrs(20, 4.0, 97);
+  solver::BcrsOperator op(r, 1);
+  std::vector<double> z(op.size());
+  sd::noise_for_step(3, 0, z);
+
+  std::vector<double> f1(op.size()), f2(op.size());
+  const sd::BrownianForce bf1(op, 0.1);
+  const sd::BrownianForce bf2(op, 0.4);
+  bf1.compute(op, z, f1);
+  bf2.compute(op, z, f2);
+  // sqrt(2kT/dt): halving amplitude when dt quadruples.
+  EXPECT_NEAR(util::norm2(f1) / util::norm2(f2), 2.0, 1e-9);
+}
+
+}  // namespace

@@ -1,0 +1,215 @@
+// Tests for the cluster substrate: partitioners, halo plans, executed
+// distributed GSPMV, and the alpha-beta time model.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "cluster/comm_model.hpp"
+#include "cluster/comm_plan.hpp"
+#include "cluster/distributed_gspmv.hpp"
+#include "cluster/partitioner.hpp"
+#include "core/workloads.hpp"
+#include "sd/packing.hpp"
+#include "sd/radii.hpp"
+#include "sd/resistance.hpp"
+#include "sparse/gspmv.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace mrhs;
+
+struct TestSystem {
+  sd::ParticleSystem system;
+  sparse::BcrsMatrix matrix;
+};
+
+TestSystem make_system(std::size_t n = 400, double phi = 0.45,
+                       double cutoff = 1.0, std::uint64_t seed = 31) {
+  auto radii = sd::sample_radii(sd::ecoli_cytoplasm_distribution(), n, seed);
+  sd::PackingParams packing;
+  packing.seed = seed;
+  auto system = sd::pack_particles(std::move(radii), phi, packing);
+  sd::ResistanceParams params;
+  params.lubrication.max_gap_scaled = cutoff;
+  auto matrix = sd::assemble_resistance(system, params);
+  return {std::move(system), std::move(matrix)};
+}
+
+void check_partition_valid(const cluster::Partition& p, std::size_t n,
+                           std::size_t parts) {
+  ASSERT_EQ(p.owner.size(), n);
+  ASSERT_EQ(p.parts, parts);
+  for (auto o : p.owner) {
+    ASSERT_GE(o, 0);
+    ASSERT_LT(static_cast<std::size_t>(o), parts);
+  }
+}
+
+TEST(Partitioner, AllSchemesCoverAndBalance) {
+  const auto ts = make_system();
+  for (std::size_t parts : {2u, 4u, 8u}) {
+    const auto naive = cluster::partition_block_rows(ts.matrix, parts);
+    const auto grid =
+        cluster::partition_coordinate_grid(ts.system, ts.matrix, parts);
+    const auto rcb = cluster::partition_rcb(ts.system, ts.matrix, parts);
+    for (const auto* p : {&naive, &grid, &rcb}) {
+      check_partition_valid(*p, ts.matrix.block_rows(), parts);
+      EXPECT_LT(cluster::load_imbalance(ts.matrix, *p), 1.6);
+    }
+  }
+}
+
+TEST(Partitioner, SpatialSchemesReduceCommVolume) {
+  // The point of coordinate-based partitioning (paper Section IV-A2):
+  // spatial locality cuts ghost exchange vs. arbitrary row splits.
+  const auto ts = make_system(600, 0.5, 1.5, 37);
+  const std::size_t parts = 8;
+  const auto scattered = cluster::partition_round_robin(ts.matrix, parts);
+  const auto grid =
+      cluster::partition_coordinate_grid(ts.system, ts.matrix, parts);
+  const auto rcb = cluster::partition_rcb(ts.system, ts.matrix, parts);
+
+  const cluster::CommPlan plan_scattered(ts.matrix, scattered);
+  const cluster::CommPlan plan_grid(ts.matrix, grid);
+  const cluster::CommPlan plan_rcb(ts.matrix, rcb);
+  // Round-robin rows have no spatial locality at all.
+  EXPECT_LT(plan_grid.total_ghost_rows(),
+            plan_scattered.total_ghost_rows() / 2);
+  // Grid should be in the same league as RCB (paper: "comparable to
+  // METIS") — allow 2x slack.
+  EXPECT_LT(plan_grid.total_ghost_rows(),
+            2 * plan_rcb.total_ghost_rows() + 100);
+}
+
+TEST(CommPlan, AccountingConsistent) {
+  const auto ts = make_system(300, 0.4, 1.0, 41);
+  const auto part =
+      cluster::partition_coordinate_grid(ts.system, ts.matrix, 4);
+  const cluster::CommPlan plan(ts.matrix, part);
+  ASSERT_EQ(plan.parts(), 4u);
+
+  std::size_t owned_total = 0, nnzb_total = 0, recv_total = 0,
+              send_total = 0;
+  for (std::size_t p = 0; p < 4; ++p) {
+    const auto& node = plan.node(p);
+    owned_total += node.owned_rows.size();
+    nnzb_total += node.local_nnzb;
+    recv_total += node.recv_ghost_rows;
+    send_total += node.send_ghost_rows;
+    EXPECT_LE(node.recv_neighbors, 3u);
+    EXPECT_LE(node.send_neighbors, 3u);
+  }
+  EXPECT_EQ(owned_total, ts.matrix.block_rows());
+  EXPECT_EQ(nnzb_total, ts.matrix.nnzb());
+  EXPECT_EQ(recv_total, send_total);  // every ghost has one sender
+  EXPECT_EQ(recv_total, plan.total_ghost_rows());
+
+  // Wire bytes scale linearly with m (paper: "communication volume
+  // scales proportionately with the number of vectors").
+  EXPECT_DOUBLE_EQ(plan.total_comm_bytes(8), 8.0 * plan.total_comm_bytes(1));
+}
+
+TEST(CommPlan, SinglePartHasNoCommunication) {
+  const auto ts = make_system(200, 0.4, 1.0, 43);
+  const auto part = cluster::partition_block_rows(ts.matrix, 1);
+  const cluster::CommPlan plan(ts.matrix, part);
+  EXPECT_EQ(plan.total_ghost_rows(), 0u);
+  EXPECT_EQ(plan.node(0).recv_neighbors, 0u);
+}
+
+class DistributedParam : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(DistributedParam, MatchesSingleNodeGspmv) {
+  const std::size_t parts = GetParam();
+  const auto ts = make_system(350, 0.45, 1.2, 47);
+  const auto part =
+      cluster::partition_coordinate_grid(ts.system, ts.matrix, parts);
+  const cluster::DistributedGspmv dist(ts.matrix, part);
+
+  const std::size_t m = 6;
+  util::StreamRng rng(parts);
+  sparse::MultiVector x(ts.matrix.cols(), m), y_dist(ts.matrix.rows(), m),
+      y_ref(ts.matrix.rows(), m);
+  x.fill_normal(rng);
+  dist.apply(x, y_dist);
+  sparse::gspmv_reference(ts.matrix, x, y_ref);
+  double worst = 0.0, scale = 0.0;
+  for (std::size_t i = 0; i < y_ref.rows(); ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      worst = std::max(worst, std::abs(y_dist(i, j) - y_ref(i, j)));
+      scale = std::max(scale, std::abs(y_ref(i, j)));
+    }
+  }
+  // Lubrication entries are huge (1/xi); compare relative to the
+  // largest result value.
+  EXPECT_LT(worst, 1e-12 * scale);
+}
+
+INSTANTIATE_TEST_SUITE_P(Parts, DistributedParam,
+                         ::testing::Values<std::size_t>(1, 2, 4, 8, 16));
+
+TEST(DistributedGspmv, LocalMatricesPartitionNnz) {
+  const auto ts = make_system(250, 0.4, 1.0, 53);
+  const auto part =
+      cluster::partition_coordinate_grid(ts.system, ts.matrix, 5);
+  const cluster::DistributedGspmv dist(ts.matrix, part);
+  std::size_t nnzb = 0;
+  for (std::size_t p = 0; p < dist.parts(); ++p) {
+    nnzb += dist.local_matrix(p).nnzb();
+  }
+  EXPECT_EQ(nnzb, ts.matrix.nnzb());
+}
+
+TEST(CommModel, CommFractionGrowsWithNodesAndShrinksWithVectors) {
+  const auto ts = make_system(800, 0.5, 1.5, 59);
+  double frac_prev = 0.0;
+  for (std::size_t parts : {4u, 16u, 64u}) {
+    const auto part =
+        cluster::partition_coordinate_grid(ts.system, ts.matrix, parts);
+    const cluster::CommPlan plan(ts.matrix, part);
+    const cluster::ClusterTimeModel model(plan, ts.matrix.block_rows());
+    const double frac = model.comm_fraction(1);
+    EXPECT_GT(frac, frac_prev);  // Table III columns grow down... rows
+    frac_prev = frac;
+    // Within one node count, more vectors dilute the latency-dominated
+    // communication share (Table III rows shrink rightward).
+    EXPECT_GT(model.comm_fraction(1), model.comm_fraction(32));
+  }
+}
+
+TEST(CommModel, RelativeTimeFlattensAtScale) {
+  // Paper Fig 3/4: at large node counts communication dominates, so
+  // multiplying by more vectors is nearly free -> r(m) drops.
+  const auto ts = make_system(800, 0.5, 1.5, 61);
+  auto relative = [&](std::size_t parts, std::size_t m) {
+    const auto part =
+        cluster::partition_coordinate_grid(ts.system, ts.matrix, parts);
+    const cluster::CommPlan plan(ts.matrix, part);
+    const cluster::ClusterTimeModel model(plan, ts.matrix.block_rows());
+    return model.relative_time(m);
+  };
+  const double r_small = relative(2, 16);
+  const double r_large = relative(64, 16);
+  EXPECT_LT(r_large, r_small);
+  EXPECT_GE(r_large, 1.0);
+}
+
+TEST(CommModel, NodeTimeComponentsPositive) {
+  const auto ts = make_system(300, 0.45, 1.0, 67);
+  const auto part =
+      cluster::partition_coordinate_grid(ts.system, ts.matrix, 4);
+  const cluster::CommPlan plan(ts.matrix, part);
+  const cluster::ClusterTimeModel model(plan, ts.matrix.block_rows());
+  for (std::size_t p = 0; p < 4; ++p) {
+    const auto t = model.node_time(p, 8);
+    EXPECT_GT(t.compute, 0.0);
+    EXPECT_GE(t.gather, 0.0);
+    EXPECT_GE(t.comm, 0.0);
+    EXPECT_GE(t.step(), t.compute);
+  }
+  EXPECT_THROW((void)model.node_time(99, 1), std::out_of_range);
+}
+
+}  // namespace

@@ -1,0 +1,199 @@
+// Tests for src/dense: matrix ops, Cholesky, Jacobi eigensolver,
+// reference matrix square root.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "dense/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace mrhs;
+using dense::Matrix;
+
+Matrix random_spd(std::size_t n, std::uint64_t seed) {
+  util::StreamRng rng(seed);
+  Matrix g(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) g(i, j) = rng.uniform(-1.0, 1.0);
+  }
+  Matrix a(n, n);
+  dense::gemm(1.0, g, /*ta=*/true, g, /*tb=*/false, 0.0, a);  // G^T G
+  for (std::size_t i = 0; i < n; ++i) a(i, i) += static_cast<double>(n);
+  return a;
+}
+
+TEST(Matrix, IdentityAndIndexing) {
+  const Matrix eye = Matrix::identity(3);
+  EXPECT_DOUBLE_EQ(eye(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(eye(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(eye.frobenius_norm(), std::sqrt(3.0));
+}
+
+TEST(Matrix, FromRowsAndTranspose) {
+  const Matrix a = Matrix::from_rows({{1, 2, 3}, {4, 5, 6}});
+  EXPECT_EQ(a.rows(), 2u);
+  EXPECT_EQ(a.cols(), 3u);
+  const Matrix at = a.transposed();
+  EXPECT_DOUBLE_EQ(at(2, 1), 6.0);
+  EXPECT_THROW((void)Matrix::from_rows({{1, 2}, {3}}), std::invalid_argument);
+}
+
+TEST(Matrix, AsymmetryDetection) {
+  Matrix a = Matrix::identity(2);
+  EXPECT_DOUBLE_EQ(a.asymmetry(), 0.0);
+  a(0, 1) = 1.0;
+  a(1, 0) = 0.5;
+  EXPECT_DOUBLE_EQ(a.asymmetry(), 0.5);
+}
+
+TEST(Gemm, MatchesHandComputation) {
+  const Matrix a = Matrix::from_rows({{1, 2}, {3, 4}});
+  const Matrix b = Matrix::from_rows({{5, 6}, {7, 8}});
+  Matrix c(2, 2);
+  dense::gemm(1.0, a, false, b, false, 0.0, c);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+  // C = A^T B + C
+  dense::gemm(1.0, a, true, b, false, 1.0, c);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0 + 26.0);
+}
+
+TEST(Gemm, TransposeVariantsConsistent) {
+  util::StreamRng rng(5);
+  Matrix a(3, 4), b(4, 2);
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 4; ++j) a(i, j) = rng.normal();
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j < 2; ++j) b(i, j) = rng.normal();
+  Matrix c1(3, 2), c2(3, 2);
+  dense::gemm(1.0, a, false, b, false, 0.0, c1);
+  const Matrix at = a.transposed();
+  dense::gemm(1.0, at, true, b, false, 0.0, c2);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 2; ++j) EXPECT_NEAR(c1(i, j), c2(i, j), 1e-14);
+  }
+}
+
+TEST(Gemv, MatchesGemm) {
+  const Matrix a = Matrix::from_rows({{1, 2, 3}, {4, 5, 6}});
+  const std::vector<double> x = {1.0, -1.0, 2.0};
+  std::vector<double> y = {10.0, 20.0};
+  dense::gemv(2.0, a, x, 1.0, y);
+  EXPECT_DOUBLE_EQ(y[0], 10.0 + 2.0 * (1 - 2 + 6));
+  EXPECT_DOUBLE_EQ(y[1], 20.0 + 2.0 * (4 - 5 + 12));
+}
+
+TEST(Cholesky, ReconstructsMatrix) {
+  const Matrix a = random_spd(8, 11);
+  const dense::Cholesky chol(a);
+  const Matrix& l = chol.factor();
+  Matrix rec(8, 8);
+  dense::gemm(1.0, l, false, l, true, 0.0, rec);
+  for (std::size_t i = 0; i < 8; ++i) {
+    for (std::size_t j = 0; j < 8; ++j) {
+      EXPECT_NEAR(rec(i, j), a(i, j), 1e-10 * a.frobenius_norm());
+    }
+  }
+}
+
+TEST(Cholesky, SolvesSystem) {
+  const std::size_t n = 10;
+  const Matrix a = random_spd(n, 3);
+  util::StreamRng rng(4);
+  std::vector<double> x_true(n), b(n, 0.0);
+  for (double& v : x_true) v = rng.normal();
+  dense::gemv(1.0, a, x_true, 0.0, b);
+  const dense::Cholesky chol(a);
+  chol.solve_in_place(b);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(b[i], x_true[i], 1e-9);
+}
+
+TEST(Cholesky, BlockSolve) {
+  const std::size_t n = 6, k = 3;
+  const Matrix a = random_spd(n, 9);
+  util::StreamRng rng(10);
+  Matrix x_true(n, k), b(n, k);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < k; ++j) x_true(i, j) = rng.normal();
+  dense::gemm(1.0, a, false, x_true, false, 0.0, b);
+  const dense::Cholesky chol(a);
+  chol.solve_in_place(b);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < k; ++j) EXPECT_NEAR(b(i, j), x_true(i, j), 1e-9);
+  }
+}
+
+TEST(Cholesky, RejectsIndefinite) {
+  Matrix a = Matrix::from_rows({{1.0, 2.0}, {2.0, 1.0}});  // eigenvalue -1
+  EXPECT_THROW(dense::Cholesky{a}, std::runtime_error);
+}
+
+TEST(Cholesky, LogDetMatchesKnownValue) {
+  Matrix a = Matrix::from_rows({{4.0, 0.0}, {0.0, 9.0}});
+  const dense::Cholesky chol(a);
+  EXPECT_NEAR(chol.log_det(), std::log(36.0), 1e-12);
+}
+
+TEST(EigenSym, DiagonalMatrix) {
+  Matrix a = Matrix::from_rows({{3.0, 0.0}, {0.0, 1.0}});
+  const auto es = dense::eigen_symmetric(a);
+  EXPECT_NEAR(es.eigenvalues[0], 1.0, 1e-12);
+  EXPECT_NEAR(es.eigenvalues[1], 3.0, 1e-12);
+}
+
+TEST(EigenSym, ReconstructionAndOrthogonality) {
+  const std::size_t n = 12;
+  const Matrix a = random_spd(n, 77);
+  const auto es = dense::eigen_symmetric(a);
+  // Eigenvalues ascending.
+  for (std::size_t i = 1; i < n; ++i) {
+    EXPECT_LE(es.eigenvalues[i - 1], es.eigenvalues[i]);
+  }
+  // V V^T = I.
+  Matrix vvt(n, n);
+  dense::gemm(1.0, es.eigenvectors, false, es.eigenvectors, true, 0.0, vvt);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_NEAR(vvt(i, j), i == j ? 1.0 : 0.0, 1e-10);
+    }
+  }
+  // A v_k = lambda_k v_k.
+  for (std::size_t k = 0; k < n; ++k) {
+    std::vector<double> v(n), av(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) v[i] = es.eigenvectors(i, k);
+    dense::gemv(1.0, a, v, 0.0, av);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(av[i], es.eigenvalues[k] * v[i], 1e-8 * a.frobenius_norm());
+    }
+  }
+}
+
+TEST(SqrtReference, SquaresBackToMatrix) {
+  const Matrix a = random_spd(9, 21);
+  const Matrix s = dense::sqrt_reference(a);
+  EXPECT_LT(s.asymmetry(), 1e-9);
+  Matrix s2(9, 9);
+  dense::gemm(1.0, s, false, s, false, 0.0, s2);
+  for (std::size_t i = 0; i < 9; ++i) {
+    for (std::size_t j = 0; j < 9; ++j) {
+      EXPECT_NEAR(s2(i, j), a(i, j), 1e-8 * a.frobenius_norm());
+    }
+  }
+}
+
+TEST(SqrtReference, ApplyMatchesMatrixForm) {
+  const std::size_t n = 7;
+  const Matrix a = random_spd(n, 31);
+  const Matrix s = dense::sqrt_reference(a);
+  util::StreamRng rng(8);
+  std::vector<double> x(n), y1(n, 0.0), y2(n, 0.0);
+  for (double& v : x) v = rng.normal();
+  dense::gemv(1.0, s, x, 0.0, y1);
+  dense::sqrt_apply_reference(a, x, y2);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(y1[i], y2[i], 1e-9);
+}
+
+}  // namespace

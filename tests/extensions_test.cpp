@@ -1,0 +1,272 @@
+// Tests for the extension modules: projection (recycling-lite)
+// guesses, the distributed LinearOperator, and XYZ trajectory I/O.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "cluster/distributed_operator.hpp"
+#include "cluster/partitioner.hpp"
+#include "core/sd_simulation.hpp"
+#include "core/stepper.hpp"
+#include "dense/matrix.hpp"
+#include "sd/analysis.hpp"
+#include "sd/mobility_operator.hpp"
+#include "sd/rpy.hpp"
+#include "sd/xyz_io.hpp"
+#include "solver/block_cg.hpp"
+#include "solver/cg.hpp"
+#include "solver/projection_guess.hpp"
+#include "sparse/bcrs.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace mrhs;
+
+TEST(ProjectionGuess, ExactWhenSolutionInWindow) {
+  const auto a = sparse::make_random_bcrs(30, 6.0, 3);
+  solver::BcrsOperator op(a, 1);
+  util::StreamRng rng(1);
+  std::vector<double> x_true(op.size()), b(op.size());
+  rng.fill_normal(x_true);
+  op.apply(x_true, b);
+
+  solver::ProjectionGuess guess(4);
+  // Window contains the solution plus distractors.
+  std::vector<double> distractor(op.size());
+  rng.fill_normal(distractor);
+  guess.observe(distractor);
+  guess.observe(x_true);
+
+  std::vector<double> x0(op.size());
+  ASSERT_TRUE(guess.make_guess(op, b, x0));
+  // The Galerkin minimizer over a subspace containing x_true is x_true.
+  EXPECT_LT(util::diff_norm2(x0, x_true), 1e-8 * util::norm2(x_true));
+}
+
+TEST(ProjectionGuess, EmptyWindowReturnsFalse) {
+  const auto a = sparse::make_random_bcrs(10, 3.0, 5);
+  solver::BcrsOperator op(a, 1);
+  solver::ProjectionGuess guess;
+  std::vector<double> b(op.size(), 1.0), x0(op.size(), 7.0);
+  EXPECT_FALSE(guess.make_guess(op, b, x0));
+  for (double v : x0) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(ProjectionGuess, WindowEvictsOldEntries) {
+  solver::ProjectionGuess guess(2);
+  const std::vector<double> v(6, 1.0);
+  guess.observe(v);
+  guess.observe(v);
+  guess.observe(v);
+  EXPECT_EQ(guess.window_size(), 2u);
+  EXPECT_EQ(guess.capacity(), 2u);
+  guess.clear();
+  EXPECT_EQ(guess.window_size(), 0u);
+}
+
+TEST(ProjectionGuess, SurvivesDuplicateWindowVectors) {
+  // Identical entries make U^T A U singular; the ridge path must still
+  // return a usable guess.
+  const auto a = sparse::make_random_bcrs(20, 4.0, 7);
+  solver::BcrsOperator op(a, 1);
+  util::StreamRng rng(9);
+  std::vector<double> u(op.size());
+  rng.fill_normal(u);
+  solver::ProjectionGuess guess(3);
+  guess.observe(u);
+  guess.observe(u);
+  guess.observe(u);
+  std::vector<double> b(op.size()), x0(op.size());
+  rng.fill_normal(b);
+  EXPECT_TRUE(guess.make_guess(op, b, x0));
+  EXPECT_TRUE(std::isfinite(util::norm2(x0)));
+}
+
+TEST(ProjectionGuess, ReducesIterationsOnSlowlyVaryingSequence) {
+  // A sequence of systems A_k = A + eps_k I with the same b: the guess
+  // built from previous solutions nearly solves the next system.
+  const auto a = sparse::make_random_bcrs(60, 8.0, 11, true, 0.3);
+  util::StreamRng rng(13);
+  std::vector<double> b(a.rows());
+  rng.fill_normal(b);
+
+  solver::ProjectionGuess guess(4);
+  std::size_t iters_cold_total = 0, iters_warm_total = 0;
+  for (int k = 0; k < 5; ++k) {
+    auto ak = a;
+    // Slow perturbation of the values.
+    for (double& v : ak.values()) v *= 1.0 + 1e-3 * (k + 1);
+    solver::BcrsOperator op(ak, 1);
+
+    std::vector<double> x_cold(op.size(), 0.0);
+    const auto cold = solver::conjugate_gradient(op, b, x_cold);
+    iters_cold_total += cold.iterations;
+
+    std::vector<double> x_warm(op.size(), 0.0);
+    guess.make_guess(op, b, x_warm);
+    const auto warm = solver::conjugate_gradient(op, b, x_warm);
+    iters_warm_total += warm.iterations;
+
+    guess.observe(x_cold);
+  }
+  // The first solve has no window; after that the guesses nearly
+  // eliminate the iterations.
+  EXPECT_LT(iters_warm_total, iters_cold_total / 2);
+}
+
+TEST(ProjectionGuess, DimensionMismatchThrows) {
+  solver::ProjectionGuess guess;
+  guess.observe(std::vector<double>(6, 1.0));
+  EXPECT_THROW(guess.observe(std::vector<double>(9, 1.0)),
+               std::invalid_argument);
+}
+
+TEST(DistributedOperator, CgMatchesSingleNodeSolve) {
+  core::SdConfig config;
+  config.particles = 200;
+  config.phi = 0.45;
+  config.seed = 17;
+  core::SdSimulation sim(config);
+  const auto r = sim.assemble();
+
+  solver::BcrsOperator local(r, 1);
+  const auto part = cluster::partition_coordinate_grid(sim.system(), r, 4);
+  const cluster::DistributedOperator dist(r, part);
+  ASSERT_EQ(dist.size(), local.size());
+
+  std::vector<double> b(local.size());
+  sim.noise(0, b);
+  std::vector<double> x_local(local.size(), 0.0), x_dist(local.size(), 0.0);
+  const auto res_local = solver::conjugate_gradient(local, b, x_local);
+  const auto res_dist = solver::conjugate_gradient(dist, b, x_dist);
+  EXPECT_TRUE(res_local.converged);
+  EXPECT_TRUE(res_dist.converged);
+  EXPECT_NEAR(static_cast<double>(res_dist.iterations),
+              static_cast<double>(res_local.iterations), 3.0);
+  EXPECT_LT(util::diff_norm2(x_local, x_dist),
+            1e-4 * (1.0 + util::norm2(x_local)));
+}
+
+TEST(DistributedOperator, BlockCgRunsOnPartitionedMatrix) {
+  // The MRHS augmented solve composed with the distributed substrate.
+  core::SdConfig config;
+  config.particles = 150;
+  config.phi = 0.4;
+  config.seed = 19;
+  core::SdSimulation sim(config);
+  const auto r = sim.assemble();
+  const auto part = cluster::partition_coordinate_grid(sim.system(), r, 3);
+  const cluster::DistributedOperator dist(r, part);
+
+  const std::size_t m = 4;
+  util::StreamRng rng(21);
+  sparse::MultiVector b(dist.size(), m), x(dist.size(), m);
+  b.fill_normal(rng);
+  const auto result = solver::block_conjugate_gradient(dist, b, x);
+  EXPECT_TRUE(result.converged);
+}
+
+TEST(MobilityOperator, MatchesDenseRpy) {
+  core::SdConfig config;
+  config.particles = 60;
+  config.phi = 0.3;
+  config.seed = 23;
+  core::SdSimulation sim(config);
+  const sd::RpyMobilityOperator mobility(sim.system());
+  const auto dense_m = sd::rpy_mobility_dense(sim.system());
+
+  util::StreamRng rng(25);
+  std::vector<double> x(mobility.size()), y(mobility.size()),
+      y_ref(mobility.size(), 0.0);
+  rng.fill_normal(x);
+  mobility.apply(x, y);
+  dense::gemv(1.0, dense_m, x, 0.0, y_ref);
+  EXPECT_LT(util::diff_norm2(y, y_ref), 1e-10 * (1.0 + util::norm2(y_ref)));
+
+  // Block apply matches columnwise apply.
+  const std::size_t m = 3;
+  sparse::MultiVector xm(mobility.size(), m), ym(mobility.size(), m);
+  xm.fill_normal(rng);
+  mobility.apply_block(xm, ym);
+  std::vector<double> xc(mobility.size()), yc(mobility.size()),
+      ycol(mobility.size());
+  for (std::size_t j = 0; j < m; ++j) {
+    xm.copy_col_out(j, xc);
+    mobility.apply(xc, yc);
+    ym.copy_col_out(j, ycol);
+    EXPECT_LT(util::diff_norm2(yc, ycol), 1e-11 * (1.0 + util::norm2(yc)));
+  }
+}
+
+TEST(BrownianDynamics, DiluteDiffusionMatchesStokesEinstein) {
+  // The BD comparator with RPY mobility: dilute diffusion should land
+  // on Stokes–Einstein with the *bare* viscosity (no crowding model).
+  core::SdConfig config;
+  config.particles = 100;
+  config.phi = 0.05;
+  config.seed = 27;
+  core::SdSimulation sim(config);
+  core::BrownianDynamicsAlgorithm bd(sim);
+  const std::size_t steps = 24;
+  bd.run(steps);
+  const double t = sim.dt() * static_cast<double>(steps);
+  const double d = sim.system().mean_squared_displacement() / (6.0 * t);
+  double d_ref = 0.0;
+  for (double a : sim.system().radii()) {
+    d_ref += sd::stokes_einstein_d(config.kT, config.viscosity, a);
+  }
+  d_ref /= static_cast<double>(sim.system().size());
+  EXPECT_GT(d, 0.5 * d_ref);
+  EXPECT_LT(d, 1.5 * d_ref);
+}
+
+TEST(BrownianDynamics, MissesLubricationBraking) {
+  // The paper's central contrast: without lubrication, crowded BD
+  // particles keep diffusing near their dilute rate, while SD slows
+  // dramatically. Compare per-step MSD at phi = 0.5.
+  core::SdConfig config;
+  config.particles = 100;
+  config.phi = 0.5;
+  config.seed = 29;
+  const std::size_t steps = 8;
+
+  core::SdSimulation sim_bd(config), sim_sd(config);
+  core::BrownianDynamicsAlgorithm bd(sim_bd);
+  core::OriginalAlgorithm sd_alg(sim_sd);
+  bd.run(steps);
+  sd_alg.run(steps);
+  const double msd_bd = sim_bd.system().mean_squared_displacement();
+  const double msd_sd = sim_sd.system().mean_squared_displacement();
+  EXPECT_GT(msd_bd, 1.5 * msd_sd);
+}
+
+TEST(XyzIo, FrameRoundTrip) {
+  std::vector<sd::Vec3> pos = {{1.5, 2.5, 3.5}, {4.0, 5.0, 6.0}};
+  std::vector<double> radii = {0.8, 1.2};
+  const sd::ParticleSystem system(std::move(pos), std::move(radii),
+                                  sd::PeriodicBox(10.0));
+  std::stringstream stream;
+  sd::write_xyz_frame(stream, system, "step=3");
+  sd::write_xyz_frame(stream, system);
+
+  const auto frames = sd::read_xyz(stream);
+  ASSERT_EQ(frames.size(), 2u);
+  ASSERT_EQ(frames[0].positions.size(), 2u);
+  EXPECT_DOUBLE_EQ(frames[0].box_length, 10.0);
+  EXPECT_NE(frames[0].comment.find("step=3"), std::string::npos);
+  EXPECT_NEAR(frames[0].positions[0].x, 1.5, 1e-10);
+  EXPECT_NEAR(frames[0].positions[1].z, 6.0, 1e-10);
+  EXPECT_NEAR(frames[0].radii[1], 1.2, 1e-10);
+}
+
+TEST(XyzIo, MalformedInputThrows) {
+  std::stringstream garbage("not-a-count\nwhatever\n");
+  EXPECT_THROW((void)sd::read_xyz(garbage), std::runtime_error);
+  std::stringstream truncated("3\ncomment\nP 1 2 3 0.5\n");
+  EXPECT_THROW((void)sd::read_xyz(truncated), std::runtime_error);
+}
+
+}  // namespace

@@ -1,0 +1,188 @@
+// Tests for the exact dense SD resistance, the sparse-model accuracy
+// probe, spatial sorting, and the MSD analysis tools.
+#include <gtest/gtest.h>
+
+#include <numbers>
+#include <vector>
+
+#include "dense/matrix.hpp"
+#include "sd/analysis.hpp"
+#include "sd/full_resistance.hpp"
+#include "sd/packing.hpp"
+#include "sd/radii.hpp"
+#include "sd/resistance.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace mrhs;
+using sd::Vec3;
+
+sd::ParticleSystem packed(std::size_t n, double phi, std::uint64_t seed) {
+  auto radii = sd::sample_radii(sd::ecoli_cytoplasm_distribution(), n, seed);
+  sd::PackingParams params;
+  params.seed = seed;
+  return sd::pack_equilibrated(std::move(radii), phi, params);
+}
+
+TEST(FullResistance, SingleParticleIsStokesDrag) {
+  std::vector<Vec3> pos = {{5, 5, 5}};
+  std::vector<double> radii = {1.5};
+  const sd::ParticleSystem system(std::move(pos), std::move(radii),
+                                  sd::PeriodicBox(10.0));
+  const auto r_ff = sd::far_field_resistance_dense(system, 2.0);
+  const double expected = 6.0 * std::numbers::pi * 2.0 * 1.5;
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      EXPECT_NEAR(r_ff(i, j), i == j ? expected : 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(FullResistance, SymmetricPositiveDefinite) {
+  // RPY under the minimum-image truncation stays SPD only while the
+  // box is large relative to the particles (dilute-to-moderate
+  // occupancy); the dense exact path targets exactly that validation
+  // regime.
+  const auto system = packed(40, 0.2, 3);
+  sd::ResistanceParams params;
+  const auto r = sd::full_resistance_dense(system, params);
+  EXPECT_LT(r.asymmetry(), 1e-8 * r.frobenius_norm());
+  const auto es = dense::eigen_symmetric(r);
+  EXPECT_GT(es.eigenvalues.front(), 0.0);
+}
+
+TEST(FullResistance, FarFieldCouplesDistantPairs) {
+  // Two distant particles: the sparse model has zero coupling, the
+  // full model's far field does not.
+  std::vector<Vec3> pos = {{5, 5, 5}, {5, 5, 11}};
+  std::vector<double> radii = {1.0, 1.0};
+  const sd::ParticleSystem system(std::move(pos), std::move(radii),
+                                  sd::PeriodicBox(20.0));
+  sd::ResistanceParams params;
+  const auto full = sd::full_resistance_dense(system, params);
+  const auto sparse_dense =
+      sd::assemble_resistance(system, params).to_dense();
+  // Off-diagonal (0,1) block: nonzero in full, zero in sparse.
+  double full_off = 0.0, sparse_off = 0.0;
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 3; ++c) {
+      full_off = std::max(full_off, std::abs(full(r, 3 + c)));
+      sparse_off = std::max(sparse_off, std::abs(sparse_dense(r, 3 + c)));
+    }
+  }
+  EXPECT_GT(full_off, 1e-3);
+  EXPECT_DOUBLE_EQ(sparse_off, 0.0);
+}
+
+TEST(FullResistance, SparseModelErrorIsModerate) {
+  // The Torres–Gilbert substitution replaces (M_inf)^{-1} with an
+  // isotropic effective drag. The velocity error against the exact
+  // dense model should be an O(few tens of percent) model difference,
+  // not a blow-up. (Tested at the moderate occupancy where the
+  // minimum-image RPY stays SPD.)
+  const auto system = packed(40, 0.25, 7);
+  sd::ResistanceParams params;
+  util::StreamRng rng(11);
+  std::vector<double> f(3 * system.size());
+  rng.fill_normal(f);
+  const double err = sd::sparse_model_velocity_error(system, params, f);
+  EXPECT_GT(err, 0.0);
+  EXPECT_LT(err, 1.0);
+}
+
+TEST(SpatialSort, PreservesParticlePairing) {
+  auto system = packed(100, 0.4, 13);
+  // Tag each particle by a radius-position pair before sorting.
+  std::vector<std::pair<double, double>> before;
+  before.reserve(system.size());
+  for (std::size_t i = 0; i < system.size(); ++i) {
+    before.emplace_back(system.radii()[i], system.positions()[i].x);
+  }
+  const auto perm = sd::spatial_sort(system);
+  ASSERT_EQ(perm.size(), system.size());
+  for (std::size_t i = 0; i < system.size(); ++i) {
+    EXPECT_DOUBLE_EQ(system.radii()[i], before[perm[i]].first);
+    EXPECT_DOUBLE_EQ(system.positions()[i].x, before[perm[i]].second);
+  }
+}
+
+TEST(SpatialSort, ImprovesIndexLocality) {
+  // After Morton sorting, neighboring particles should have close
+  // indices: the mean index distance of interacting pairs drops.
+  auto radii = sd::sample_radii(sd::ecoli_cytoplasm_distribution(), 400, 17);
+  // Build an intentionally shuffled system.
+  util::StreamRng rng(17);
+  sd::PackingParams params;
+  params.seed = 17;
+  auto system = sd::pack_equilibrated(std::move(radii), 0.45, params);
+  // Shuffle.
+  std::vector<Vec3> pos(system.positions().begin(),
+                        system.positions().end());
+  std::vector<double> rad(system.radii().begin(), system.radii().end());
+  for (std::size_t i = pos.size(); i > 1; --i) {
+    const auto j = static_cast<std::size_t>(rng.uniform() * i);
+    std::swap(pos[i - 1], pos[j]);
+    std::swap(rad[i - 1], rad[j]);
+  }
+  sd::ParticleSystem shuffled(std::move(pos), std::move(rad), system.box());
+
+  auto mean_index_distance = [](const sd::ParticleSystem& s) {
+    const sd::CellList cells(s, 2.5);
+    double sum = 0.0;
+    std::size_t count = 0;
+    cells.for_each_pair([&](const sd::Pair& p) {
+      sum += static_cast<double>(p.j - p.i);
+      ++count;
+    });
+    return count > 0 ? sum / static_cast<double>(count) : 0.0;
+  };
+
+  const double shuffled_distance = mean_index_distance(shuffled);
+  sd::spatial_sort(shuffled);
+  const double sorted_distance = mean_index_distance(shuffled);
+  EXPECT_LT(sorted_distance, 0.5 * shuffled_distance);
+}
+
+TEST(Analysis, MsdTrackerFitsLinearDiffusion) {
+  // Synthetic diffusion: displace one particle so MSD = 6 D t exactly.
+  std::vector<Vec3> pos = {{5, 5, 5}};
+  std::vector<double> radii = {1.0};
+  sd::ParticleSystem system(std::move(pos), std::move(radii),
+                            sd::PeriodicBox(100.0));
+  sd::MsdTracker tracker;
+  const double d_true = 0.25;
+  double displaced2 = 0.0;
+  for (int k = 1; k <= 20; ++k) {
+    const double t = 0.1 * k;
+    const double target2 = 6.0 * d_true * t;
+    const double step = std::sqrt(target2) - std::sqrt(displaced2);
+    const std::vector<double> u = {step, 0.0, 0.0};
+    system.advance(u, 1.0);
+    displaced2 = target2;
+    tracker.sample(system, t);
+  }
+  const auto fit = tracker.fit_diffusion(0.0);
+  EXPECT_NEAR(fit.d, d_true, 1e-9);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-9);
+}
+
+TEST(Analysis, TrackerValidation) {
+  sd::MsdTracker tracker;
+  std::vector<Vec3> pos = {{1, 1, 1}};
+  std::vector<double> radii = {1.0};
+  const sd::ParticleSystem system(std::move(pos), std::move(radii),
+                                  sd::PeriodicBox(10.0));
+  tracker.sample(system, 1.0);
+  EXPECT_THROW(tracker.sample(system, 0.5), std::invalid_argument);
+  EXPECT_THROW((void)tracker.fit_diffusion(), std::runtime_error);
+}
+
+TEST(Analysis, StokesEinstein) {
+  EXPECT_NEAR(sd::stokes_einstein_d(1.0, 1.0, 1.0),
+              1.0 / (6.0 * std::numbers::pi), 1e-15);
+  EXPECT_NEAR(sd::stokes_einstein_d(2.0, 1.0, 2.0),
+              1.0 / (6.0 * std::numbers::pi), 1e-15);
+}
+
+}  // namespace

@@ -1,0 +1,172 @@
+// Cross-module integration tests: the Cholesky direct path vs the
+// iterative paths, assembler consistency, and end-to-end physics
+// (diffusion) through the full stack.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/sd_simulation.hpp"
+#include "core/stepper.hpp"
+#include "sd/analysis.hpp"
+#include "sd/effective_viscosity.hpp"
+#include "sd/packing.hpp"
+#include "sd/radii.hpp"
+#include "sd/resistance.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace mrhs;
+
+core::SdConfig tiny_config(std::size_t particles = 120, double phi = 0.4,
+                           std::uint64_t seed = 3) {
+  core::SdConfig config;
+  config.particles = particles;
+  config.phi = phi;
+  config.seed = seed;
+  return config;
+}
+
+TEST(Assembler, ReusedAssemblerMatchesOneShot) {
+  core::SdSimulation sim(tiny_config());
+  sd::ResistanceAssembler assembler(sim.resistance_params());
+  const auto a1 = assembler.assemble(sim.system());
+  const auto a2 = sd::assemble_resistance(sim.system(),
+                                          sim.resistance_params());
+  ASSERT_EQ(a1.nnzb(), a2.nnzb());
+  const auto v1 = a1.values();
+  const auto v2 = a2.values();
+  for (std::size_t k = 0; k < v1.size(); ++k) {
+    ASSERT_DOUBLE_EQ(v1[k], v2[k]);
+  }
+  // And a second call on the same (reused) assembler is identical.
+  const auto a3 = assembler.assemble(sim.system());
+  const auto v3 = a3.values();
+  for (std::size_t k = 0; k < v1.size(); ++k) {
+    ASSERT_DOUBLE_EQ(v1[k], v3[k]);
+  }
+}
+
+TEST(Assembler, RowsSortedAndDiagPresent) {
+  core::SdSimulation sim(tiny_config());
+  const auto a = sim.assemble();
+  const auto row_ptr = a.row_ptr();
+  const auto col_idx = a.col_idx();
+  for (std::size_t i = 0; i < a.block_rows(); ++i) {
+    bool has_diag = false;
+    for (std::int64_t p = row_ptr[i]; p < row_ptr[i + 1]; ++p) {
+      if (p > row_ptr[i]) ASSERT_LT(col_idx[p - 1], col_idx[p]);
+      if (static_cast<std::size_t>(col_idx[p]) == i) has_diag = true;
+    }
+    ASSERT_TRUE(has_diag);
+  }
+}
+
+TEST(CholeskyPath, RunsAndRefinementIsCheap) {
+  core::SdSimulation sim(tiny_config(100, 0.45, 5));
+  core::CholeskyAlgorithm direct(sim);
+  const auto stats = direct.run(4);
+  EXPECT_EQ(stats.steps.size(), 4u);
+  for (const auto& rec : stats.steps) {
+    EXPECT_EQ(rec.iters_first_solve, 0u);  // direct solve
+    // "only a very small number of iterations are needed" for the
+    // frozen-factor midpoint refinement.
+    EXPECT_GE(rec.iters_second_solve, 1u);
+    EXPECT_LE(rec.iters_second_solve, 10u);
+  }
+  EXPECT_GT(stats.timers.seconds(core::phase_direct::kFactor), 0.0);
+  EXPECT_GT(stats.timers.seconds(core::phase_direct::kBrownian), 0.0);
+  EXPECT_GT(sim.system().mean_squared_displacement(), 0.0);
+}
+
+TEST(CholeskyPath, RejectsLargeSystems) {
+  core::SdSimulation sim(tiny_config(200));
+  EXPECT_THROW(core::CholeskyAlgorithm(sim, /*max_dof=*/300),
+               std::invalid_argument);
+}
+
+TEST(CholeskyPath, MsdStatisticallyMatchesIterativePath) {
+  // Same model, different square roots (exact L vs Chebyshev) and
+  // solvers (direct vs CG): per-step displacement statistics must
+  // agree. Compare MSD after the same number of steps.
+  const auto config = tiny_config(100, 0.4, 11);
+  const std::size_t steps = 10;
+
+  core::SdSimulation sim_direct(config), sim_iter(config);
+  core::CholeskyAlgorithm direct(sim_direct);
+  core::OriginalAlgorithm iterative(sim_iter);
+  direct.run(steps);
+  iterative.run(steps);
+
+  const double msd_direct = sim_direct.system().mean_squared_displacement();
+  const double msd_iter = sim_iter.system().mean_squared_displacement();
+  EXPECT_GT(msd_direct, 0.0);
+  EXPECT_GT(msd_iter, 0.0);
+  // Loose statistical band (same noise stream but different sqrt
+  // factor mixes it differently).
+  EXPECT_LT(msd_direct / msd_iter, 2.5);
+  EXPECT_GT(msd_direct / msd_iter, 0.4);
+}
+
+TEST(Physics, DiluteDiffusionApproachesStokesEinstein) {
+  // At low occupancy, with far-field drag at eta_eff, the measured
+  // diffusion coefficient should approach kT / (6 pi eta_eff a) for
+  // the mean particle. Statistical test with a generous band.
+  core::SdConfig config = tiny_config(150, 0.08, 21);
+  core::SdSimulation sim(config);
+  core::MrhsAlgorithm stepper(sim, 8);
+  sd::MsdTracker tracker;
+  const std::size_t chunks = 4;
+  for (std::size_t c = 1; c <= chunks; ++c) {
+    stepper.run(8);
+    tracker.sample(sim.system(),
+                   sim.dt() * static_cast<double>(8 * c));
+  }
+  const double t_total = sim.dt() * static_cast<double>(8 * chunks);
+  const double d_measured =
+      sim.system().mean_squared_displacement() / (6.0 * t_total);
+  // Reference: radius-weighted mean of per-particle Stokes-Einstein
+  // (D ~ 1/a), with the effective far-field viscosity.
+  const double phi = sim.system().volume_fraction();
+  double d_ref = 0.0;
+  for (double a : sim.system().radii()) {
+    d_ref += sd::stokes_einstein_d(config.kT, config.viscosity, a);
+  }
+  d_ref /= static_cast<double>(sim.system().size());
+  d_ref /= sd::effective_viscosity_ratio(phi);
+  EXPECT_GT(d_measured, 0.5 * d_ref);
+  EXPECT_LT(d_measured, 1.5 * d_ref);
+}
+
+TEST(Physics, CrowdingSuppressesDiffusion) {
+  auto measure_d_over_d0 = [&](double phi) {
+    core::SdConfig config = tiny_config(120, phi, 23);
+    core::SdSimulation sim(config);
+    core::MrhsAlgorithm stepper(sim, 8);
+    stepper.run(16);
+    const double t = sim.dt() * 16.0;
+    const double d = sim.system().mean_squared_displacement() / (6.0 * t);
+    return d / sd::stokes_einstein_d(config.kT, config.viscosity,
+                                     sim.mean_radius());
+  };
+  const double dilute = measure_d_over_d0(0.1);
+  const double crowded = measure_d_over_d0(0.5);
+  EXPECT_LT(crowded, dilute);
+}
+
+TEST(Physics, TrajectoriesDeterministicInSeed) {
+  const auto config = tiny_config(80, 0.4, 31);
+  core::SdSimulation a(config), b(config);
+  core::MrhsAlgorithm stepper_a(a, 4), stepper_b(b, 4);
+  stepper_a.run(4);
+  stepper_b.run(4);
+  for (std::size_t i = 0; i < a.system().size(); ++i) {
+    const auto da = a.system().unwrapped_displacement(i);
+    const auto db = b.system().unwrapped_displacement(i);
+    EXPECT_DOUBLE_EQ(da.x, db.x);
+    EXPECT_DOUBLE_EQ(da.y, db.y);
+    EXPECT_DOUBLE_EQ(da.z, db.z);
+  }
+}
+
+}  // namespace

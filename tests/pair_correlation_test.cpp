@@ -1,0 +1,102 @@
+// Tests for the radial distribution function: structural validation of
+// the packer (the configurations every experiment runs on).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sd/pair_correlation.hpp"
+#include "sd/packing.hpp"
+#include "sd/radii.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace mrhs;
+using sd::Vec3;
+
+TEST(PairCorrelation, IdealGasIsFlat) {
+  // Random points: g(r) ~ 1 for all r.
+  util::StreamRng rng(1);
+  const double box_len = 20.0;
+  std::vector<Vec3> pos(4000);
+  std::vector<double> radii(pos.size(), 0.01);  // effectively points
+  for (auto& p : pos) {
+    p = {rng.uniform(0, box_len), rng.uniform(0, box_len),
+         rng.uniform(0, box_len)};
+  }
+  const sd::ParticleSystem system(std::move(pos), std::move(radii),
+                                  sd::PeriodicBox(box_len));
+  const auto gr = sd::pair_correlation(system, 8.0, 32);
+  // Skip the innermost bins (few counts); the rest must hover near 1.
+  for (std::size_t b = 4; b < gr.g.size(); ++b) {
+    EXPECT_NEAR(gr.g[b], 1.0, 0.25) << "bin " << b;
+  }
+}
+
+TEST(PairCorrelation, PackedSuspensionHasExclusionHole) {
+  auto radii = sd::sample_radii(sd::ecoli_cytoplasm_distribution(), 400, 5);
+  sd::PackingParams params;
+  params.seed = 5;
+  const auto system = sd::pack_equilibrated(std::move(radii), 0.45, params);
+  const double r_max = 0.45 * system.box().length();
+  const auto gr = sd::pair_correlation(system, r_max, 48);
+
+  // Exclusion hole: essentially no pairs below the smallest contact
+  // distance (2 * min radius ~ 1.17).
+  for (std::size_t b = 0; b < gr.g.size(); ++b) {
+    if (gr.r[b] < 1.0) {
+      EXPECT_LT(gr.g[b], 0.05) << "r = " << gr.r[b];
+    }
+  }
+  // Liquid-like: approaches 1 at large separations.
+  double tail = 0.0;
+  std::size_t tail_bins = 0;
+  for (std::size_t b = 0; b < gr.g.size(); ++b) {
+    if (gr.r[b] > 0.75 * r_max) {
+      tail += gr.g[b];
+      ++tail_bins;
+    }
+  }
+  ASSERT_GT(tail_bins, 0u);
+  EXPECT_NEAR(tail / static_cast<double>(tail_bins), 1.0, 0.2);
+  // And a contact peak above the tail level somewhere below r ~ 3.
+  double peak = 0.0;
+  for (std::size_t b = 0; b < gr.g.size(); ++b) {
+    if (gr.r[b] < 3.0) peak = std::max(peak, gr.g[b]);
+  }
+  EXPECT_GT(peak, 1.0);
+}
+
+TEST(PairCorrelation, GapHistogramStartsAtThePad) {
+  // The equilibrium pad enforces a minimum scaled gap: the gap
+  // histogram must be empty below ~2 * pad.
+  auto radii = sd::sample_radii(sd::ecoli_cytoplasm_distribution(), 300, 7);
+  sd::PackingParams params;
+  params.seed = 7;
+  const double phi = 0.4;
+  const auto system = sd::pack_equilibrated(std::move(radii), phi, params);
+  const double pad = sd::equilibrium_pad(phi);
+  const auto gx = sd::gap_correlation(system, 1.0, 64);
+  for (std::size_t b = 0; b < gx.g.size(); ++b) {
+    if (gx.r[b] < pad) {
+      EXPECT_DOUBLE_EQ(gx.g[b], 0.0);
+    }
+  }
+  double total = 0.0;
+  for (double v : gx.g) total += v;
+  EXPECT_GT(total, 0.0);
+}
+
+TEST(PairCorrelation, Validation) {
+  std::vector<Vec3> pos = {{1, 1, 1}};
+  std::vector<double> radii = {1.0};
+  const sd::ParticleSystem system(std::move(pos), std::move(radii),
+                                  sd::PeriodicBox(10.0));
+  EXPECT_THROW((void)sd::pair_correlation(system, 6.0), std::invalid_argument);
+  EXPECT_THROW((void)sd::pair_correlation(system, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)sd::pair_correlation(system, 4.0, 0),
+               std::invalid_argument);
+  EXPECT_THROW((void)sd::gap_correlation(system, -1.0), std::invalid_argument);
+}
+
+}  // namespace

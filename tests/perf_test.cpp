@@ -1,0 +1,243 @@
+// Tests for the performance model (eq. 8) and machine microbenchmarks.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+
+#include "perf/machine.hpp"
+#include "perf/measure.hpp"
+#include "perf/model.hpp"
+#include "sparse/bcrs.hpp"
+
+namespace {
+
+using namespace mrhs;
+
+perf::GspmvModel paper_wsm_mat2() {
+  // mat2 on Westmere: nnzb/nb = 24.9, B = 23 GB/s, F = 45 Gflop/s.
+  perf::GspmvModel model;
+  model.block_rows = 395e3;
+  model.nonzero_blocks = 9e6;
+  model.bandwidth = 23e9;
+  model.flops = 45e9;
+  return model;
+}
+
+TEST(Model, TrafficFormula) {
+  perf::GspmvModel model;
+  model.block_rows = 100;
+  model.nonzero_blocks = 1000;
+  model.bandwidth = 1.0;
+  model.flops = 1.0;
+  // m=1, k=0: 1*100*3*3*8 + 4*100 + 1000*76 = 7200 + 400 + 76000.
+  EXPECT_DOUBLE_EQ(model.memory_traffic(1), 83600.0);
+  // Vector term linear in m.
+  EXPECT_DOUBLE_EQ(model.memory_traffic(3) - model.memory_traffic(2),
+                   model.memory_traffic(2) - model.memory_traffic(1));
+}
+
+TEST(Model, RelativeTimeStartsAtOneAndGrows) {
+  const auto model = paper_wsm_mat2();
+  EXPECT_DOUBLE_EQ(model.relative_time(1), 1.0);
+  double prev = 1.0;
+  for (std::size_t m = 2; m <= 64; m *= 2) {
+    const double r = model.relative_time(m);
+    EXPECT_GT(r, prev);
+    prev = r;
+  }
+  // Sub-linear: r(m) << m in the amortized regime.
+  EXPECT_LT(model.relative_time(8), 3.0);
+}
+
+TEST(Model, PaperHeadlineNumbersReproduced) {
+  // "we can typically multiply by 8 to 16 vectors in only twice the
+  // time required to multiply by a single vector."
+  // mat1 (nnzb/nb = 5.6) on WSM: 8 vectors at r = 2.
+  perf::GspmvModel mat1;
+  mat1.block_rows = 300e3;
+  mat1.nonzero_blocks = 1.7e6;
+  mat1.bandwidth = 23e9;
+  mat1.flops = 45e9;
+  const std::size_t v1 = mat1.vectors_within_ratio(2.0);
+  EXPECT_GE(v1, 7u);
+  EXPECT_LE(v1, 10u);
+
+  // mat2 (nnzb/nb = 24.9) on WSM: measured 12; the k = 0 model is an
+  // upper profile ("experimentally obtained values are somewhat
+  // smaller than those shown in this profile").
+  const auto mat2 = paper_wsm_mat2();
+  const std::size_t v2 = mat2.vectors_within_ratio(2.0);
+  EXPECT_GE(v2, 12u);
+  EXPECT_LE(v2, 20u);
+  // With the paper's measured k ~ 3 the profile drops to ~the
+  // measured 12.
+  auto mat2k = mat2;
+  mat2k.k = [](std::size_t) { return 3.0; };
+  const std::size_t v2k = mat2k.vectors_within_ratio(2.0);
+  EXPECT_GE(v2k, 9u);
+  EXPECT_LE(v2k, 15u);
+
+  // mat3 (nnzb/nb = 45.3) on SNB (B = 33 GB/s, F = 90 Gflop/s): ~16.
+  perf::GspmvModel mat3;
+  mat3.block_rows = 395e3;
+  mat3.nonzero_blocks = 18e6;
+  mat3.bandwidth = 33e9;
+  mat3.flops = 90e9;
+  const std::size_t v3 = mat3.vectors_within_ratio(2.0);
+  EXPECT_GE(v3, 14u);
+  EXPECT_LE(v3, 26u);
+}
+
+TEST(Model, CrossoverBehavior) {
+  const auto model = paper_wsm_mat2();
+  const std::size_t ms = model.crossover_m(256);
+  ASSERT_LE(ms, 256u);
+  // Below the crossover the bandwidth bound dominates; above, compute.
+  if (ms > 1) {
+    EXPECT_GT(model.time_bandwidth_bound(ms - 1),
+              model.time_compute_bound(ms - 1));
+  }
+  EXPECT_GE(model.time_compute_bound(ms), model.time_bandwidth_bound(ms));
+}
+
+TEST(Model, DiagonalMatrixStaysBandwidthBound) {
+  // The paper's example: a huge diagonal matrix has no vector reuse,
+  // GSPMV stays bandwidth-bound for all m.
+  perf::GspmvModel model;
+  model.block_rows = 1e6;
+  model.nonzero_blocks = 1e6;  // nnzb/nb = 1
+  model.bandwidth = 23e9;
+  model.flops = 45e9;
+  EXPECT_GT(model.crossover_m(512), 512u);
+}
+
+TEST(Model, MoreBlocksPerRowAllowMoreVectors) {
+  // Fig 1's horizontal axis, in the bandwidth-dominated regime (small
+  // B/F): denser rows amortize vector traffic against a bigger matrix
+  // term, so more vectors fit within 2x.
+  double prev = 0.0;
+  for (double bpr : {6.0, 24.0, 84.0}) {
+    const auto model = perf::ratio_model(bpr, 0.05);
+    const double v = static_cast<double>(model.vectors_within_ratio(2.0));
+    EXPECT_GT(v, prev);
+    prev = v;
+  }
+}
+
+TEST(Model, MoreBlocksPerRowSaturatesWhenComputeBound) {
+  // At high B/F the compute bound caps the profile: the vector count
+  // becomes insensitive to nnzb/nb (the flat region of Fig 1).
+  const auto a = perf::ratio_model(30.0, 0.5);
+  const auto b = perf::ratio_model(84.0, 0.5);
+  EXPECT_EQ(a.vectors_within_ratio(2.0), b.vectors_within_ratio(2.0));
+}
+
+TEST(Model, HigherByteFlopRatioReducesVectorCount) {
+  // Fig 1's vertical axis: larger B/F means relatively slower compute,
+  // so the compute bound kicks in sooner and fewer vectors fit in 2x
+  // (WSM at B/F = 0.55 reaches 12 on mat2; SNB at 0.37 reaches 16 on
+  // the denser mat3).
+  double prev = 1e9;
+  for (double bf : {0.02, 0.2, 0.6}) {
+    const auto model = perf::ratio_model(30.0, bf);
+    const double v = static_cast<double>(model.vectors_within_ratio(2.0));
+    EXPECT_LE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(Model, KPenaltyReducesVectorCount) {
+  const auto base = perf::ratio_model(25.0, 0.5, /*k=*/0.0);
+  const auto worse = perf::ratio_model(25.0, 0.5, /*k=*/3.0);
+  EXPECT_LE(worse.vectors_within_ratio(2.0), base.vectors_within_ratio(2.0));
+}
+
+TEST(Model, RatioModelValidation) {
+  EXPECT_THROW((void)perf::ratio_model(0.0, 0.5), std::invalid_argument);
+  EXPECT_THROW((void)perf::ratio_model(10.0, -1.0), std::invalid_argument);
+}
+
+TEST(Machine, StreamBandwidthPlausible) {
+  perf::StreamOptions opts;
+  opts.elements = 4u << 20;  // keep the test fast
+  opts.repetitions = 2;
+  const double b = perf::measure_stream_bandwidth(opts);
+  EXPECT_GT(b, 1e9);    // > 1 GB/s
+  EXPECT_LT(b, 1e12);   // < 1 TB/s
+}
+
+TEST(Machine, KernelFlopsPlausibleAndOrdered) {
+  perf::KernelFlopsOptions opts;
+  opts.min_seconds = 0.02;
+  const double f1 = perf::measure_kernel_flops(1, opts);
+  const double f8 = perf::measure_kernel_flops(8, opts);
+  EXPECT_GT(f1, 1e8);
+  EXPECT_GT(f8, f1);  // unrolling over m lifts SIMD efficiency
+  EXPECT_LT(f8, 1e12);
+}
+
+TEST(Measure, RelativeTimeMeasurementSane) {
+  const auto a = sparse::make_random_bcrs(2000, 20.0, 3);
+  const std::size_t ms[] = {1, 4, 8};
+  const auto points = perf::measure_relative_time(a, ms, /*threads=*/1,
+                                                  /*min_seconds=*/0.02);
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_DOUBLE_EQ(points[0].relative, 1.0);
+  // Multi-vector runs are never much faster than m = 1 (the scalar
+  // SPMV baseline can lose slightly to the vectorized m > 1 kernels).
+  EXPECT_GE(points[1].relative, 0.6);
+  EXPECT_LT(points[2].relative, 8.0);     // strictly amortized
+  EXPECT_GT(points[2].seconds, points[0].seconds * 0.6);
+}
+
+TEST(Measure, SpmvThroughputConsistent) {
+  const auto a = sparse::make_random_bcrs(2000, 20.0, 5);
+  const auto t = perf::measure_spmv_throughput(a, 1, 0.02);
+  EXPECT_GT(t.seconds, 0.0);
+  EXPECT_GT(t.gbytes_per_sec, 0.1);
+  EXPECT_GT(t.gflops, 0.01);
+  // Gflops and GB/s must be consistent with the arithmetic intensity.
+  const double intensity = 18.0 * static_cast<double>(a.nnzb()) /
+                           (t.gbytes_per_sec / t.gflops);
+  (void)intensity;  // ratio check below
+  EXPECT_NEAR(t.gflops / t.gbytes_per_sec,
+              18.0 * static_cast<double>(a.nnzb()) /
+                  (9.0 * 8.0 * static_cast<double>(a.rows()) / 3.0 +
+                   4.0 * static_cast<double>(a.block_rows()) +
+                   76.0 * static_cast<double>(a.nnzb())),
+              0.01);
+}
+
+}  // namespace
+
+namespace {
+
+using namespace mrhs;
+
+TEST(Model, InferKRoundTrip) {
+  // Generate a time from the model at a known k, then recover it.
+  perf::GspmvModel model;
+  model.block_rows = 1e4;
+  model.nonzero_blocks = 2.5e5;
+  model.bandwidth = 20e9;
+  model.flops = 40e9;
+  for (double k_true : {0.0, 1.5, 3.0, -1.0}) {
+    auto with_k = model;
+    with_k.k = [k_true](std::size_t) { return k_true; };
+    const double seconds = with_k.time_bandwidth_bound(8);
+    const double k_est = perf::infer_k(model, 8, seconds);
+    EXPECT_NEAR(k_est, k_true, 1e-9);
+  }
+}
+
+TEST(Model, InferKRejectsComputeBoundTimes) {
+  perf::GspmvModel model;
+  model.block_rows = 1e4;
+  model.nonzero_blocks = 5e5;   // dense rows
+  model.bandwidth = 100e9;      // bandwidth effectively free
+  model.flops = 1e9;            // compute-starved
+  const double seconds = model.time(16);  // compute bound dominates
+  EXPECT_TRUE(std::isnan(perf::infer_k(model, 16, seconds * 0.99)));
+}
+
+}  // namespace

@@ -1,0 +1,81 @@
+// Tests for the reuse-until-degraded preconditioner policy (the
+// paper's technique #1 for sequences of slowly varying systems).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "solver/cg.hpp"
+#include "solver/operator.hpp"
+#include "solver/reusable_preconditioner.hpp"
+#include "sparse/bcrs.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace mrhs;
+
+TEST(ReusablePreconditioner, BuildsOnceWhileConvergenceHolds) {
+  const auto a = sparse::make_random_bcrs(40, 6.0, 3);
+  solver::ReusablePreconditioner policy(1.3);
+  EXPECT_TRUE(policy.rebuild_pending());
+
+  (void)policy.get(a);
+  EXPECT_EQ(policy.rebuilds(), 1u);
+  EXPECT_FALSE(policy.rebuild_pending());
+
+  policy.report(50);  // baseline
+  policy.report(55);  // within 1.3x
+  policy.report(60);
+  (void)policy.get(a);
+  EXPECT_EQ(policy.rebuilds(), 1u);  // still the cached one
+}
+
+TEST(ReusablePreconditioner, RebuildsAfterDegradation) {
+  const auto a = sparse::make_random_bcrs(40, 6.0, 5);
+  solver::ReusablePreconditioner policy(1.3);
+  (void)policy.get(a);
+  policy.report(50);   // baseline
+  policy.report(70);   // 1.4x -> degraded
+  EXPECT_TRUE(policy.rebuild_pending());
+  (void)policy.get(a);
+  EXPECT_EQ(policy.rebuilds(), 2u);
+  // Fresh baseline after the rebuild.
+  policy.report(70);
+  policy.report(80);   // within 1.3 * 70
+  EXPECT_FALSE(policy.rebuild_pending());
+}
+
+TEST(ReusablePreconditioner, ReportBeforeGetThrows) {
+  solver::ReusablePreconditioner policy;
+  EXPECT_THROW(policy.report(10), std::logic_error);
+}
+
+TEST(ReusablePreconditioner, EndToEndOnDriftingSequence) {
+  // A drifting SPD sequence solved with PCG under the reuse policy:
+  // everything stays converged and the policy rebuilds at most a few
+  // times.
+  const auto base = sparse::make_random_bcrs(60, 8.0, 7, true, 0.3);
+  util::StreamRng rng(9);
+  std::vector<double> b(base.rows());
+  rng.fill_normal(b);
+
+  solver::ReusablePreconditioner policy(1.2);
+  std::size_t total_iters = 0;
+  for (int k = 0; k < 8; ++k) {
+    auto ak = base;
+    for (double& v : ak.values()) v *= 1.0 + 0.02 * k;  // drift
+    solver::BcrsOperator op(ak, 1);
+    const auto& precond = policy.get(ak);
+    std::vector<double> x(op.size(), 0.0);
+    const auto result =
+        solver::preconditioned_conjugate_gradient(op, precond, b, x);
+    ASSERT_TRUE(result.converged);
+    policy.report(result.iterations);
+    total_iters += result.iterations;
+  }
+  EXPECT_GE(policy.rebuilds(), 1u);
+  EXPECT_LE(policy.rebuilds(), 8u);
+  EXPECT_GT(total_iters, 0u);
+}
+
+}  // namespace

@@ -1,0 +1,230 @@
+// Tests for src/util: aligned storage, RNG streams, statistics, CLI,
+// tables, timers.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "util/aligned.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace mrhs;
+
+TEST(Aligned, VectorIs64ByteAligned) {
+  for (std::size_t n : {1u, 7u, 64u, 1000u}) {
+    util::AlignedVector<double> v(n, 0.0);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(v.data()) % 64, 0u);
+  }
+}
+
+TEST(Aligned, RoundUp) {
+  EXPECT_EQ(util::round_up(0, 8), 0u);
+  EXPECT_EQ(util::round_up(1, 8), 8u);
+  EXPECT_EQ(util::round_up(8, 8), 8u);
+  EXPECT_EQ(util::round_up(9, 8), 16u);
+}
+
+TEST(Rng, DeterministicPerSeedAndStream) {
+  util::StreamRng a(42, 3), b(42, 3), c(42, 4), d(43, 3);
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a();
+    EXPECT_EQ(va, b());
+    EXPECT_NE(va, c());  // different stream
+    EXPECT_NE(va, d());  // different seed
+  }
+}
+
+TEST(Rng, UniformInRange) {
+  util::StreamRng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-2.0, 5.0);
+    EXPECT_GE(u, -2.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, NormalMomentsMatchStandardNormal) {
+  util::StreamRng rng(123);
+  const std::size_t n = 200000;
+  std::vector<double> xs(n);
+  rng.fill_normal(xs);
+  EXPECT_NEAR(util::mean(xs), 0.0, 0.02);
+  EXPECT_NEAR(util::stddev(xs), 1.0, 0.02);
+  // Fourth moment of a standard normal is 3.
+  double m4 = 0.0;
+  for (double x : xs) m4 += x * x * x * x;
+  m4 /= static_cast<double>(n);
+  EXPECT_NEAR(m4, 3.0, 0.15);
+}
+
+TEST(Rng, StreamsAreDecorrelated) {
+  const std::size_t n = 50000;
+  util::StreamRng a(42, 1), b(42, 2);
+  double dot = 0.0;
+  for (std::size_t i = 0; i < n; ++i) dot += a.normal() * b.normal();
+  EXPECT_LT(std::abs(dot / static_cast<double>(n)), 0.02);
+}
+
+TEST(Stats, MeanVarianceMedian) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(util::mean(xs), 3.0);
+  EXPECT_DOUBLE_EQ(util::variance(xs), 2.5);
+  EXPECT_DOUBLE_EQ(util::median(xs), 3.0);
+  EXPECT_DOUBLE_EQ(util::min_of(xs), 1.0);
+  EXPECT_DOUBLE_EQ(util::max_of(xs), 5.0);
+  const std::vector<double> even = {4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(util::median(even), 2.5);
+}
+
+TEST(Stats, EmptyInputThrows) {
+  const std::vector<double> empty;
+  EXPECT_THROW((void)util::mean(empty), std::invalid_argument);
+  EXPECT_THROW((void)util::median(empty), std::invalid_argument);
+  const std::vector<double> one = {1.0};
+  EXPECT_THROW((void)util::variance(one), std::invalid_argument);
+}
+
+TEST(Stats, LinearFitRecoversLine) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 50; ++i) {
+    xs.push_back(i);
+    ys.push_back(2.5 * i - 7.0);
+  }
+  const auto fit = util::linear_fit(xs, ys);
+  EXPECT_NEAR(fit.slope, 2.5, 1e-12);
+  EXPECT_NEAR(fit.intercept, -7.0, 1e-10);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(Stats, PowerLawFitRecoversExponent) {
+  std::vector<double> xs, ys;
+  for (int i = 1; i <= 40; ++i) {
+    xs.push_back(i);
+    ys.push_back(0.006 * std::sqrt(static_cast<double>(i)));
+  }
+  const auto fit = util::power_law_fit(xs, ys);
+  EXPECT_NEAR(fit.slope, 0.5, 1e-10);
+  EXPECT_NEAR(std::exp(fit.intercept), 0.006, 1e-10);
+}
+
+TEST(Stats, PowerLawRejectsNonPositive) {
+  const std::vector<double> xs = {1.0, -2.0};
+  const std::vector<double> ys = {1.0, 2.0};
+  EXPECT_THROW((void)util::power_law_fit(xs, ys), std::invalid_argument);
+}
+
+TEST(Stats, Norms) {
+  const std::vector<double> a = {3.0, 4.0};
+  const std::vector<double> b = {0.0, 0.0};
+  EXPECT_DOUBLE_EQ(util::norm2(a), 5.0);
+  EXPECT_DOUBLE_EQ(util::diff_norm2(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(util::max_abs_diff(a, b), 4.0);
+}
+
+TEST(Cli, ParsesTypedFlags) {
+  util::ArgParser args("prog", "test");
+  int i = 1;
+  double d = 2.0;
+  std::string s = "x";
+  bool flag = false;
+  args.add("count", i, "a count");
+  args.add("ratio", d, "a ratio");
+  args.add("name", s, "a name");
+  args.add("verbose", flag, "a switch");
+  const char* argv[] = {"prog", "--count", "5", "--ratio=0.25",
+                        "--name", "hello", "--verbose"};
+  args.parse(7, argv);
+  EXPECT_EQ(i, 5);
+  EXPECT_DOUBLE_EQ(d, 0.25);
+  EXPECT_EQ(s, "hello");
+  EXPECT_TRUE(flag);
+}
+
+TEST(Cli, DefaultsSurviveWhenUnset) {
+  util::ArgParser args("prog", "test");
+  int i = 42;
+  args.add("count", i, "a count");
+  const char* argv[] = {"prog"};
+  args.parse(1, argv);
+  EXPECT_EQ(i, 42);
+}
+
+TEST(Cli, UsageMentionsFlagsAndDefaults) {
+  util::ArgParser args("prog", "test description");
+  int i = 42;
+  args.add("count", i, "how many");
+  const std::string usage = args.usage();
+  EXPECT_NE(usage.find("--count"), std::string::npos);
+  EXPECT_NE(usage.find("42"), std::string::npos);
+  EXPECT_NE(usage.find("test description"), std::string::npos);
+}
+
+TEST(Table, FormatsAlignedColumns) {
+  util::Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("22"), std::string::npos);
+  EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(Table, ArityMismatchThrows) {
+  util::Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), std::invalid_argument);
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(util::Table::fmt_fixed(1.23456, 2), "1.23");
+  EXPECT_EQ(util::Table::fmt_pct(0.5, 0), "50%");
+  EXPECT_EQ(util::Table::fmt_pct(0.876, 1), "87.6%");
+}
+
+TEST(Timer, PhaseAccumulation) {
+  util::PhaseTimers timers;
+  timers.add("a", 1.0);
+  timers.add("a", 0.5);
+  timers.add("b", 2.0);
+  EXPECT_DOUBLE_EQ(timers.seconds("a"), 1.5);
+  EXPECT_EQ(timers.calls("a"), 2u);
+  EXPECT_DOUBLE_EQ(timers.total(), 3.5);
+  EXPECT_DOUBLE_EQ(timers.seconds("missing"), 0.0);
+
+  util::PhaseTimers other;
+  other.add("a", 1.0);
+  timers.merge(other);
+  EXPECT_DOUBLE_EQ(timers.seconds("a"), 2.5);
+  EXPECT_EQ(timers.calls("a"), 3u);
+}
+
+TEST(Timer, ScopedPhaseRecordsPositiveTime) {
+  util::PhaseTimers timers;
+  {
+    util::ScopedPhase t(timers, "scope");
+    volatile double sink = 0.0;
+    for (int i = 0; i < 100000; ++i) sink += i;
+    (void)sink;
+  }
+  EXPECT_GT(timers.seconds("scope"), 0.0);
+  EXPECT_EQ(timers.calls("scope"), 1u);
+}
+
+TEST(Timer, TimePerCallPositiveAndFinite) {
+  const double t = util::time_per_call([] {}, 0.001);
+  EXPECT_GT(t, 0.0);
+  EXPECT_TRUE(std::isfinite(t));
+}
+
+}  // namespace
