@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl01_ordering.dir/abl01_ordering.cpp.o"
+  "CMakeFiles/abl01_ordering.dir/abl01_ordering.cpp.o.d"
+  "abl01_ordering"
+  "abl01_ordering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl01_ordering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl02_preconditioner.dir/abl02_preconditioner.cpp.o"
+  "CMakeFiles/abl02_preconditioner.dir/abl02_preconditioner.cpp.o.d"
+  "abl02_preconditioner"
+  "abl02_preconditioner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl02_preconditioner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

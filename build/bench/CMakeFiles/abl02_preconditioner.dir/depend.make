@@ -1,0 +1,2 @@
+# Empty dependencies file for abl02_preconditioner.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl03_chebyshev_order.dir/abl03_chebyshev_order.cpp.o"
+  "CMakeFiles/abl03_chebyshev_order.dir/abl03_chebyshev_order.cpp.o.d"
+  "abl03_chebyshev_order"
+  "abl03_chebyshev_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl03_chebyshev_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_model_profile.dir/fig01_model_profile.cpp.o"
+  "CMakeFiles/fig01_model_profile.dir/fig01_model_profile.cpp.o.d"
+  "fig01_model_profile"
+  "fig01_model_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_model_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

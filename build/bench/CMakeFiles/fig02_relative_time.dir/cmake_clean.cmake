@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_relative_time.dir/fig02_relative_time.cpp.o"
+  "CMakeFiles/fig02_relative_time.dir/fig02_relative_time.cpp.o.d"
+  "fig02_relative_time"
+  "fig02_relative_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_relative_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_multinode.dir/fig03_multinode.cpp.o"
+  "CMakeFiles/fig03_multinode.dir/fig03_multinode.cpp.o.d"
+  "fig03_multinode"
+  "fig03_multinode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_multinode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_guess_error.dir/fig05_guess_error.cpp.o"
+  "CMakeFiles/fig05_guess_error.dir/fig05_guess_error.cpp.o.d"
+  "fig05_guess_error"
+  "fig05_guess_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_guess_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

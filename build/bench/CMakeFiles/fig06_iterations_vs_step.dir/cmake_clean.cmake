@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_iterations_vs_step.dir/fig06_iterations_vs_step.cpp.o"
+  "CMakeFiles/fig06_iterations_vs_step.dir/fig06_iterations_vs_step.cpp.o.d"
+  "fig06_iterations_vs_step"
+  "fig06_iterations_vs_step.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_iterations_vs_step.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

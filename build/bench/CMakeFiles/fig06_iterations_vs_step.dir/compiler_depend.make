@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig06_iterations_vs_step.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig07_tmrhs_vs_m.cpp" "bench/CMakeFiles/fig07_tmrhs_vs_m.dir/fig07_tmrhs_vs_m.cpp.o" "gcc" "bench/CMakeFiles/fig07_tmrhs_vs_m.dir/fig07_tmrhs_vs_m.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/mrhs_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mrhs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/mrhs_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/sd/CMakeFiles/mrhs_sd.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/mrhs_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/mrhs_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/dense/CMakeFiles/mrhs_dense.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mrhs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_tmrhs_vs_m.dir/fig07_tmrhs_vs_m.cpp.o"
+  "CMakeFiles/fig07_tmrhs_vs_m.dir/fig07_tmrhs_vs_m.cpp.o.d"
+  "fig07_tmrhs_vs_m"
+  "fig07_tmrhs_vs_m.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_tmrhs_vs_m.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig07_tmrhs_vs_m.
+# This may be replaced when dependencies are built.

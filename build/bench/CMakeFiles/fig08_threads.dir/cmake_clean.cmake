@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_threads.dir/fig08_threads.cpp.o"
+  "CMakeFiles/fig08_threads.dir/fig08_threads.cpp.o.d"
+  "fig08_threads"
+  "fig08_threads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

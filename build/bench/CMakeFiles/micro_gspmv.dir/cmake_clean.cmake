@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_gspmv.dir/micro_gspmv.cpp.o"
+  "CMakeFiles/micro_gspmv.dir/micro_gspmv.cpp.o.d"
+  "micro_gspmv"
+  "micro_gspmv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_gspmv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

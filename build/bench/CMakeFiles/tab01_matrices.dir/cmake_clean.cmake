@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab01_matrices.dir/tab01_matrices.cpp.o"
+  "CMakeFiles/tab01_matrices.dir/tab01_matrices.cpp.o.d"
+  "tab01_matrices"
+  "tab01_matrices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab01_matrices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab02_spmv_baseline.dir/tab02_spmv_baseline.cpp.o"
+  "CMakeFiles/tab02_spmv_baseline.dir/tab02_spmv_baseline.cpp.o.d"
+  "tab02_spmv_baseline"
+  "tab02_spmv_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab02_spmv_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

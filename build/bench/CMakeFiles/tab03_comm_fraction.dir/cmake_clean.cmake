@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab03_comm_fraction.dir/tab03_comm_fraction.cpp.o"
+  "CMakeFiles/tab03_comm_fraction.dir/tab03_comm_fraction.cpp.o.d"
+  "tab03_comm_fraction"
+  "tab03_comm_fraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab03_comm_fraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab04_radii.dir/tab04_radii.cpp.o"
+  "CMakeFiles/tab04_radii.dir/tab04_radii.cpp.o.d"
+  "tab04_radii"
+  "tab04_radii.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab04_radii.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

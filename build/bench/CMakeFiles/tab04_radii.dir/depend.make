@@ -1,0 +1,2 @@
+# Empty dependencies file for tab04_radii.
+# This may be replaced when dependencies are built.

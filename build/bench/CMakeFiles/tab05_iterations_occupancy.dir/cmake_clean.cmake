@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab05_iterations_occupancy.dir/tab05_iterations_occupancy.cpp.o"
+  "CMakeFiles/tab05_iterations_occupancy.dir/tab05_iterations_occupancy.cpp.o.d"
+  "tab05_iterations_occupancy"
+  "tab05_iterations_occupancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab05_iterations_occupancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab06_timings_size.dir/tab06_timings_size.cpp.o"
+  "CMakeFiles/tab06_timings_size.dir/tab06_timings_size.cpp.o.d"
+  "tab06_timings_size"
+  "tab06_timings_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab06_timings_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

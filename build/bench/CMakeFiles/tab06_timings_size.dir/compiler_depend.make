@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tab06_timings_size.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for tab06_timings_size.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab07_timings_occupancy.dir/tab07_timings_occupancy.cpp.o"
+  "CMakeFiles/tab07_timings_occupancy.dir/tab07_timings_occupancy.cpp.o.d"
+  "tab07_timings_occupancy"
+  "tab07_timings_occupancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab07_timings_occupancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tab07_timings_occupancy.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab08_moptimal.dir/tab08_moptimal.cpp.o"
+  "CMakeFiles/tab08_moptimal.dir/tab08_moptimal.cpp.o.d"
+  "tab08_moptimal"
+  "tab08_moptimal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab08_moptimal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/block_solver_demo.dir/block_solver_demo.cpp.o"
+  "CMakeFiles/block_solver_demo.dir/block_solver_demo.cpp.o.d"
+  "block_solver_demo"
+  "block_solver_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/block_solver_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chain_molecule.dir/chain_molecule.cpp.o"
+  "CMakeFiles/chain_molecule.dir/chain_molecule.cpp.o.d"
+  "chain_molecule"
+  "chain_molecule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chain_molecule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

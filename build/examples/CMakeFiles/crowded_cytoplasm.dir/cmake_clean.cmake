@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowded_cytoplasm.dir/crowded_cytoplasm.cpp.o"
+  "CMakeFiles/crowded_cytoplasm.dir/crowded_cytoplasm.cpp.o.d"
+  "crowded_cytoplasm"
+  "crowded_cytoplasm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowded_cytoplasm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

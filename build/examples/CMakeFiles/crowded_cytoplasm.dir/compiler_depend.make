@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for crowded_cytoplasm.
+# This may be replaced when dependencies are built.

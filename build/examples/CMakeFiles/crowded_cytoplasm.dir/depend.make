@@ -1,0 +1,2 @@
+# Empty dependencies file for crowded_cytoplasm.
+# This may be replaced when dependencies are built.

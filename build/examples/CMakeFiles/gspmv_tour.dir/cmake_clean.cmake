@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gspmv_tour.dir/gspmv_tour.cpp.o"
+  "CMakeFiles/gspmv_tour.dir/gspmv_tour.cpp.o.d"
+  "gspmv_tour"
+  "gspmv_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gspmv_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

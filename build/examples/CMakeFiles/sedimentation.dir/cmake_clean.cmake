@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sedimentation.dir/sedimentation.cpp.o"
+  "CMakeFiles/sedimentation.dir/sedimentation.cpp.o.d"
+  "sedimentation"
+  "sedimentation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sedimentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

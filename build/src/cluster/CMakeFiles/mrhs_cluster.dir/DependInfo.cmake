@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/comm_model.cpp" "src/cluster/CMakeFiles/mrhs_cluster.dir/comm_model.cpp.o" "gcc" "src/cluster/CMakeFiles/mrhs_cluster.dir/comm_model.cpp.o.d"
+  "/root/repo/src/cluster/comm_plan.cpp" "src/cluster/CMakeFiles/mrhs_cluster.dir/comm_plan.cpp.o" "gcc" "src/cluster/CMakeFiles/mrhs_cluster.dir/comm_plan.cpp.o.d"
+  "/root/repo/src/cluster/distributed_gspmv.cpp" "src/cluster/CMakeFiles/mrhs_cluster.dir/distributed_gspmv.cpp.o" "gcc" "src/cluster/CMakeFiles/mrhs_cluster.dir/distributed_gspmv.cpp.o.d"
+  "/root/repo/src/cluster/partitioner.cpp" "src/cluster/CMakeFiles/mrhs_cluster.dir/partitioner.cpp.o" "gcc" "src/cluster/CMakeFiles/mrhs_cluster.dir/partitioner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sd/CMakeFiles/mrhs_sd.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/mrhs_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/mrhs_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mrhs_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/mrhs_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/dense/CMakeFiles/mrhs_dense.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

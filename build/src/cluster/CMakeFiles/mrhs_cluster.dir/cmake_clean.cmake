@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrhs_cluster.dir/comm_model.cpp.o"
+  "CMakeFiles/mrhs_cluster.dir/comm_model.cpp.o.d"
+  "CMakeFiles/mrhs_cluster.dir/comm_plan.cpp.o"
+  "CMakeFiles/mrhs_cluster.dir/comm_plan.cpp.o.d"
+  "CMakeFiles/mrhs_cluster.dir/distributed_gspmv.cpp.o"
+  "CMakeFiles/mrhs_cluster.dir/distributed_gspmv.cpp.o.d"
+  "CMakeFiles/mrhs_cluster.dir/partitioner.cpp.o"
+  "CMakeFiles/mrhs_cluster.dir/partitioner.cpp.o.d"
+  "libmrhs_cluster.a"
+  "libmrhs_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrhs_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmrhs_cluster.a"
+)

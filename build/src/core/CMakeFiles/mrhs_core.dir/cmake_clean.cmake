@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrhs_core.dir/mrhs_model.cpp.o"
+  "CMakeFiles/mrhs_core.dir/mrhs_model.cpp.o.d"
+  "CMakeFiles/mrhs_core.dir/sd_simulation.cpp.o"
+  "CMakeFiles/mrhs_core.dir/sd_simulation.cpp.o.d"
+  "CMakeFiles/mrhs_core.dir/stepper.cpp.o"
+  "CMakeFiles/mrhs_core.dir/stepper.cpp.o.d"
+  "CMakeFiles/mrhs_core.dir/workloads.cpp.o"
+  "CMakeFiles/mrhs_core.dir/workloads.cpp.o.d"
+  "libmrhs_core.a"
+  "libmrhs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrhs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrhs_dense.dir/matrix.cpp.o"
+  "CMakeFiles/mrhs_dense.dir/matrix.cpp.o.d"
+  "libmrhs_dense.a"
+  "libmrhs_dense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrhs_dense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

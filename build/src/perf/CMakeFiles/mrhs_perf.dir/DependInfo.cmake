@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perf/machine.cpp" "src/perf/CMakeFiles/mrhs_perf.dir/machine.cpp.o" "gcc" "src/perf/CMakeFiles/mrhs_perf.dir/machine.cpp.o.d"
+  "/root/repo/src/perf/measure.cpp" "src/perf/CMakeFiles/mrhs_perf.dir/measure.cpp.o" "gcc" "src/perf/CMakeFiles/mrhs_perf.dir/measure.cpp.o.d"
+  "/root/repo/src/perf/model.cpp" "src/perf/CMakeFiles/mrhs_perf.dir/model.cpp.o" "gcc" "src/perf/CMakeFiles/mrhs_perf.dir/model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sparse/CMakeFiles/mrhs_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mrhs_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/dense/CMakeFiles/mrhs_dense.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

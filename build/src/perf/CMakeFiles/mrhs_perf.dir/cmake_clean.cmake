@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrhs_perf.dir/machine.cpp.o"
+  "CMakeFiles/mrhs_perf.dir/machine.cpp.o.d"
+  "CMakeFiles/mrhs_perf.dir/measure.cpp.o"
+  "CMakeFiles/mrhs_perf.dir/measure.cpp.o.d"
+  "CMakeFiles/mrhs_perf.dir/model.cpp.o"
+  "CMakeFiles/mrhs_perf.dir/model.cpp.o.d"
+  "libmrhs_perf.a"
+  "libmrhs_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrhs_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sd/analysis.cpp" "src/sd/CMakeFiles/mrhs_sd.dir/analysis.cpp.o" "gcc" "src/sd/CMakeFiles/mrhs_sd.dir/analysis.cpp.o.d"
+  "/root/repo/src/sd/brownian.cpp" "src/sd/CMakeFiles/mrhs_sd.dir/brownian.cpp.o" "gcc" "src/sd/CMakeFiles/mrhs_sd.dir/brownian.cpp.o.d"
+  "/root/repo/src/sd/cell_list.cpp" "src/sd/CMakeFiles/mrhs_sd.dir/cell_list.cpp.o" "gcc" "src/sd/CMakeFiles/mrhs_sd.dir/cell_list.cpp.o.d"
+  "/root/repo/src/sd/full_resistance.cpp" "src/sd/CMakeFiles/mrhs_sd.dir/full_resistance.cpp.o" "gcc" "src/sd/CMakeFiles/mrhs_sd.dir/full_resistance.cpp.o.d"
+  "/root/repo/src/sd/lubrication.cpp" "src/sd/CMakeFiles/mrhs_sd.dir/lubrication.cpp.o" "gcc" "src/sd/CMakeFiles/mrhs_sd.dir/lubrication.cpp.o.d"
+  "/root/repo/src/sd/mobility_operator.cpp" "src/sd/CMakeFiles/mrhs_sd.dir/mobility_operator.cpp.o" "gcc" "src/sd/CMakeFiles/mrhs_sd.dir/mobility_operator.cpp.o.d"
+  "/root/repo/src/sd/packing.cpp" "src/sd/CMakeFiles/mrhs_sd.dir/packing.cpp.o" "gcc" "src/sd/CMakeFiles/mrhs_sd.dir/packing.cpp.o.d"
+  "/root/repo/src/sd/pair_correlation.cpp" "src/sd/CMakeFiles/mrhs_sd.dir/pair_correlation.cpp.o" "gcc" "src/sd/CMakeFiles/mrhs_sd.dir/pair_correlation.cpp.o.d"
+  "/root/repo/src/sd/particle_system.cpp" "src/sd/CMakeFiles/mrhs_sd.dir/particle_system.cpp.o" "gcc" "src/sd/CMakeFiles/mrhs_sd.dir/particle_system.cpp.o.d"
+  "/root/repo/src/sd/radii.cpp" "src/sd/CMakeFiles/mrhs_sd.dir/radii.cpp.o" "gcc" "src/sd/CMakeFiles/mrhs_sd.dir/radii.cpp.o.d"
+  "/root/repo/src/sd/resistance.cpp" "src/sd/CMakeFiles/mrhs_sd.dir/resistance.cpp.o" "gcc" "src/sd/CMakeFiles/mrhs_sd.dir/resistance.cpp.o.d"
+  "/root/repo/src/sd/rpy.cpp" "src/sd/CMakeFiles/mrhs_sd.dir/rpy.cpp.o" "gcc" "src/sd/CMakeFiles/mrhs_sd.dir/rpy.cpp.o.d"
+  "/root/repo/src/sd/xyz_io.cpp" "src/sd/CMakeFiles/mrhs_sd.dir/xyz_io.cpp.o" "gcc" "src/sd/CMakeFiles/mrhs_sd.dir/xyz_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/solver/CMakeFiles/mrhs_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/mrhs_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/dense/CMakeFiles/mrhs_dense.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mrhs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrhs_sd.dir/analysis.cpp.o"
+  "CMakeFiles/mrhs_sd.dir/analysis.cpp.o.d"
+  "CMakeFiles/mrhs_sd.dir/brownian.cpp.o"
+  "CMakeFiles/mrhs_sd.dir/brownian.cpp.o.d"
+  "CMakeFiles/mrhs_sd.dir/cell_list.cpp.o"
+  "CMakeFiles/mrhs_sd.dir/cell_list.cpp.o.d"
+  "CMakeFiles/mrhs_sd.dir/full_resistance.cpp.o"
+  "CMakeFiles/mrhs_sd.dir/full_resistance.cpp.o.d"
+  "CMakeFiles/mrhs_sd.dir/lubrication.cpp.o"
+  "CMakeFiles/mrhs_sd.dir/lubrication.cpp.o.d"
+  "CMakeFiles/mrhs_sd.dir/mobility_operator.cpp.o"
+  "CMakeFiles/mrhs_sd.dir/mobility_operator.cpp.o.d"
+  "CMakeFiles/mrhs_sd.dir/packing.cpp.o"
+  "CMakeFiles/mrhs_sd.dir/packing.cpp.o.d"
+  "CMakeFiles/mrhs_sd.dir/pair_correlation.cpp.o"
+  "CMakeFiles/mrhs_sd.dir/pair_correlation.cpp.o.d"
+  "CMakeFiles/mrhs_sd.dir/particle_system.cpp.o"
+  "CMakeFiles/mrhs_sd.dir/particle_system.cpp.o.d"
+  "CMakeFiles/mrhs_sd.dir/radii.cpp.o"
+  "CMakeFiles/mrhs_sd.dir/radii.cpp.o.d"
+  "CMakeFiles/mrhs_sd.dir/resistance.cpp.o"
+  "CMakeFiles/mrhs_sd.dir/resistance.cpp.o.d"
+  "CMakeFiles/mrhs_sd.dir/rpy.cpp.o"
+  "CMakeFiles/mrhs_sd.dir/rpy.cpp.o.d"
+  "CMakeFiles/mrhs_sd.dir/xyz_io.cpp.o"
+  "CMakeFiles/mrhs_sd.dir/xyz_io.cpp.o.d"
+  "libmrhs_sd.a"
+  "libmrhs_sd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrhs_sd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

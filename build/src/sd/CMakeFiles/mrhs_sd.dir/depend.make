@@ -1,0 +1,2 @@
+# Empty dependencies file for mrhs_sd.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/solver/block_cg.cpp" "src/solver/CMakeFiles/mrhs_solver.dir/block_cg.cpp.o" "gcc" "src/solver/CMakeFiles/mrhs_solver.dir/block_cg.cpp.o.d"
+  "/root/repo/src/solver/cg.cpp" "src/solver/CMakeFiles/mrhs_solver.dir/cg.cpp.o" "gcc" "src/solver/CMakeFiles/mrhs_solver.dir/cg.cpp.o.d"
+  "/root/repo/src/solver/chebyshev.cpp" "src/solver/CMakeFiles/mrhs_solver.dir/chebyshev.cpp.o" "gcc" "src/solver/CMakeFiles/mrhs_solver.dir/chebyshev.cpp.o.d"
+  "/root/repo/src/solver/lanczos.cpp" "src/solver/CMakeFiles/mrhs_solver.dir/lanczos.cpp.o" "gcc" "src/solver/CMakeFiles/mrhs_solver.dir/lanczos.cpp.o.d"
+  "/root/repo/src/solver/preconditioner.cpp" "src/solver/CMakeFiles/mrhs_solver.dir/preconditioner.cpp.o" "gcc" "src/solver/CMakeFiles/mrhs_solver.dir/preconditioner.cpp.o.d"
+  "/root/repo/src/solver/projection_guess.cpp" "src/solver/CMakeFiles/mrhs_solver.dir/projection_guess.cpp.o" "gcc" "src/solver/CMakeFiles/mrhs_solver.dir/projection_guess.cpp.o.d"
+  "/root/repo/src/solver/refinement.cpp" "src/solver/CMakeFiles/mrhs_solver.dir/refinement.cpp.o" "gcc" "src/solver/CMakeFiles/mrhs_solver.dir/refinement.cpp.o.d"
+  "/root/repo/src/solver/reusable_preconditioner.cpp" "src/solver/CMakeFiles/mrhs_solver.dir/reusable_preconditioner.cpp.o" "gcc" "src/solver/CMakeFiles/mrhs_solver.dir/reusable_preconditioner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sparse/CMakeFiles/mrhs_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/dense/CMakeFiles/mrhs_dense.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mrhs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrhs_solver.dir/block_cg.cpp.o"
+  "CMakeFiles/mrhs_solver.dir/block_cg.cpp.o.d"
+  "CMakeFiles/mrhs_solver.dir/cg.cpp.o"
+  "CMakeFiles/mrhs_solver.dir/cg.cpp.o.d"
+  "CMakeFiles/mrhs_solver.dir/chebyshev.cpp.o"
+  "CMakeFiles/mrhs_solver.dir/chebyshev.cpp.o.d"
+  "CMakeFiles/mrhs_solver.dir/lanczos.cpp.o"
+  "CMakeFiles/mrhs_solver.dir/lanczos.cpp.o.d"
+  "CMakeFiles/mrhs_solver.dir/preconditioner.cpp.o"
+  "CMakeFiles/mrhs_solver.dir/preconditioner.cpp.o.d"
+  "CMakeFiles/mrhs_solver.dir/projection_guess.cpp.o"
+  "CMakeFiles/mrhs_solver.dir/projection_guess.cpp.o.d"
+  "CMakeFiles/mrhs_solver.dir/refinement.cpp.o"
+  "CMakeFiles/mrhs_solver.dir/refinement.cpp.o.d"
+  "CMakeFiles/mrhs_solver.dir/reusable_preconditioner.cpp.o"
+  "CMakeFiles/mrhs_solver.dir/reusable_preconditioner.cpp.o.d"
+  "libmrhs_solver.a"
+  "libmrhs_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrhs_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sparse/bcrs.cpp" "src/sparse/CMakeFiles/mrhs_sparse.dir/bcrs.cpp.o" "gcc" "src/sparse/CMakeFiles/mrhs_sparse.dir/bcrs.cpp.o.d"
+  "/root/repo/src/sparse/csr.cpp" "src/sparse/CMakeFiles/mrhs_sparse.dir/csr.cpp.o" "gcc" "src/sparse/CMakeFiles/mrhs_sparse.dir/csr.cpp.o.d"
+  "/root/repo/src/sparse/gspmv.cpp" "src/sparse/CMakeFiles/mrhs_sparse.dir/gspmv.cpp.o" "gcc" "src/sparse/CMakeFiles/mrhs_sparse.dir/gspmv.cpp.o.d"
+  "/root/repo/src/sparse/multivector.cpp" "src/sparse/CMakeFiles/mrhs_sparse.dir/multivector.cpp.o" "gcc" "src/sparse/CMakeFiles/mrhs_sparse.dir/multivector.cpp.o.d"
+  "/root/repo/src/sparse/partition.cpp" "src/sparse/CMakeFiles/mrhs_sparse.dir/partition.cpp.o" "gcc" "src/sparse/CMakeFiles/mrhs_sparse.dir/partition.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mrhs_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/dense/CMakeFiles/mrhs_dense.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

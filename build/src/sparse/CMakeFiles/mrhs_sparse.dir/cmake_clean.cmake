@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrhs_sparse.dir/bcrs.cpp.o"
+  "CMakeFiles/mrhs_sparse.dir/bcrs.cpp.o.d"
+  "CMakeFiles/mrhs_sparse.dir/csr.cpp.o"
+  "CMakeFiles/mrhs_sparse.dir/csr.cpp.o.d"
+  "CMakeFiles/mrhs_sparse.dir/gspmv.cpp.o"
+  "CMakeFiles/mrhs_sparse.dir/gspmv.cpp.o.d"
+  "CMakeFiles/mrhs_sparse.dir/multivector.cpp.o"
+  "CMakeFiles/mrhs_sparse.dir/multivector.cpp.o.d"
+  "CMakeFiles/mrhs_sparse.dir/partition.cpp.o"
+  "CMakeFiles/mrhs_sparse.dir/partition.cpp.o.d"
+  "libmrhs_sparse.a"
+  "libmrhs_sparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrhs_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

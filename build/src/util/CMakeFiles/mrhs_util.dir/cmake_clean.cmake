@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrhs_util.dir/cli.cpp.o"
+  "CMakeFiles/mrhs_util.dir/cli.cpp.o.d"
+  "CMakeFiles/mrhs_util.dir/stats.cpp.o"
+  "CMakeFiles/mrhs_util.dir/stats.cpp.o.d"
+  "CMakeFiles/mrhs_util.dir/table.cpp.o"
+  "CMakeFiles/mrhs_util.dir/table.cpp.o.d"
+  "libmrhs_util.a"
+  "libmrhs_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrhs_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

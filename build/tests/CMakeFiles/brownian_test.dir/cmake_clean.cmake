@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/brownian_test.dir/brownian_test.cpp.o"
+  "CMakeFiles/brownian_test.dir/brownian_test.cpp.o.d"
+  "brownian_test"
+  "brownian_test.pdb"
+  "brownian_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/brownian_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chebyshev_test.dir/chebyshev_test.cpp.o"
+  "CMakeFiles/chebyshev_test.dir/chebyshev_test.cpp.o.d"
+  "chebyshev_test"
+  "chebyshev_test.pdb"
+  "chebyshev_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chebyshev_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/full_resistance_test.dir/full_resistance_test.cpp.o"
+  "CMakeFiles/full_resistance_test.dir/full_resistance_test.cpp.o.d"
+  "full_resistance_test"
+  "full_resistance_test.pdb"
+  "full_resistance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/full_resistance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gspmv_test.dir/gspmv_test.cpp.o"
+  "CMakeFiles/gspmv_test.dir/gspmv_test.cpp.o.d"
+  "gspmv_test"
+  "gspmv_test.pdb"
+  "gspmv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gspmv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

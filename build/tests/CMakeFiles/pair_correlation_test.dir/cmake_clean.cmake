@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pair_correlation_test.dir/pair_correlation_test.cpp.o"
+  "CMakeFiles/pair_correlation_test.dir/pair_correlation_test.cpp.o.d"
+  "pair_correlation_test"
+  "pair_correlation_test.pdb"
+  "pair_correlation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pair_correlation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/preconditioner_test.dir/preconditioner_test.cpp.o"
+  "CMakeFiles/preconditioner_test.dir/preconditioner_test.cpp.o.d"
+  "preconditioner_test"
+  "preconditioner_test.pdb"
+  "preconditioner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/preconditioner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

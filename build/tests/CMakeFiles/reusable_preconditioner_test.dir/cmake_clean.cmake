@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reusable_preconditioner_test.dir/reusable_preconditioner_test.cpp.o"
+  "CMakeFiles/reusable_preconditioner_test.dir/reusable_preconditioner_test.cpp.o.d"
+  "reusable_preconditioner_test"
+  "reusable_preconditioner_test.pdb"
+  "reusable_preconditioner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reusable_preconditioner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sd_geometry_test.dir/sd_geometry_test.cpp.o"
+  "CMakeFiles/sd_geometry_test.dir/sd_geometry_test.cpp.o.d"
+  "sd_geometry_test"
+  "sd_geometry_test.pdb"
+  "sd_geometry_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sd_geometry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sd_physics_test.dir/sd_physics_test.cpp.o"
+  "CMakeFiles/sd_physics_test.dir/sd_physics_test.cpp.o.d"
+  "sd_physics_test"
+  "sd_physics_test.pdb"
+  "sd_physics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sd_physics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sd_physics_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/dense_test[1]_include.cmake")
+include("/root/repo/build/tests/sparse_test[1]_include.cmake")
+include("/root/repo/build/tests/gspmv_test[1]_include.cmake")
+include("/root/repo/build/tests/solver_test[1]_include.cmake")
+include("/root/repo/build/tests/chebyshev_test[1]_include.cmake")
+include("/root/repo/build/tests/sd_geometry_test[1]_include.cmake")
+include("/root/repo/build/tests/sd_physics_test[1]_include.cmake")
+include("/root/repo/build/tests/brownian_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/cluster_test[1]_include.cmake")
+include("/root/repo/build/tests/perf_test[1]_include.cmake")
+include("/root/repo/build/tests/preconditioner_test[1]_include.cmake")
+include("/root/repo/build/tests/full_resistance_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/reusable_preconditioner_test[1]_include.cmake")
+include("/root/repo/build/tests/pair_correlation_test[1]_include.cmake")
