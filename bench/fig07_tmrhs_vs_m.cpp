@@ -22,7 +22,10 @@ int main(int argc, char** argv) {
   args.add("phi", phi, "volume occupancy (paper: 0.5)");
   args.add("m_list", m_list, "comma-separated m values");
   args.add("steps", steps_per_m, "steps per point (0 = one chunk of m)");
+  util::ObsCli obs_cli;
+  obs_cli.add_to(args);
   args.parse(argc, argv);
+  obs_cli.apply();
 
   bench::print_header(
       "Figure 7 — predicted and achieved average step time vs m",
@@ -109,5 +112,6 @@ int main(int argc, char** argv) {
               "GSPMV crossover m_s = %zu\n",
               best_m, model.optimal_m(64), model.crossover_m(64));
   std::printf("paper: m_optimal = 10, m_s = 12 for the 300k/50%% system\n");
+  obs_cli.finish();
   return 0;
 }

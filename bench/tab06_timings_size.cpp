@@ -20,7 +20,10 @@ int main(int argc, char** argv) {
   args.add("phi", phi, "volume occupancy (paper: 0.5)");
   args.add("rhs", rhs, "right-hand sides per chunk (paper: 16)");
   args.add("steps", steps, "steps per measurement");
+  util::ObsCli obs_cli;
+  obs_cli.add_to(args);
   args.parse(argc, argv);
+  obs_cli.apply();
 
   bench::print_header(
       "Table VI — per-step timing breakdown vs problem size (phi = " +
@@ -84,5 +87,6 @@ int main(int argc, char** argv) {
                 particle_counts[i], mrhs_avg[i], orig_avg[i],
                 100.0 * (1.0 - mrhs_avg[i] / orig_avg[i]));
   }
+  obs_cli.finish();
   return 0;
 }

@@ -23,7 +23,10 @@ int main(int argc, char** argv) {
   args.add("phi", phi, "volume occupancy");
   args.add("steps", steps, "time steps to simulate");
   args.add("rhs", rhs, "right-hand sides per MRHS chunk");
+  util::ObsCli obs_cli;
+  obs_cli.add_to(args);
   args.parse(argc, argv);
+  obs_cli.apply();
 
   // 1. Build the system: E. coli protein-sized spheres packed into a
   //    periodic box at the requested volume occupancy.
@@ -69,5 +72,6 @@ int main(int argc, char** argv) {
                 stats.timers.seconds(name) /
                     static_cast<double>(stats.steps.size()));
   }
+  obs_cli.finish();
   return 0;
 }

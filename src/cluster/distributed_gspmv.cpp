@@ -1,8 +1,10 @@
 #include "cluster/distributed_gspmv.hpp"
 
+#include <chrono>
 #include <stdexcept>
 #include <unordered_map>
 
+#include "obs/obs.hpp"
 #include "sparse/gspmv.hpp"
 
 namespace mrhs::cluster {
@@ -58,31 +60,69 @@ void DistributedGspmv::apply(const sparse::MultiVector& x,
   if (y.rows() != x.rows() || y.cols() != m) {
     throw std::invalid_argument("DistributedGspmv::apply: shape mismatch");
   }
+  OBS_SPAN_VAR(span, "dgspmv.apply");
+  span.arg("m", static_cast<double>(m));
+  span.arg("nodes", static_cast<double>(locals_.size()));
+  OBS_COUNTER_ADD("dgspmv.applies", 1);
+  using Clock = std::chrono::steady_clock;
+  const bool metrics = obs::metrics_enabled();
+  double comm_seconds = 0.0;
+  double compute_seconds = 0.0;
   for (std::size_t me = 0; me < locals_.size(); ++me) {
     const Local& local = locals_[me];
     // Gather: owned + ghost X block rows into the local vector block.
     // (In MPI this is the packed send/recv; here it is an explicit
     // copy so exchanged data is exactly the planned ghost rows.)
+    const Clock::time_point t0 = metrics ? Clock::now() : Clock::time_point{};
     sparse::MultiVector x_local(local.cols.size() * 3, m);
-    for (std::size_t lc = 0; lc < local.cols.size(); ++lc) {
-      const std::size_t g = local.cols[lc];
-      for (std::size_t r = 0; r < 3; ++r) {
-        auto dst = x_local.row(3 * lc + r);
-        auto src = x.row(3 * g + r);
-        std::copy(src.begin(), src.end(), dst.begin());
+    {
+      OBS_SPAN_VAR(gather, "dgspmv.gather");
+      gather.arg("node", static_cast<double>(me));
+      for (std::size_t lc = 0; lc < local.cols.size(); ++lc) {
+        const std::size_t g = local.cols[lc];
+        for (std::size_t r = 0; r < 3; ++r) {
+          auto dst = x_local.row(3 * lc + r);
+          auto src = x.row(3 * g + r);
+          std::copy(src.begin(), src.end(), dst.begin());
+        }
       }
     }
+    const Clock::time_point t1 = metrics ? Clock::now() : Clock::time_point{};
     sparse::MultiVector y_local(local.rows.size() * 3, m);
-    sparse::gspmv_reference(local.matrix, x_local, y_local);
+    {
+      OBS_SPAN_VAR(compute, "dgspmv.compute");
+      compute.arg("node", static_cast<double>(me));
+      sparse::gspmv_reference(local.matrix, x_local, y_local);
+    }
+    const Clock::time_point t2 = metrics ? Clock::now() : Clock::time_point{};
     // Scatter owned results back to global numbering.
-    for (std::size_t lr = 0; lr < local.rows.size(); ++lr) {
-      const std::size_t g = local.rows[lr];
-      for (std::size_t r = 0; r < 3; ++r) {
-        auto src = y_local.row(3 * lr + r);
-        auto dst = y.row(3 * g + r);
-        std::copy(src.begin(), src.end(), dst.begin());
+    {
+      OBS_SPAN_VAR(scatter, "dgspmv.scatter");
+      scatter.arg("node", static_cast<double>(me));
+      for (std::size_t lr = 0; lr < local.rows.size(); ++lr) {
+        const std::size_t g = local.rows[lr];
+        for (std::size_t r = 0; r < 3; ++r) {
+          auto src = y_local.row(3 * lr + r);
+          auto dst = y.row(3 * g + r);
+          std::copy(src.begin(), src.end(), dst.begin());
+        }
       }
     }
+    if (metrics) {
+      const Clock::time_point t3 = Clock::now();
+      comm_seconds += std::chrono::duration<double>(t1 - t0).count() +
+                      std::chrono::duration<double>(t3 - t2).count();
+      compute_seconds += std::chrono::duration<double>(t2 - t1).count();
+      const std::size_t ghosts = local.cols.size() - local.rows.size();
+      OBS_COUNTER_ADD("dgspmv.ghost_block_rows", ghosts);
+      OBS_COUNTER_ADD("dgspmv.exchanged_bytes",
+                      static_cast<double>(ghosts) * 3.0 *
+                          static_cast<double>(m) * sizeof(double));
+    }
+  }
+  if (metrics) {
+    OBS_COUNTER_ADD("dgspmv.comm_seconds", comm_seconds);
+    OBS_COUNTER_ADD("dgspmv.compute_seconds", compute_seconds);
   }
 }
 

@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "dense/matrix.hpp"
+#include "obs/obs.hpp"
 #include "solver/block_cg.hpp"
 #include "solver/cg.hpp"
 #include "solver/chebyshev.hpp"
@@ -62,6 +63,9 @@ RunStats OriginalAlgorithm::run(std::size_t count) {
   util::WallTimer total;
 
   for (std::size_t local = 0; local < count; ++local, ++step_) {
+    OBS_SPAN_VAR(step_span, "step.original");
+    step_span.arg("step", static_cast<double>(step_));
+    OBS_COUNTER_ADD("stepper.steps", 1);
     StepRecord rec;
     rec.step = step_;
 
@@ -142,6 +146,9 @@ RunStats CholeskyAlgorithm::run(std::size_t count) {
   util::WallTimer total;
 
   for (std::size_t local = 0; local < count; ++local, ++step_) {
+    OBS_SPAN_VAR(step_span, "step.cholesky");
+    step_span.arg("step", static_cast<double>(step_));
+    OBS_COUNTER_ADD("stepper.steps", 1);
     StepRecord rec;
     rec.step = step_;
 
@@ -222,6 +229,9 @@ RunStats BrownianDynamicsAlgorithm::run(std::size_t count) {
   util::WallTimer total;
 
   for (std::size_t local = 0; local < count; ++local, ++step_) {
+    OBS_SPAN_VAR(step_span, "step.brownian_dynamics");
+    step_span.arg("step", static_cast<double>(step_));
+    OBS_COUNTER_ADD("stepper.steps", 1);
     StepRecord rec;
     rec.step = step_;
 
@@ -274,6 +284,10 @@ RunStats MrhsAlgorithm::run_chunk(std::size_t chunk_len) {
   const SdConfig& config = sim_->config();
   const std::size_t n = sim_->dof();
   const std::size_t m = chunk_len;
+  OBS_SPAN_VAR(chunk_span, "mrhs.chunk");
+  chunk_span.arg("m", static_cast<double>(m));
+  chunk_span.arg("first_step", static_cast<double>(step_));
+  OBS_COUNTER_ADD("stepper.chunks", 1);
   const double dt = sim_->dt();
   const double amplitude = std::sqrt(2.0 * config.kT / dt);
   const double max_step = sim_->max_step_length();
@@ -326,6 +340,9 @@ RunStats MrhsAlgorithm::run_chunk(std::size_t chunk_len) {
 
   std::vector<double> f(n), u(n), u_mid(n), guess(n);
   for (std::size_t k = 0; k < m; ++k) {
+    OBS_SPAN_VAR(step_span, "step.mrhs");
+    step_span.arg("step", static_cast<double>(step_ + k));
+    OBS_COUNTER_ADD("stepper.steps", 1);
     StepRecord rec;
     rec.step = step_ + k;
 
@@ -364,6 +381,8 @@ RunStats MrhsAlgorithm::run_chunk(std::size_t chunk_len) {
       const double u_norm = util::norm2(u);
       rec.guess_rel_error =
           u_norm > 0.0 ? util::diff_norm2(u, guess) / u_norm : 0.0;
+      OBS_HISTOGRAM_OBSERVE("mrhs.guess_rel_error", rec.guess_rel_error,
+                            obs::exponential_buckets(1e-6, 10.0, 8));
     }
 
     // Midpoint half-step and second solve, seeded with u_k.

@@ -1,0 +1,185 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "obs/trace.hpp"  // write_json_string / write_json_number
+
+namespace mrhs::obs {
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)), counts_(bounds_.size() + 1) {
+  if (bounds_.empty()) {
+    throw std::invalid_argument("Histogram: empty bucket bounds");
+  }
+  if (!std::is_sorted(bounds_.begin(), bounds_.end()) ||
+      std::adjacent_find(bounds_.begin(), bounds_.end()) != bounds_.end()) {
+    throw std::invalid_argument(
+        "Histogram: bounds must be strictly increasing");
+  }
+}
+
+void Histogram::observe(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const auto idx = static_cast<std::size_t>(it - bounds_.begin());
+  counts_[idx].fetch_add(1, std::memory_order_relaxed);
+  total_.fetch_add(1, std::memory_order_relaxed);
+  detail::atomic_add(sum_, v);
+  detail::atomic_min(min_, v);
+  detail::atomic_max(max_, v);
+}
+
+double Histogram::min() const {
+  const double v = min_.load(std::memory_order_relaxed);
+  return std::isinf(v) ? 0.0 : v;
+}
+
+double Histogram::max() const {
+  const double v = max_.load(std::memory_order_relaxed);
+  return std::isinf(v) ? 0.0 : v;
+}
+
+void Histogram::reset() {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  total_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
+std::vector<double> linear_buckets(double start, double step, std::size_t n) {
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = start + step * static_cast<double>(i);
+  }
+  return out;
+}
+
+std::vector<double> exponential_buckets(double start, double factor,
+                                        std::size_t n) {
+  std::vector<double> out(n);
+  double v = start;
+  for (std::size_t i = 0; i < n; ++i, v *= factor) out[i] = v;
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter* MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::histogram(std::string_view name,
+                                      std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(std::move(bounds)))
+             .first;
+  }
+  return it->second.get();
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [_, c] : counters_) c->reset();
+  for (auto& [_, g] : gauges_) g->reset();
+  for (auto& [_, h] : histograms_) h->reset();
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot hs;
+    hs.bounds = h->bounds();
+    hs.counts.resize(hs.bounds.size() + 1);
+    for (std::size_t i = 0; i < hs.counts.size(); ++i) {
+      hs.counts[i] = h->bucket_count(i);
+    }
+    hs.total = h->total_count();
+    hs.sum = h->sum();
+    hs.min = h->min();
+    hs.max = h->max();
+    snap.histograms[name] = std::move(hs);
+  }
+  return snap;
+}
+
+void MetricsRegistry::write_json(std::ostream& os) const {
+  const MetricsSnapshot snap = snapshot();
+
+  auto write_scalar_map = [&os](const std::map<std::string, double>& m) {
+    os << "{";
+    bool first = true;
+    for (const auto& [name, value] : m) {
+      if (!first) os << ", ";
+      first = false;
+      os << "\n    ";
+      write_json_string(os, name);
+      os << ": ";
+      write_json_number(os, value);
+    }
+    if (!m.empty()) os << "\n  ";
+    os << "}";
+  };
+
+  os << "{\n  \"counters\": ";
+  write_scalar_map(snap.counters);
+  os << ",\n  \"gauges\": ";
+  write_scalar_map(snap.gauges);
+  os << ",\n  \"histograms\": {";
+  bool first_h = true;
+  for (const auto& [name, hs] : snap.histograms) {
+    if (!first_h) os << ",";
+    first_h = false;
+    os << "\n    ";
+    write_json_string(os, name);
+    os << ": {\"bounds\": [";
+    for (std::size_t i = 0; i < hs.bounds.size(); ++i) {
+      if (i > 0) os << ", ";
+      write_json_number(os, hs.bounds[i]);
+    }
+    os << "], \"counts\": [";
+    for (std::size_t i = 0; i < hs.counts.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << hs.counts[i];
+    }
+    os << "], \"count\": " << hs.total << ", \"sum\": ";
+    write_json_number(os, hs.sum);
+    os << ", \"min\": ";
+    write_json_number(os, hs.min);
+    os << ", \"max\": ";
+    write_json_number(os, hs.max);
+    os << "}";
+  }
+  if (!snap.histograms.empty()) os << "\n  ";
+  os << "}\n}\n";
+}
+
+}  // namespace mrhs::obs

@@ -1,0 +1,85 @@
+#include "obs/obs.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+
+namespace mrhs::obs {
+
+namespace {
+
+std::mutex g_outputs_mutex;
+std::string g_trace_path;
+std::string g_trace_jsonl_path;
+std::string g_metrics_path;
+std::once_flag g_atexit_once;
+
+}  // namespace
+
+namespace {
+
+/// Open `path`, run `write`, and report whether the file ended up
+/// fully written; warns on stderr otherwise. Clears `path` so the
+/// atexit pass does not rewrite (or re-warn about) the same sink.
+template <class WriteFn>
+bool flush_one(std::string& path, const char* what, WriteFn&& write) {
+  const std::string target = std::move(path);
+  path.clear();
+  std::ofstream os(target);
+  if (os) {
+    write(os);
+    os.flush();
+  }
+  if (!os) {
+    std::fprintf(stderr, "obs: warning: could not write %s to %s\n", what,
+                 target.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+FlushResult flush_outputs() {
+  std::lock_guard<std::mutex> lock(g_outputs_mutex);
+  FlushResult result;
+  if (!g_trace_path.empty()) {
+    result.trace_ok = flush_one(g_trace_path, "Chrome trace", [](auto& os) {
+      TraceRecorder::instance().write_chrome_trace(os);
+    });
+  }
+  if (!g_trace_jsonl_path.empty()) {
+    result.trace_jsonl_ok =
+        flush_one(g_trace_jsonl_path, "trace JSONL",
+                  [](auto& os) { TraceRecorder::instance().write_jsonl(os); });
+  }
+  if (!g_metrics_path.empty()) {
+    result.metrics_ok =
+        flush_one(g_metrics_path, "metrics JSON",
+                  [](auto& os) { MetricsRegistry::instance().write_json(os); });
+  }
+  return result;
+}
+
+void arm_outputs(const std::string& trace_path,
+                 const std::string& trace_jsonl_path,
+                 const std::string& metrics_path) {
+  {
+    std::lock_guard<std::mutex> lock(g_outputs_mutex);
+    if (!trace_path.empty()) g_trace_path = trace_path;
+    if (!trace_jsonl_path.empty()) g_trace_jsonl_path = trace_jsonl_path;
+    if (!metrics_path.empty()) g_metrics_path = metrics_path;
+  }
+  if (!trace_path.empty() || !trace_jsonl_path.empty()) {
+    TraceRecorder::instance().enable();
+  }
+  if (!metrics_path.empty()) MetricsRegistry::instance().enable();
+  if (!trace_path.empty() || !trace_jsonl_path.empty() ||
+      !metrics_path.empty()) {
+    std::call_once(g_atexit_once,
+                   [] { std::atexit([] { flush_outputs(); }); });
+  }
+}
+
+}  // namespace mrhs::obs

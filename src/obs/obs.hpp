@@ -1,0 +1,102 @@
+// Umbrella header for the observability layer: tracing spans, metrics,
+// and the zero-overhead-when-disabled macro API.
+//
+//   OBS_SPAN("cg.solve");                  // RAII span for this scope
+//   OBS_INSTANT("block_cg.breakdown");     // point event
+//   OBS_COUNTER_ADD("cg.solves", 1);
+//   OBS_GAUGE_SET("gspmv.effective_bandwidth_gbps", gbps);
+//   OBS_HISTOGRAM_OBSERVE("cg.iterations_per_solve", iters,
+//                         ::mrhs::obs::exponential_buckets(1, 2, 11));
+//
+// All macros reduce to one relaxed atomic load when the corresponding
+// subsystem is disabled (the default). Metric handles are resolved
+// once per call site and cached in a function-local static; the
+// registry never deletes metrics, so the cache cannot dangle.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace mrhs::obs {
+
+inline bool tracing_enabled() { return TraceRecorder::instance().enabled(); }
+inline bool metrics_enabled() { return MetricsRegistry::instance().enabled(); }
+
+/// Enable tracing/metrics for every non-empty path and register a
+/// process-exit dump: `trace_path` gets Chrome-trace JSON,
+/// `trace_jsonl_path` flat JSONL, `metrics_path` the metrics snapshot.
+/// Callable more than once; later non-empty paths win.
+void arm_outputs(const std::string& trace_path,
+                 const std::string& trace_jsonl_path,
+                 const std::string& metrics_path);
+
+/// Per-sink success of a flush_outputs() call: `*_ok` is true only if
+/// the sink was armed and its file was opened and written cleanly.
+struct FlushResult {
+  bool trace_ok = false;
+  bool trace_jsonl_ok = false;
+  bool metrics_ok = false;
+};
+
+/// Write the armed outputs now (also runs automatically at exit).
+/// A sink that cannot be opened or written gets a stderr warning and
+/// `*_ok` false. Armed paths are consumed: a second flush (e.g. the
+/// atexit pass after an explicit call) is a no-op.
+FlushResult flush_outputs();
+
+}  // namespace mrhs::obs
+
+#define MRHS_OBS_CONCAT_INNER(a, b) a##b
+#define MRHS_OBS_CONCAT(a, b) MRHS_OBS_CONCAT_INNER(a, b)
+
+/// Anonymous RAII span covering the rest of the enclosing scope.
+#define OBS_SPAN(name) \
+  ::mrhs::obs::SpanGuard MRHS_OBS_CONCAT(obs_span_, __LINE__)(name)
+
+/// Named span guard, for call sites that attach args before it closes.
+#define OBS_SPAN_VAR(var, name) ::mrhs::obs::SpanGuard var(name)
+
+#define OBS_INSTANT(name)                              \
+  do {                                                 \
+    if (::mrhs::obs::tracing_enabled()) {              \
+      ::mrhs::obs::TraceRecorder::instance().instant(name); \
+    }                                                  \
+  } while (0)
+
+#define OBS_COUNTER_ADD(name, amount)                                     \
+  do {                                                                    \
+    if (::mrhs::obs::metrics_enabled()) {                                 \
+      static ::mrhs::obs::Counter* const MRHS_OBS_CONCAT(obs_ctr_,        \
+                                                         __LINE__) =      \
+          ::mrhs::obs::MetricsRegistry::instance().counter(name);         \
+      MRHS_OBS_CONCAT(obs_ctr_, __LINE__)                                 \
+          ->add(static_cast<double>(amount));                             \
+    }                                                                     \
+  } while (0)
+
+#define OBS_GAUGE_SET(name, value)                                        \
+  do {                                                                    \
+    if (::mrhs::obs::metrics_enabled()) {                                 \
+      static ::mrhs::obs::Gauge* const MRHS_OBS_CONCAT(obs_gauge_,        \
+                                                       __LINE__) =        \
+          ::mrhs::obs::MetricsRegistry::instance().gauge(name);           \
+      MRHS_OBS_CONCAT(obs_gauge_, __LINE__)                               \
+          ->set(static_cast<double>(value));                              \
+    }                                                                     \
+  } while (0)
+
+/// `bounds` is any expression yielding std::vector<double>; it is
+/// evaluated only once, when the call site first runs with metrics on.
+#define OBS_HISTOGRAM_OBSERVE(name, value, bounds)                        \
+  do {                                                                    \
+    if (::mrhs::obs::metrics_enabled()) {                                 \
+      static ::mrhs::obs::Histogram* const MRHS_OBS_CONCAT(obs_hist_,     \
+                                                           __LINE__) =    \
+          ::mrhs::obs::MetricsRegistry::instance().histogram(name,        \
+                                                             bounds);     \
+      MRHS_OBS_CONCAT(obs_hist_, __LINE__)                                \
+          ->observe(static_cast<double>(value));                          \
+    }                                                                     \
+  } while (0)

@@ -1,0 +1,159 @@
+#include "obs/trace.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace mrhs::obs {
+
+TraceRecorder::TraceRecorder() : epoch_(std::chrono::steady_clock::now()) {}
+
+TraceRecorder& TraceRecorder::instance() {
+  static TraceRecorder recorder;
+  return recorder;
+}
+
+double TraceRecorder::now_us() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+std::uint32_t TraceRecorder::thread_id() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+void TraceRecorder::complete(std::string_view name, double ts_us,
+                             double dur_us, EventArgs args) {
+  TraceEvent ev;
+  ev.name.assign(name);
+  ev.phase = 'X';
+  ev.ts_us = ts_us;
+  ev.dur_us = dur_us;
+  ev.tid = thread_id();
+  ev.args = std::move(args);
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(std::move(ev));
+}
+
+void TraceRecorder::instant(std::string_view name, EventArgs args) {
+  TraceEvent ev;
+  ev.name.assign(name);
+  ev.phase = 'i';
+  ev.ts_us = now_us();
+  ev.tid = thread_id();
+  ev.args = std::move(args);
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(std::move(ev));
+}
+
+void TraceRecorder::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+}
+
+std::size_t TraceRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+std::vector<TraceEvent> TraceRecorder::events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+void write_json_string(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\r':
+        os << "\\r";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(c));
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void write_json_number(std::ostream& os, double v) {
+  if (!std::isfinite(v)) {
+    // JSON has no inf/nan literals.
+    os << "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.12g", v);
+  os << buf;
+}
+
+namespace {
+
+void write_event_fields(std::ostream& os, const TraceEvent& ev) {
+  os << "\"name\": ";
+  write_json_string(os, ev.name);
+  os << ", \"ph\": \"" << ev.phase << "\", \"ts\": ";
+  write_json_number(os, ev.ts_us);
+  if (ev.phase == 'X') {
+    os << ", \"dur\": ";
+    write_json_number(os, ev.dur_us);
+  }
+  os << ", \"pid\": 1, \"tid\": " << ev.tid;
+  if (!ev.args.empty()) {
+    os << ", \"args\": {";
+    bool first = true;
+    for (const auto& [key, value] : ev.args) {
+      if (!first) os << ", ";
+      first = false;
+      write_json_string(os, key);
+      os << ": ";
+      write_json_number(os, value);
+    }
+    os << "}";
+  }
+}
+
+}  // namespace
+
+void TraceRecorder::write_chrome_trace(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  os << "{\"traceEvents\": [\n";
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    os << "  {";
+    write_event_fields(os, events_[i]);
+    os << (i + 1 < events_.size() ? "},\n" : "}\n");
+  }
+  os << "], \"displayTimeUnit\": \"ms\"}\n";
+}
+
+void TraceRecorder::write_jsonl(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& ev : events_) {
+    os << "{";
+    write_event_fields(os, ev);
+    os << "}\n";
+  }
+}
+
+}  // namespace mrhs::obs

@@ -1,0 +1,129 @@
+// Structured tracing: nested spans and instant events, recorded into a
+// global in-memory buffer and exportable as Chrome `chrome://tracing`
+// JSON ("complete" / "instant" events) or as flat JSONL, one event per
+// line.
+//
+// The recorder is disabled by default; every hot-path entry point
+// checks one relaxed atomic load before doing any work, so the
+// instrumented code costs a predicted-not-taken branch when tracing is
+// off. Spans are emitted through the RAII `SpanGuard` (usually via the
+// `OBS_SPAN` macro in obs/obs.hpp); nesting in the Chrome viewer comes
+// from event containment on the same thread lane.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace mrhs::obs {
+
+/// Numeric key/value pairs attached to an event (Chrome-trace `args`).
+using EventArgs = std::vector<std::pair<std::string, double>>;
+
+struct TraceEvent {
+  std::string name;
+  char phase = 'X';   // 'X' complete span, 'i' instant event
+  double ts_us = 0.0;  // start, microseconds since the recorder epoch
+  double dur_us = 0.0;  // span duration ('X' only)
+  std::uint32_t tid = 0;
+  EventArgs args;
+};
+
+/// Process-global event recorder. Thread-safe: events append under a
+/// mutex (spans are phase/solve granularity, so contention is not a
+/// concern), timestamps come from a shared steady_clock epoch.
+class TraceRecorder {
+ public:
+  static TraceRecorder& instance();
+
+  void enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void disable() { enabled_.store(false, std::memory_order_relaxed); }
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Microseconds since the recorder epoch (process start).
+  [[nodiscard]] double now_us() const;
+
+  /// Small dense per-thread id (0 for the first thread to ask).
+  static std::uint32_t thread_id();
+
+  /// Record a finished span. Events are recorded regardless of the
+  /// enabled flag; gating happens in SpanGuard / the OBS_* macros.
+  void complete(std::string_view name, double ts_us, double dur_us,
+                EventArgs args = {});
+
+  /// Record an instant event (e.g. a solver breakdown) at now_us().
+  void instant(std::string_view name, EventArgs args = {});
+
+  void clear();
+  [[nodiscard]] std::size_t size() const;
+  /// Snapshot copy of the recorded events (test/inspection use).
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+
+  /// {"traceEvents": [...], "displayTimeUnit": "ms"} for chrome://tracing
+  /// (or ui.perfetto.dev).
+  void write_chrome_trace(std::ostream& os) const;
+  /// One JSON object per line, same fields as the Chrome export.
+  void write_jsonl(std::ostream& os) const;
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+ private:
+  TraceRecorder();
+
+  std::atomic<bool> enabled_{false};
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+};
+
+/// RAII span: samples the clock on construction if tracing is enabled
+/// and records one complete event on destruction. `name` must outlive
+/// the guard (span names are string literals at every call site).
+class SpanGuard {
+ public:
+  explicit SpanGuard(std::string_view name) {
+    TraceRecorder& rec = TraceRecorder::instance();
+    if (rec.enabled()) {
+      active_ = true;
+      name_ = name;
+      start_us_ = rec.now_us();
+    }
+  }
+
+  ~SpanGuard() {
+    if (!active_) return;
+    TraceRecorder& rec = TraceRecorder::instance();
+    rec.complete(name_, start_us_, rec.now_us() - start_us_,
+                 std::move(args_));
+  }
+
+  /// Attach a numeric argument to the span (no-op when tracing is off).
+  void arg(std::string_view key, double value) {
+    if (active_) args_.emplace_back(std::string(key), value);
+  }
+
+  SpanGuard(const SpanGuard&) = delete;
+  SpanGuard& operator=(const SpanGuard&) = delete;
+
+ private:
+  bool active_ = false;
+  std::string_view name_;
+  double start_us_ = 0.0;
+  EventArgs args_;
+};
+
+/// JSON helpers shared by the trace and metrics exporters.
+void write_json_string(std::ostream& os, std::string_view s);
+void write_json_number(std::ostream& os, double v);
+
+}  // namespace mrhs::obs

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "dense/matrix.hpp"
+#include "obs/obs.hpp"
 
 namespace mrhs::solver {
 
@@ -23,6 +24,8 @@ dense::Cholesky factor_with_repair(dense::Matrix g, double rel_ridge,
       if (ridge > 0.0) {
         for (std::size_t i = 0; i < g.rows(); ++i) g(i, i) += ridge;
         ++*repairs;
+        OBS_COUNTER_ADD("block_cg.breakdown_repairs", 1);
+        OBS_INSTANT("block_cg.breakdown_repair");
       }
       return dense::Cholesky(g);
     } catch (const std::runtime_error&) {
@@ -43,6 +46,23 @@ BlockCgResult block_conjugate_gradient(const LinearOperator& a,
   if (b.rows() != n || x.rows() != n || x.cols() != m || m == 0) {
     throw std::invalid_argument("block_cg: shape mismatch");
   }
+  OBS_SPAN_VAR(span, "block_cg.solve");
+  span.arg("m", static_cast<double>(m));
+  // Per-iteration / per-column telemetry: the residual trajectory is
+  // what distinguishes a healthy block solve from a degrading one.
+  auto record_exit = [&](BlockCgResult& res) -> BlockCgResult& {
+    span.arg("iterations", static_cast<double>(res.iterations));
+    span.arg("converged", res.converged ? 1.0 : 0.0);
+    OBS_COUNTER_ADD("block_cg.solves", 1);
+    OBS_COUNTER_ADD("block_cg.iterations", res.iterations);
+    OBS_HISTOGRAM_OBSERVE("block_cg.iterations_per_solve", res.iterations,
+                          obs::exponential_buckets(1.0, 2.0, 11));
+    for (const double rr : res.relative_residuals) {
+      OBS_HISTOGRAM_OBSERVE("block_cg.exit_relative_residual", rr,
+                            obs::exponential_buckets(1e-10, 10.0, 10));
+    }
+    return res;
+  };
 
   sparse::MultiVector r(n, m), p(n, m), q(n, m);
   std::vector<double> b_norms(m);
@@ -64,6 +84,9 @@ BlockCgResult block_conjugate_gradient(const LinearOperator& a,
       const double denom = b_norms[j] > 0.0 ? b_norms[j] : 1.0;
       result.relative_residuals[j] =
           std::sqrt(std::max(rho(j, j), 0.0)) / denom;
+      OBS_HISTOGRAM_OBSERVE("block_cg.iter_relative_residual",
+                            result.relative_residuals[j],
+                            obs::exponential_buckets(1e-8, 10.0, 10));
       if (result.relative_residuals[j] > opts.tol) ok = false;
     }
     return ok;
@@ -71,7 +94,7 @@ BlockCgResult block_conjugate_gradient(const LinearOperator& a,
 
   if (all_converged()) {
     result.converged = true;
-    return result;
+    return record_exit(result);
   }
 
   p = r;
@@ -113,7 +136,7 @@ BlockCgResult block_conjugate_gradient(const LinearOperator& a,
     multiply_in_place_right(p, beta);
     p.axpy(1.0, r);
   }
-  return result;
+  return record_exit(result);
 }
 
 }  // namespace mrhs::solver

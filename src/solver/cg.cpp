@@ -4,10 +4,30 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "solver/preconditioner.hpp"
 #include "util/stats.hpp"
 
 namespace mrhs::solver {
+
+namespace {
+
+/// Shared exit-path telemetry for both CG variants: span args plus the
+/// iteration-count and exit-residual histograms (paper Fig. 6 data).
+CgResult finish_cg(obs::SpanGuard& span, CgResult result) {
+  span.arg("iterations", static_cast<double>(result.iterations));
+  span.arg("converged", result.converged ? 1.0 : 0.0);
+  OBS_COUNTER_ADD("cg.solves", 1);
+  OBS_COUNTER_ADD("cg.iterations", result.iterations);
+  OBS_HISTOGRAM_OBSERVE("cg.iterations_per_solve", result.iterations,
+                        obs::exponential_buckets(1.0, 2.0, 11));
+  OBS_HISTOGRAM_OBSERVE("cg.exit_relative_residual",
+                        result.relative_residual,
+                        obs::exponential_buckets(1e-10, 10.0, 10));
+  return result;
+}
+
+}  // namespace
 
 CgResult conjugate_gradient(const LinearOperator& a, std::span<const double> b,
                             std::span<double> x, const CgOptions& opts) {
@@ -15,6 +35,7 @@ CgResult conjugate_gradient(const LinearOperator& a, std::span<const double> b,
   if (b.size() != n || x.size() != n) {
     throw std::invalid_argument("conjugate_gradient: size mismatch");
   }
+  OBS_SPAN_VAR(span, "cg.solve");
 
   std::vector<double> r(n), p(n), q(n);
 
@@ -27,7 +48,7 @@ CgResult conjugate_gradient(const LinearOperator& a, std::span<const double> b,
   if (b_norm == 0.0) {
     std::fill(x.begin(), x.end(), 0.0);
     result.converged = true;
-    return result;
+    return finish_cg(span, result);
   }
 
   double rr = 0.0;
@@ -36,7 +57,7 @@ CgResult conjugate_gradient(const LinearOperator& a, std::span<const double> b,
   if (res_norm <= opts.tol * b_norm) {
     result.converged = true;
     result.relative_residual = res_norm / b_norm;
-    return result;
+    return finish_cg(span, result);
   }
 
   p.assign(r.begin(), r.end());
@@ -47,6 +68,8 @@ CgResult conjugate_gradient(const LinearOperator& a, std::span<const double> b,
     if (pq <= 0.0) {
       // Loss of positive definiteness (should not happen for SPD A);
       // bail out with the current iterate.
+      OBS_COUNTER_ADD("cg.breakdowns", 1);
+      OBS_INSTANT("cg.breakdown");
       break;
     }
     const double alpha = rr / pq;
@@ -58,6 +81,8 @@ CgResult conjugate_gradient(const LinearOperator& a, std::span<const double> b,
     for (double v : r) rr_new += v * v;
     result.iterations = it + 1;
     res_norm = std::sqrt(rr_new);
+    OBS_HISTOGRAM_OBSERVE("cg.iter_relative_residual", res_norm / b_norm,
+                          obs::exponential_buckets(1e-8, 10.0, 10));
     if (res_norm <= opts.tol * b_norm) {
       result.converged = true;
       break;
@@ -67,7 +92,7 @@ CgResult conjugate_gradient(const LinearOperator& a, std::span<const double> b,
     rr = rr_new;
   }
   result.relative_residual = res_norm / b_norm;
-  return result;
+  return finish_cg(span, result);
 }
 
 CgResult preconditioned_conjugate_gradient(const LinearOperator& a,
@@ -79,6 +104,7 @@ CgResult preconditioned_conjugate_gradient(const LinearOperator& a,
   if (b.size() != n || x.size() != n || precond.size() != n) {
     throw std::invalid_argument("pcg: size mismatch");
   }
+  OBS_SPAN_VAR(span, "pcg.solve");
 
   std::vector<double> r(n), z(n), p(n), q(n);
 
@@ -90,14 +116,14 @@ CgResult preconditioned_conjugate_gradient(const LinearOperator& a,
   if (b_norm == 0.0) {
     std::fill(x.begin(), x.end(), 0.0);
     result.converged = true;
-    return result;
+    return finish_cg(span, result);
   }
 
   double res_norm = util::norm2(r);
   if (res_norm <= opts.tol * b_norm) {
     result.converged = true;
     result.relative_residual = res_norm / b_norm;
-    return result;
+    return finish_cg(span, result);
   }
 
   precond.apply(r, z);
@@ -109,7 +135,11 @@ CgResult preconditioned_conjugate_gradient(const LinearOperator& a,
     a.apply(p, q);
     double pq = 0.0;
     for (std::size_t i = 0; i < n; ++i) pq += p[i] * q[i];
-    if (pq <= 0.0) break;
+    if (pq <= 0.0) {
+      OBS_COUNTER_ADD("cg.breakdowns", 1);
+      OBS_INSTANT("cg.breakdown");
+      break;
+    }
     const double alpha = rz / pq;
     for (std::size_t i = 0; i < n; ++i) {
       x[i] += alpha * p[i];
@@ -117,6 +147,8 @@ CgResult preconditioned_conjugate_gradient(const LinearOperator& a,
     }
     result.iterations = it + 1;
     res_norm = util::norm2(r);
+    OBS_HISTOGRAM_OBSERVE("cg.iter_relative_residual", res_norm / b_norm,
+                          obs::exponential_buckets(1e-8, 10.0, 10));
     if (res_norm <= opts.tol * b_norm) {
       result.converged = true;
       break;
@@ -129,7 +161,7 @@ CgResult preconditioned_conjugate_gradient(const LinearOperator& a,
     rz = rz_new;
   }
   result.relative_residual = res_norm / b_norm;
-  return result;
+  return finish_cg(span, result);
 }
 
 }  // namespace mrhs::solver

@@ -6,6 +6,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/obs.hpp"
+
 namespace mrhs::solver {
 
 ChebyshevSqrt::ChebyshevSqrt(EigBounds bounds, std::size_t order)
@@ -64,6 +66,9 @@ void ChebyshevSqrt::apply(const LinearOperator& a, std::span<const double> z,
   if (z.size() != n || y.size() != n) {
     throw std::invalid_argument("ChebyshevSqrt::apply: size mismatch");
   }
+  OBS_SPAN_VAR(span, "chebyshev.apply");
+  span.arg("order", static_cast<double>(coeffs_.size() - 1));
+  OBS_COUNTER_ADD("chebyshev.applies", 1);
   const double half_width = 0.5 * (bounds_.lambda_max - bounds_.lambda_min);
   const double center = 0.5 * (bounds_.lambda_max + bounds_.lambda_min);
   const double scale = 1.0 / half_width;
@@ -100,6 +105,10 @@ void ChebyshevSqrt::apply_block(const LinearOperator& a,
   if (z.rows() != n || y.rows() != n || y.cols() != m) {
     throw std::invalid_argument("ChebyshevSqrt::apply_block: shape mismatch");
   }
+  OBS_SPAN_VAR(span, "chebyshev.apply_block");
+  span.arg("order", static_cast<double>(coeffs_.size() - 1));
+  span.arg("m", static_cast<double>(m));
+  OBS_COUNTER_ADD("chebyshev.block_applies", 1);
   const double half_width = 0.5 * (bounds_.lambda_max - bounds_.lambda_min);
   const double center = 0.5 * (bounds_.lambda_max + bounds_.lambda_min);
   const double scale = 1.0 / half_width;

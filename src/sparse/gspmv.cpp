@@ -2,8 +2,10 @@
 
 #include <omp.h>
 
+#include <chrono>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
 #include "sparse/simd_kernels.hpp"
 
 namespace mrhs::sparse {
@@ -114,17 +116,27 @@ void GspmvEngine::apply(const MultiVector& x, MultiVector& y,
                         GspmvKernel kernel) const {
   check_shapes(*a_, x, y);
   const std::size_t m = x.cols();
+  OBS_SPAN_VAR(span, "gspmv.apply");
+  span.arg("m", static_cast<double>(m));
+  using Clock = std::chrono::steady_clock;
+  const bool metrics = obs::metrics_enabled();
+  const Clock::time_point t0 = metrics ? Clock::now() : Clock::time_point{};
+
   if (threads_ == 1) {
     run_rows(*a_, x.data(), y.data(), m, RowRange{0, a_->block_rows()},
              kernel);
-    return;
-  }
+  } else {
 #pragma omp parallel num_threads(threads_)
-  {
-    const int tid = omp_get_thread_num();
-    if (tid < static_cast<int>(parts_.size())) {
-      run_rows(*a_, x.data(), y.data(), m, parts_[tid], kernel);
+    {
+      const int tid = omp_get_thread_num();
+      if (tid < static_cast<int>(parts_.size())) {
+        run_rows(*a_, x.data(), y.data(), m, parts_[tid], kernel);
+      }
     }
+  }
+
+  if (metrics) {
+    record_metrics(m, std::chrono::duration<double>(Clock::now() - t0).count());
   }
 }
 
@@ -132,17 +144,42 @@ void GspmvEngine::apply(std::span<const double> x, std::span<double> y) const {
   if (x.size() != a_->cols() || y.size() != a_->rows()) {
     throw std::invalid_argument("spmv: shape mismatch");
   }
+  OBS_SPAN_VAR(span, "gspmv.apply");
+  span.arg("m", 1.0);
+  using Clock = std::chrono::steady_clock;
+  const bool metrics = obs::metrics_enabled();
+  const Clock::time_point t0 = metrics ? Clock::now() : Clock::time_point{};
+
   if (threads_ == 1) {
     run_rows(*a_, x.data(), y.data(), 1, RowRange{0, a_->block_rows()},
              GspmvKernel::kAuto);
-    return;
-  }
+  } else {
 #pragma omp parallel num_threads(threads_)
-  {
-    const int tid = omp_get_thread_num();
-    if (tid < static_cast<int>(parts_.size())) {
-      run_rows(*a_, x.data(), y.data(), 1, parts_[tid], GspmvKernel::kAuto);
+    {
+      const int tid = omp_get_thread_num();
+      if (tid < static_cast<int>(parts_.size())) {
+        run_rows(*a_, x.data(), y.data(), 1, parts_[tid], GspmvKernel::kAuto);
+      }
     }
+  }
+
+  if (metrics) {
+    record_metrics(1, std::chrono::duration<double>(Clock::now() - t0).count());
+  }
+}
+
+void GspmvEngine::record_metrics(std::size_t m, double seconds) const {
+  const double bytes = min_bytes(m);
+  OBS_COUNTER_ADD("gspmv.calls", 1);
+  OBS_COUNTER_ADD("gspmv.vector_products", m);
+  OBS_COUNTER_ADD("gspmv.bytes", bytes);
+  OBS_COUNTER_ADD("gspmv.flops", flops(m));
+  OBS_COUNTER_ADD("gspmv.seconds", seconds);
+  if (seconds > 0.0) {
+    // Effective bandwidth of this apply against the paper's minimum
+    // traffic Mtr (eq. 8): how close the kernel runs to the roofline.
+    OBS_GAUGE_SET("gspmv.effective_bandwidth_gbps",
+                  bytes / seconds * 1e-9);
   }
 }
 

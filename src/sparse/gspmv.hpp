@@ -61,6 +61,10 @@ class GspmvEngine {
   [[nodiscard]] double min_bytes(std::size_t m) const;
 
  private:
+  /// Feed the gspmv.* counters and the effective-bandwidth gauge after
+  /// one timed apply (only called when metrics are enabled).
+  void record_metrics(std::size_t m, double seconds) const;
+
   const BcrsMatrix* a_;
   int threads_;
   std::vector<RowRange> parts_;

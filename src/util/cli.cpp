@@ -5,6 +5,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+
 namespace mrhs::util {
 
 ArgParser::ArgParser(std::string program, std::string description)
@@ -122,6 +124,36 @@ void ArgParser::parse(int argc, const char* const* argv) {
     } catch (const std::exception&) {
       fail("bad value '" + value + "' for flag --" + name);
     }
+  }
+}
+
+void ObsCli::add_to(ArgParser& args) {
+  args.add("trace-out", trace_out_,
+           "write Chrome-trace JSON of solver/step spans to this file");
+  args.add("trace-jsonl", trace_jsonl_,
+           "write the trace events as flat JSONL to this file");
+  args.add("metrics-out", metrics_out_,
+           "write the metrics snapshot JSON to this file");
+}
+
+void ObsCli::apply() const {
+  obs::arm_outputs(trace_out_, trace_jsonl_, metrics_out_);
+}
+
+void ObsCli::finish() const {
+  if (trace_out_.empty() && trace_jsonl_.empty() && metrics_out_.empty()) {
+    return;
+  }
+  const obs::FlushResult result = obs::flush_outputs();
+  if (!trace_out_.empty() && result.trace_ok) {
+    std::printf("trace written to %s (load in chrome://tracing)\n",
+                trace_out_.c_str());
+  }
+  if (!trace_jsonl_.empty() && result.trace_jsonl_ok) {
+    std::printf("trace events written to %s\n", trace_jsonl_.c_str());
+  }
+  if (!metrics_out_.empty() && result.metrics_ok) {
+    std::printf("metrics written to %s\n", metrics_out_.c_str());
   }
 }
 

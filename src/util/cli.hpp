@@ -52,4 +52,38 @@ class ArgParser {
   std::vector<Flag> flags_;
 };
 
+/// Shared observability flags for every bench/example binary:
+///
+///   util::ObsCli obs_cli;
+///   obs_cli.add_to(args);
+///   args.parse(argc, argv);
+///   obs_cli.apply();   // enables tracing/metrics if paths were given
+///
+/// --trace-out FILE    Chrome-trace JSON (chrome://tracing, perfetto)
+/// --trace-jsonl FILE  same events as flat JSONL
+/// --metrics-out FILE  metrics snapshot JSON
+///
+/// Outputs are written at process exit; call finish() to flush early
+/// and print where the artifacts went.
+class ObsCli {
+ public:
+  void add_to(ArgParser& args);
+  void apply() const;
+  /// Flush armed outputs now and report their paths on stdout.
+  void finish() const;
+
+  [[nodiscard]] const std::string& trace_out() const { return trace_out_; }
+  [[nodiscard]] const std::string& trace_jsonl() const {
+    return trace_jsonl_;
+  }
+  [[nodiscard]] const std::string& metrics_out() const {
+    return metrics_out_;
+  }
+
+ private:
+  std::string trace_out_;
+  std::string trace_jsonl_;
+  std::string metrics_out_;
+};
+
 }  // namespace mrhs::util

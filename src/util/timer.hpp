@@ -5,7 +5,10 @@
 #include <cstddef>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
+
+#include "obs/obs.hpp"
 
 namespace mrhs::util {
 
@@ -30,19 +33,24 @@ class WallTimer {
 /// breakdowns of paper Tables VI and VII.
 class PhaseTimers {
  public:
-  /// Add `seconds` to phase `name` and bump its call count.
-  void add(const std::string& name, double seconds) {
-    auto& slot = phases_[name];
-    slot.seconds += seconds;
-    slot.calls += 1;
+  /// Add `seconds` to phase `name` and bump its call count. Lookup is
+  /// by string_view; a std::string is only constructed the first time
+  /// a phase name is seen.
+  void add(std::string_view name, double seconds) {
+    auto it = phases_.find(name);
+    if (it == phases_.end()) {
+      it = phases_.try_emplace(std::string(name)).first;
+    }
+    it->second.seconds += seconds;
+    it->second.calls += 1;
   }
 
-  [[nodiscard]] double seconds(const std::string& name) const {
+  [[nodiscard]] double seconds(std::string_view name) const {
     auto it = phases_.find(name);
     return it == phases_.end() ? 0.0 : it->second.seconds;
   }
 
-  [[nodiscard]] std::size_t calls(const std::string& name) const {
+  [[nodiscard]] std::size_t calls(std::string_view name) const {
     auto it = phases_.find(name);
     return it == phases_.end() ? 0 : it->second.calls;
   }
@@ -76,14 +84,18 @@ class PhaseTimers {
     double seconds = 0.0;
     std::size_t calls = 0;
   };
-  std::map<std::string, Slot> phases_;
+  std::map<std::string, Slot, std::less<>> phases_;
 };
 
-/// RAII helper: adds the scope's wall time to a phase on destruction.
+/// RAII helper: adds the scope's wall time to a phase on destruction
+/// and, when tracing is enabled, emits the same scope as a span into
+/// the global obs::TraceRecorder — so the paper's phase labels appear
+/// directly in Chrome-trace output. `name` must outlive the scope
+/// (every call site passes a constexpr phase label).
 class ScopedPhase {
  public:
-  ScopedPhase(PhaseTimers& timers, std::string name)
-      : timers_(timers), name_(std::move(name)) {}
+  ScopedPhase(PhaseTimers& timers, std::string_view name)
+      : timers_(timers), name_(name), span_(name) {}
   ~ScopedPhase() { timers_.add(name_, timer_.seconds()); }
 
   ScopedPhase(const ScopedPhase&) = delete;
@@ -91,7 +103,8 @@ class ScopedPhase {
 
  private:
   PhaseTimers& timers_;
-  std::string name_;
+  std::string_view name_;
+  obs::SpanGuard span_;
   WallTimer timer_;
 };
 
