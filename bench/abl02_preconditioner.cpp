@@ -32,7 +32,7 @@ int main(int argc, char** argv) {
     config.phi = phi;
     config.seed = 42;
     core::SdSimulation sim(config);
-    const auto r = sim.assemble();
+    const auto r = sim.assemble().matrix;
     solver::BcrsOperator op(r, config.threads);
     const solver::BlockJacobiPreconditioner precond(r);
 

@@ -34,7 +34,7 @@ int main(int argc, char** argv) {
   config.phi = phi;
   config.seed = 42;
   core::SdSimulation sim(config);
-  const auto r = sim.assemble();
+  const auto r = sim.assemble().matrix;
   solver::BcrsOperator op(r, config.threads);
   const auto bounds = solver::lanczos_bounds(op);
   std::printf("spectral interval: [%.3g, %.3g], condition %.1f\n\n",

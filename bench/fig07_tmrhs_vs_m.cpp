@@ -51,7 +51,7 @@ int main(int argc, char** argv) {
   core::MrhsCostModel model;
   {
     core::SdSimulation sim(config);
-    const auto r = sim.assemble();
+    const auto r = sim.assemble().matrix;
     model.gspmv.block_rows = static_cast<double>(r.block_rows());
     model.gspmv.nonzero_blocks = static_cast<double>(r.nnzb());
     model.gspmv.bandwidth = machine.bandwidth;

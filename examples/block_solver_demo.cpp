@@ -46,7 +46,7 @@ int main(int argc, char** argv) {
   std::printf("block CG:      %3zu iterations, %5ld matrix-vector products, "
               "%.3f s%s\n",
               block_result.iterations, block_applies, block_seconds,
-              block_result.converged ? "" : "  (NOT converged)");
+              block_result.converged() ? "" : "  (NOT converged)");
 
   // Sequential CG, column by column.
   op.reset_application_count();
@@ -59,7 +59,7 @@ int main(int argc, char** argv) {
     std::fill(xj.begin(), xj.end(), 0.0);
     const auto r = solver::conjugate_gradient(op, bj, xj);
     max_iters = std::max(max_iters, r.iterations);
-    all_converged = all_converged && r.converged;
+    all_converged = all_converged && r.converged();
   }
   const double seq_seconds = seq_timer.seconds();
   std::printf("sequential CG: %3zu iterations (worst column), %5ld "

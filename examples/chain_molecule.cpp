@@ -98,7 +98,7 @@ int main(int argc, char** argv) {
 
   std::vector<double> f(n), z(n), u(n, 0.0);
   for (int step = 0; step < steps; ++step) {
-    const auto r_matrix = sim.assemble();
+    const auto r_matrix = sim.assemble().matrix;
     mrhs::solver::BcrsOperator op(r_matrix, config.threads);
     const sd::BrownianForce brownian(op, dt);
     sim.noise(static_cast<std::uint64_t>(step), z);

@@ -4,11 +4,44 @@
 // Build & run:
 //   cmake -B build -G Ninja && cmake --build build
 //   ./build/examples/quickstart [--particles N] [--phi F] [--steps N]
+//
+// Checkpoint/restart:
+//   quickstart --steps 20 --checkpoint-out ck.bin --checkpoint-every 5
+//   quickstart --steps 20 --resume ck.bin
+//
+// A resumed run continues the trajectory bitwise: positions after
+// "10 straight steps" and "5 steps, checkpoint, resume, 5 more" are
+// identical doubles (scripts/check_resume.py asserts exactly this).
+#include <algorithm>
 #include <cstdio>
+#include <optional>
+#include <string>
 
+#include "core/checkpoint.hpp"
 #include "core/sd_simulation.hpp"
+#include "core/status.hpp"
 #include "core/stepper.hpp"
 #include "util/cli.hpp"
+
+namespace {
+
+/// Hex float (%a) round-trips every bit of the double, so two runs can
+/// be compared for exact equality through a text file.
+bool write_positions(const mrhs::core::SdSimulation& sim,
+                     const std::string& path) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "error: cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  for (const auto& p : sim.system().positions()) {
+    std::fprintf(out, "%a %a %a\n", p.x, p.y, p.z);
+  }
+  std::fclose(out);
+  return true;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace mrhs;
@@ -17,34 +50,109 @@ int main(int argc, char** argv) {
   double phi = 0.4;
   int steps = 16;
   int rhs = 8;
+  std::string checkpoint_out;
+  int checkpoint_every = 0;
+  std::string resume_path;
+  int stop_after = 0;
+  std::string positions_out;
   util::ArgParser args("quickstart",
                        "Minimal MRHS Stokesian dynamics simulation");
   args.add("particles", particles, "number of particles");
   args.add("phi", phi, "volume occupancy");
-  args.add("steps", steps, "time steps to simulate");
+  args.add("steps", steps, "time steps to simulate (total, incl. resumed)");
   args.add("rhs", rhs, "right-hand sides per MRHS chunk");
+  args.add("checkpoint-out", checkpoint_out,
+           "write a checkpoint to this path (see --checkpoint-every)");
+  args.add("checkpoint-every", checkpoint_every,
+           "checkpoint period in steps (0: only at exit)");
+  args.add("resume", resume_path, "resume from this checkpoint file");
+  args.add("stop-after", stop_after,
+           "stop after this many steps of this process (0: run to --steps); "
+           "simulates an interrupted run for checkpoint testing");
+  args.add("positions-out", positions_out,
+           "write final positions as hex floats (bitwise comparable)");
   util::ObsCli obs_cli;
   obs_cli.add_to(args);
   args.parse(argc, argv);
   obs_cli.apply();
 
-  // 1. Build the system: E. coli protein-sized spheres packed into a
-  //    periodic box at the requested volume occupancy.
+  // 1. Build the system — from scratch, or bit-exact from a checkpoint.
   core::SdConfig config;
   config.particles = static_cast<std::size_t>(particles);
   config.phi = phi;
   config.seed = 2024;
-  core::SdSimulation sim(config);
+  std::optional<core::SdSimulation> sim;
+  std::optional<core::MrhsAlgorithm> stepper;
+  if (!resume_path.empty()) {
+    core::Checkpoint ck;
+    if (core::Status s = core::load_checkpoint(resume_path, ck); !s.is_ok()) {
+      std::fprintf(stderr, "error: cannot resume: %s\n",
+                   s.to_string().c_str());
+      return 1;
+    }
+    if (ck.algorithm != core::CheckpointAlgorithm::kMrhs) {
+      std::fprintf(stderr,
+                   "error: checkpoint holds a '%s' run, quickstart is MRHS\n",
+                   core::to_string(ck.algorithm));
+      return 1;
+    }
+    if (core::Status s = core::restore_simulation(ck, sim); !s.is_ok()) {
+      std::fprintf(stderr, "error: cannot resume: %s\n",
+                   s.to_string().c_str());
+      return 1;
+    }
+    stepper.emplace(*sim, ck.mrhs_rhs);
+    stepper->import_state(ck.mrhs_state);
+    std::printf("resumed from %s at step %zu\n", resume_path.c_str(),
+                stepper->current_step());
+  } else {
+    sim.emplace(config);
+    stepper.emplace(*sim, static_cast<std::size_t>(rhs));
+  }
   std::printf("system: %zu particles, phi = %.2f, box = %.1f radii, "
               "dt = %.3g\n",
-              sim.system().size(), sim.system().volume_fraction(),
-              sim.system().box().length(), sim.dt());
+              sim->system().size(), sim->system().volume_fraction(),
+              sim->system().box().length(), sim->dt());
 
   // 2. Advance with the MRHS algorithm (paper Algorithm 2): each chunk
   //    of `rhs` steps solves one augmented multi-RHS system whose
-  //    columns seed the following steps.
-  core::MrhsAlgorithm stepper(sim, static_cast<std::size_t>(rhs));
-  const auto stats = stepper.run(static_cast<std::size_t>(steps));
+  //    columns seed the following steps. The horizon pins chunk
+  //    boundaries to absolute step indices so interrupted-and-resumed
+  //    runs chunk exactly like straight ones.
+  const auto total_steps = static_cast<std::size_t>(steps);
+  if (stepper->current_step() >= total_steps) {
+    std::fprintf(stderr, "error: checkpoint is already at step %zu >= %d\n",
+                 stepper->current_step(), steps);
+    return 1;
+  }
+  std::size_t remaining = total_steps - stepper->current_step();
+  stepper->set_horizon(remaining);
+  if (stop_after > 0) {
+    remaining = std::min(remaining, static_cast<std::size_t>(stop_after));
+  }
+
+  // Run in checkpoint-sized legs (one leg when no period is set).
+  const auto period = checkpoint_every > 0
+                          ? static_cast<std::size_t>(checkpoint_every)
+                          : remaining;
+  core::RunStats stats;
+  std::size_t done = 0;
+  while (done < remaining) {
+    const std::size_t leg = std::min(period, remaining - done);
+    stats.merge(stepper->run(leg));
+    done += leg;
+    if (!checkpoint_out.empty()) {
+      const auto ck = core::capture_checkpoint(*sim, *stepper);
+      if (core::Status s = core::save_checkpoint(ck, checkpoint_out);
+          !s.is_ok()) {
+        std::fprintf(stderr, "error: checkpoint failed: %s\n",
+                     s.to_string().c_str());
+        return 1;
+      }
+      std::printf("checkpoint: step %zu -> %s\n", stepper->current_step(),
+                  checkpoint_out.c_str());
+    }
+  }
 
   // 3. Report.
   std::printf("\nran %zu steps in %.2f s (%.3g s/step)\n",
@@ -52,10 +160,16 @@ int main(int argc, char** argv) {
               stats.avg_step_seconds());
   std::printf("augmented-solve iterations per chunk: %zu total\n",
               stats.block_iterations);
+  std::printf("solver status: %s", solver::to_string(stats.solver_status));
+  if (stats.ladder_recoveries > 0 || stats.ladder_failures > 0) {
+    std::printf(" (ladder recoveries: %zu, failures: %zu)",
+                stats.ladder_recoveries, stats.ladder_failures);
+  }
+  std::printf("\n");
   double mean_iters = 0.0;
   std::size_t guessed_steps = 0;
   for (const auto& rec : stats.steps) {
-    if (rec.step % rhs != 0) {
+    if (rec.step % static_cast<std::size_t>(rhs) != 0) {
       mean_iters += static_cast<double>(rec.iters_first_solve);
       ++guessed_steps;
     }
@@ -65,13 +179,16 @@ int main(int argc, char** argv) {
                 mean_iters / static_cast<double>(guessed_steps));
   }
   std::printf("mean squared displacement: %.4g (radius units^2)\n",
-              sim.system().mean_squared_displacement());
+              sim->system().mean_squared_displacement());
   std::printf("\nphase breakdown (s/step):\n");
   for (const auto& name : stats.timers.names()) {
     std::printf("  %-14s %.4f\n", name.c_str(),
                 stats.timers.seconds(name) /
                     static_cast<double>(stats.steps.size()));
   }
+  if (!positions_out.empty() && !write_positions(*sim, positions_out)) {
+    return 1;
+  }
   obs_cli.finish();
-  return 0;
+  return solver::solve_succeeded(stats.solver_status) ? 0 : 3;
 }

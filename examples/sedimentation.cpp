@@ -55,7 +55,7 @@ int main(int argc, char** argv) {
     std::vector<double> f(n), u(n, 0.0);
     double drift = 0.0;
     for (int step = 0; step < steps; ++step) {
-      const auto r_matrix = sim.assemble();
+      const auto r_matrix = sim.assemble().matrix;
       solver::BcrsOperator op(r_matrix, config.threads);
 
       // f = f_B + f_P: Brownian forcing plus gravity.

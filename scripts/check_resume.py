@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""End-to-end check of checkpoint/restart through the quickstart CLI.
+
+Drives the quickstart binary three ways and cross-validates:
+
+  * straight:  10 steps in one process;
+  * resumed:   6 steps with --checkpoint-out + --stop-after, then a
+    second process with --resume for the remaining 4 steps (the stop
+    point is deliberately mid-chunk for --rhs 4, so the resume path
+    has to restore the stashed initial-guess block);
+  * the final particle positions of both runs, written as hex floats
+    (%a), are compared for EXACT equality — bitwise, not approximate;
+  * the JSON sidecar next to the checkpoint parses and matches;
+  * a corrupted checkpoint and a truncated checkpoint are rejected
+    with a nonzero exit and a diagnostic on stderr.
+
+Usage: check_resume.py /path/to/quickstart
+Exit code 0 on success; prints the first failure otherwise.
+"""
+
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+PARTICLES = "120"
+STEPS = 10
+STOP_AFTER = 6  # mid-chunk with --rhs 4: chunk [4,8) interrupted at 6
+RHS = "4"
+
+
+def fail(msg):
+    print(f"FAIL: {msg}")
+    sys.exit(1)
+
+
+def run(binary, *flags, expect_ok=True):
+    cmd = [str(binary), "--particles", PARTICLES, "--phi", "0.35",
+           "--steps", str(STEPS), "--rhs", RHS, *flags]
+    proc = subprocess.run(cmd, capture_output=True, text=True, timeout=240)
+    if expect_ok and proc.returncode != 0:
+        fail(f"{' '.join(cmd)} exited {proc.returncode}:\n{proc.stderr}")
+    return proc
+
+
+def read_positions(path):
+    lines = Path(path).read_text().strip().splitlines()
+    if len(lines) != int(PARTICLES):
+        fail(f"{path}: expected {PARTICLES} position lines, got {len(lines)}")
+    return lines
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail("usage: check_resume.py /path/to/quickstart")
+    binary = Path(sys.argv[1])
+    if not binary.exists():
+        fail(f"binary not found: {binary}")
+
+    with tempfile.TemporaryDirectory(prefix="mrhs_resume_") as td:
+        tmp = Path(td)
+        straight_pos = tmp / "straight.txt"
+        resumed_pos = tmp / "resumed.txt"
+        ckpt = tmp / "run.ckpt"
+
+        # Straight reference run.
+        run(binary, "--positions-out", str(straight_pos))
+
+        # Interrupted run: stops after 6 of 10 steps, checkpointing.
+        proc = run(binary, "--checkpoint-out", str(ckpt),
+                   "--stop-after", str(STOP_AFTER))
+        if "checkpoint: step 6" not in proc.stdout:
+            fail(f"expected a step-6 checkpoint, got:\n{proc.stdout}")
+        if not ckpt.exists():
+            fail("checkpoint file was not written")
+
+        sidecar = Path(str(ckpt) + ".json")
+        if not sidecar.exists():
+            fail("JSON sidecar was not written")
+        meta = json.loads(sidecar.read_text())
+        for key, want in [("format", "mrhs-checkpoint"),
+                          ("algorithm", "mrhs"),
+                          ("step", STOP_AFTER),
+                          ("particles", int(PARTICLES)),
+                          ("chunk_active", True)]:
+            if meta.get(key) != want:
+                fail(f"sidecar {key} = {meta.get(key)!r}, expected {want!r}")
+
+        # Resume and finish.
+        proc = run(binary, "--resume", str(ckpt),
+                   "--positions-out", str(resumed_pos))
+        if f"resumed from {ckpt} at step {STOP_AFTER}" not in proc.stdout:
+            fail(f"missing resume banner:\n{proc.stdout}")
+
+        straight = read_positions(straight_pos)
+        resumed = read_positions(resumed_pos)
+        mismatches = [i for i, (a, b) in enumerate(zip(straight, resumed))
+                      if a != b]
+        if mismatches:
+            i = mismatches[0]
+            fail(f"{len(mismatches)} particles differ after resume; "
+                 f"first at index {i}:\n  straight: {straight[i]}\n"
+                 f"  resumed:  {resumed[i]}")
+
+        # Corrupted checkpoint: flip one payload byte -> must be refused.
+        blob = bytearray(ckpt.read_bytes())
+        corrupt = tmp / "corrupt.ckpt"
+        blob[len(blob) // 2] ^= 0x01
+        corrupt.write_bytes(bytes(blob))
+        proc = run(binary, "--resume", str(corrupt), expect_ok=False)
+        if proc.returncode == 0:
+            fail("corrupted checkpoint was accepted")
+        if "corrupt" not in proc.stderr.lower():
+            fail(f"corruption not diagnosed on stderr:\n{proc.stderr}")
+
+        # Truncated checkpoint -> must be refused.
+        truncated = tmp / "truncated.ckpt"
+        truncated.write_bytes(ckpt.read_bytes()[: len(blob) // 3])
+        proc = run(binary, "--resume", str(truncated), expect_ok=False)
+        if proc.returncode == 0:
+            fail("truncated checkpoint was accepted")
+
+    print("OK: resumed trajectory is bitwise identical; "
+          "corrupt/truncated checkpoints rejected")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,443 @@
+#include "core/checkpoint.hpp"
+
+#include <array>
+#include <bit>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "obs/obs.hpp"
+
+namespace mrhs::core {
+
+namespace {
+
+constexpr std::array<char, 8> kMagic = {'M', 'R', 'H', 'S',
+                                        'C', 'K', 'P', 'T'};
+
+/// CRC-32 (IEEE 802.3, reflected 0xEDB88320), bitwise — checkpoint
+/// payloads are a few MB at most, so table-free is plenty fast and
+/// keeps the implementation dependency-free.
+std::uint32_t crc32(const std::uint8_t* data, std::size_t size) {
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc ^= data[i];
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ (0xEDB88320u & (0u - (crc & 1u)));
+    }
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+/// Little-endian binary writer over a growable buffer.
+class Writer {
+ public:
+  void put_u8(std::uint8_t v) { buf_.push_back(v); }
+  void put_u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+  void put_u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+  void put_f64(double v) { put_u64(std::bit_cast<std::uint64_t>(v)); }
+  void put_doubles(const double* p, std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i) put_f64(p[i]);
+  }
+
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const {
+    return buf_;
+  }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Bounds-checked little-endian reader; any overrun flips `ok` and
+/// yields zeros, so the caller reports one clean kCorruptData instead
+/// of crashing part-way through a truncated payload.
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  std::uint8_t get_u8() {
+    if (!ensure(1)) return 0;
+    return data_[pos_++];
+  }
+  std::uint32_t get_u32() {
+    if (!ensure(4)) return 0;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(data_[pos_++]) << (8 * i);
+    }
+    return v;
+  }
+  std::uint64_t get_u64() {
+    if (!ensure(8)) return 0;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(data_[pos_++]) << (8 * i);
+    }
+    return v;
+  }
+  double get_f64() { return std::bit_cast<double>(get_u64()); }
+  void get_doubles(double* p, std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i) p[i] = get_f64();
+  }
+  /// Guard for array lengths read from the payload: a count larger
+  /// than the remaining bytes could support is corruption, not a
+  /// gigantic allocation request.
+  [[nodiscard]] bool plausible_count(std::uint64_t count,
+                                     std::size_t elem_bytes) const {
+    return count <= (size_ - pos_) / elem_bytes;
+  }
+
+  [[nodiscard]] bool ok() const { return ok_; }
+  [[nodiscard]] bool exhausted() const { return pos_ == size_; }
+
+ private:
+  bool ensure(std::size_t n) {
+    if (size_ - pos_ < n) {
+      ok_ = false;
+      pos_ = size_;
+      return false;
+    }
+    return true;
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+void write_config(Writer& w, const SdConfig& c) {
+  w.put_u64(c.particles);
+  w.put_f64(c.phi);
+  w.put_u64(c.seed);
+  w.put_f64(c.kT);
+  w.put_f64(c.viscosity);
+  w.put_u64(c.chebyshev_order);
+  w.put_f64(c.solver_tol);
+  w.put_u64(c.solver_max_iters);
+  w.put_f64(c.rms_step_fraction);
+  w.put_f64(c.max_step_fraction);
+  w.put_f64(c.lubrication_cutoff);
+  w.put_f64(c.packing_pad);
+  w.put_u64(static_cast<std::uint64_t>(c.threads));
+}
+
+void read_config(Reader& r, SdConfig& c) {
+  c.particles = r.get_u64();
+  c.phi = r.get_f64();
+  c.seed = r.get_u64();
+  c.kT = r.get_f64();
+  c.viscosity = r.get_f64();
+  c.chebyshev_order = r.get_u64();
+  c.solver_tol = r.get_f64();
+  c.solver_max_iters = r.get_u64();
+  c.rms_step_fraction = r.get_f64();
+  c.max_step_fraction = r.get_f64();
+  c.lubrication_cutoff = r.get_f64();
+  c.packing_pad = r.get_f64();
+  c.threads = static_cast<int>(r.get_u64());
+}
+
+std::vector<std::uint8_t> encode_payload(const Checkpoint& ck) {
+  Writer w;
+  write_config(w, ck.config);
+  w.put_f64(ck.dt);
+  w.put_f64(ck.mean_radius);
+  w.put_f64(ck.box_length);
+
+  const std::uint64_t n = ck.positions.size();
+  w.put_u64(n);
+  for (const auto& p : ck.positions) {
+    w.put_f64(p.x);
+    w.put_f64(p.y);
+    w.put_f64(p.z);
+  }
+  for (const auto& p : ck.unwrapped) {
+    w.put_f64(p.x);
+    w.put_f64(p.y);
+    w.put_f64(p.z);
+  }
+  w.put_doubles(ck.radii.data(), ck.radii.size());
+
+  w.put_u8(static_cast<std::uint8_t>(ck.algorithm));
+  w.put_u64(ck.scalar_state.step);
+  w.put_f64(ck.scalar_state.bounds.lambda_min);
+  w.put_f64(ck.scalar_state.bounds.lambda_max);
+  w.put_u8(ck.scalar_state.have_bounds ? 1 : 0);
+
+  const bool has_mrhs = ck.algorithm == CheckpointAlgorithm::kMrhs;
+  w.put_u8(has_mrhs ? 1 : 0);
+  if (has_mrhs) {
+    const MrhsState& s = ck.mrhs_state;
+    w.put_u64(ck.mrhs_rhs);
+    w.put_u64(s.step);
+    w.put_u8(s.horizon_set ? 1 : 0);
+    w.put_u64(s.horizon_end);
+    w.put_u8(s.chunk_active ? 1 : 0);
+    w.put_u64(s.chunk_start);
+    w.put_u64(s.chunk_len);
+    w.put_u64(s.chunk_pos);
+    w.put_u8(s.chunk_guesses_ok ? 1 : 0);
+    w.put_f64(s.chunk_bounds.lambda_min);
+    w.put_f64(s.chunk_bounds.lambda_max);
+    w.put_u64(s.chunk_guesses.rows());
+    w.put_u64(s.chunk_guesses.cols());
+    w.put_doubles(s.chunk_guesses.data(),
+                  s.chunk_guesses.rows() * s.chunk_guesses.cols());
+  }
+  return w.bytes();
+}
+
+Status decode_payload(const std::uint8_t* data, std::size_t size,
+                      Checkpoint& ck) {
+  Reader r(data, size);
+  read_config(r, ck.config);
+  ck.dt = r.get_f64();
+  ck.mean_radius = r.get_f64();
+  ck.box_length = r.get_f64();
+
+  const std::uint64_t n = r.get_u64();
+  if (!r.ok() || !r.plausible_count(n, 7 * sizeof(double))) {
+    return Status::corrupt_data("implausible particle count");
+  }
+  ck.positions.resize(n);
+  for (auto& p : ck.positions) {
+    p.x = r.get_f64();
+    p.y = r.get_f64();
+    p.z = r.get_f64();
+  }
+  ck.unwrapped.resize(n);
+  for (auto& p : ck.unwrapped) {
+    p.x = r.get_f64();
+    p.y = r.get_f64();
+    p.z = r.get_f64();
+  }
+  ck.radii.resize(n);
+  r.get_doubles(ck.radii.data(), n);
+
+  const std::uint8_t algo = r.get_u8();
+  if (algo > static_cast<std::uint8_t>(CheckpointAlgorithm::kMrhs)) {
+    return Status::corrupt_data("unknown algorithm tag");
+  }
+  ck.algorithm = static_cast<CheckpointAlgorithm>(algo);
+  ck.scalar_state.step = r.get_u64();
+  ck.scalar_state.bounds.lambda_min = r.get_f64();
+  ck.scalar_state.bounds.lambda_max = r.get_f64();
+  ck.scalar_state.have_bounds = r.get_u8() != 0;
+
+  const bool has_mrhs = r.get_u8() != 0;
+  if (has_mrhs) {
+    MrhsState& s = ck.mrhs_state;
+    ck.mrhs_rhs = r.get_u64();
+    s.step = r.get_u64();
+    s.horizon_set = r.get_u8() != 0;
+    s.horizon_end = r.get_u64();
+    s.chunk_active = r.get_u8() != 0;
+    s.chunk_start = r.get_u64();
+    s.chunk_len = r.get_u64();
+    s.chunk_pos = r.get_u64();
+    s.chunk_guesses_ok = r.get_u8() != 0;
+    s.chunk_bounds.lambda_min = r.get_f64();
+    s.chunk_bounds.lambda_max = r.get_f64();
+    const std::uint64_t rows = r.get_u64();
+    const std::uint64_t cols = r.get_u64();
+    if (!r.ok() || cols > rows + 1 ||
+        !r.plausible_count(rows * cols, sizeof(double))) {
+      return Status::corrupt_data("implausible guess-block shape");
+    }
+    s.chunk_guesses = sparse::MultiVector(rows, cols);
+    r.get_doubles(s.chunk_guesses.data(), rows * cols);
+  }
+
+  if (!r.ok()) return Status::corrupt_data("payload truncated");
+  if (!r.exhausted()) {
+    return Status::corrupt_data("payload has trailing bytes");
+  }
+  return Status::ok();
+}
+
+void write_sidecar(const Checkpoint& ck, const std::string& path,
+                   std::size_t payload_bytes, std::uint32_t crc) {
+  std::ofstream out(path + ".json", std::ios::trunc);
+  if (!out) return;  // the sidecar is advisory; the binary is canonical
+  out << "{\n"
+      << "  \"format\": \"mrhs-checkpoint\",\n"
+      << "  \"version\": " << kCheckpointVersion << ",\n"
+      << "  \"algorithm\": \"" << to_string(ck.algorithm) << "\",\n"
+      << "  \"step\": " << ck.scalar_state.step << ",\n"
+      << "  \"particles\": " << ck.positions.size() << ",\n"
+      << "  \"seed\": " << ck.config.seed << ",\n"
+      << "  \"rhs\": " << ck.mrhs_rhs << ",\n"
+      << "  \"chunk_active\": "
+      << (ck.mrhs_state.chunk_active ? "true" : "false") << ",\n"
+      << "  \"payload_bytes\": " << payload_bytes << ",\n"
+      << "  \"crc32\": " << crc << "\n"
+      << "}\n";
+}
+
+Checkpoint capture_common(const SdSimulation& sim) {
+  Checkpoint ck;
+  ck.config = sim.config();
+  ck.dt = sim.dt();
+  ck.mean_radius = sim.mean_radius();
+  ck.box_length = sim.system().box().length();
+  const auto snap = sim.system().snapshot();
+  ck.positions = snap.positions;
+  ck.unwrapped = snap.unwrapped;
+  ck.radii.assign(sim.system().radii().begin(), sim.system().radii().end());
+  return ck;
+}
+
+}  // namespace
+
+Checkpoint capture_checkpoint(const SdSimulation& sim,
+                              const MrhsAlgorithm& alg) {
+  Checkpoint ck = capture_common(sim);
+  ck.algorithm = CheckpointAlgorithm::kMrhs;
+  ck.mrhs_rhs = alg.rhs();
+  ck.mrhs_state = alg.export_state();
+  ck.scalar_state.step = ck.mrhs_state.step;
+  return ck;
+}
+
+Checkpoint capture_checkpoint(const SdSimulation& sim,
+                              const OriginalAlgorithm& alg) {
+  Checkpoint ck = capture_common(sim);
+  ck.algorithm = CheckpointAlgorithm::kOriginal;
+  ck.scalar_state = alg.export_state();
+  return ck;
+}
+
+Checkpoint capture_checkpoint(const SdSimulation& sim,
+                              const BrownianDynamicsAlgorithm& alg) {
+  Checkpoint ck = capture_common(sim);
+  ck.algorithm = CheckpointAlgorithm::kBrownianDynamics;
+  ck.scalar_state = alg.export_state();
+  return ck;
+}
+
+Checkpoint capture_checkpoint(const SdSimulation& sim,
+                              const CholeskyAlgorithm& alg) {
+  Checkpoint ck = capture_common(sim);
+  ck.algorithm = CheckpointAlgorithm::kCholesky;
+  ck.scalar_state = alg.export_state();
+  return ck;
+}
+
+Status save_checkpoint(const Checkpoint& ck, const std::string& path) {
+  if (path.empty()) {
+    return Status::invalid_argument("checkpoint path is empty");
+  }
+  if (ck.positions.size() != ck.radii.size() ||
+      ck.positions.size() != ck.unwrapped.size()) {
+    return Status::invalid_argument(
+        "checkpoint state arrays have mismatched sizes");
+  }
+  OBS_SPAN_VAR(span, "checkpoint.save");
+  const std::vector<std::uint8_t> payload = encode_payload(ck);
+  const std::uint32_t crc = crc32(payload.data(), payload.size());
+  span.arg("bytes", static_cast<double>(payload.size()));
+
+  Writer header;
+  for (char c : kMagic) header.put_u8(static_cast<std::uint8_t>(c));
+  header.put_u32(kCheckpointVersion);
+  header.put_u64(payload.size());
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::io_error("cannot open for writing: " + path);
+  }
+  out.write(reinterpret_cast<const char*>(header.bytes().data()),
+            static_cast<std::streamsize>(header.bytes().size()));
+  out.write(reinterpret_cast<const char*>(payload.data()),
+            static_cast<std::streamsize>(payload.size()));
+  Writer trailer;
+  trailer.put_u32(crc);
+  out.write(reinterpret_cast<const char*>(trailer.bytes().data()), 4);
+  out.flush();
+  if (!out) {
+    return Status::io_error("short write: " + path);
+  }
+  write_sidecar(ck, path, payload.size(), crc);
+  OBS_COUNTER_ADD("checkpoint.saves", 1);
+  return Status::ok();
+}
+
+Status load_checkpoint(const std::string& path, Checkpoint& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::io_error("cannot open: " + path);
+  }
+  std::vector<std::uint8_t> file(
+      (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  if (in.bad()) {
+    return Status::io_error("read failed: " + path);
+  }
+
+  constexpr std::size_t kHeaderBytes = 8 + 4 + 8;
+  if (file.size() < kHeaderBytes + 4) {
+    return Status::corrupt_data("file too short to be a checkpoint");
+  }
+  if (std::memcmp(file.data(), kMagic.data(), kMagic.size()) != 0) {
+    return Status::corrupt_data("bad magic (not a checkpoint file)");
+  }
+  Reader header(file.data() + kMagic.size(), kHeaderBytes - kMagic.size());
+  const std::uint32_t version = header.get_u32();
+  const std::uint64_t payload_size = header.get_u64();
+  if (version != kCheckpointVersion) {
+    std::ostringstream msg;
+    msg << "checkpoint version " << version << ", expected "
+        << kCheckpointVersion;
+    return Status::version_mismatch(msg.str());
+  }
+  if (payload_size != file.size() - kHeaderBytes - 4) {
+    return Status::corrupt_data("truncated payload");
+  }
+
+  const std::uint8_t* payload = file.data() + kHeaderBytes;
+  Reader trailer(payload + payload_size, 4);
+  const std::uint32_t stored_crc = trailer.get_u32();
+  const std::uint32_t actual_crc = crc32(payload, payload_size);
+  if (stored_crc != actual_crc) {
+    return Status::corrupt_data("CRC mismatch (file corrupted)");
+  }
+
+  Checkpoint ck;
+  if (Status s = decode_payload(payload, payload_size, ck); !s.is_ok()) {
+    return s;
+  }
+  OBS_COUNTER_ADD("checkpoint.loads", 1);
+  out = std::move(ck);
+  return Status::ok();
+}
+
+Status restore_simulation(const Checkpoint& ck,
+                          std::optional<SdSimulation>& sim) {
+  if (ck.positions.size() != ck.radii.size() ||
+      ck.positions.size() != ck.unwrapped.size()) {
+    return Status::corrupt_data("state arrays have mismatched sizes");
+  }
+  if (ck.positions.size() != ck.config.particles) {
+    return Status::corrupt_data(
+        "particle count does not match the stored config");
+  }
+  if (!(ck.dt > 0.0) || !(ck.box_length > 0.0) || !(ck.mean_radius > 0.0)) {
+    return Status::corrupt_data("non-positive dt, box, or mean radius");
+  }
+  sd::ParticleSystem system(ck.positions, ck.radii,
+                            sd::PeriodicBox(ck.box_length));
+  system.restore({ck.positions, ck.unwrapped});
+  sim.emplace(ck.config, std::move(system), ck.dt, ck.mean_radius);
+  return Status::ok();
+}
+
+}  // namespace mrhs::core

@@ -1,0 +1,103 @@
+// Checkpoint/restart for SD trajectories.
+//
+// A checkpoint captures everything a resumed process needs to continue
+// the trajectory *bitwise*: the configuration, the derived step size,
+// the full kinematic state (wrapped positions plus unwrapped
+// displacements), and the stepping algorithm's carry-over state — for
+// the MRHS algorithm that includes the stashed initial-guess
+// MultiVector and the chunk's Chebyshev interval, so a resume can land
+// in the middle of a chunk. Noise needs no storage at all: the stream
+// is counter-keyed by (seed, step), so the resumed process regenerates
+// the identical forcing from the step index alone.
+//
+// On disk a checkpoint is a single binary file:
+//
+//   "MRHSCKPT" | u32 version | u64 payload size | payload | u32 CRC32
+//
+// with every integer little-endian and every double stored as its
+// IEEE-754 bit pattern (exact — no text round-trip). A human-readable
+// JSON sidecar is written next to it at `<path>.json` for tooling;
+// loading reads only the binary file. Corruption (bad magic, short
+// file, CRC mismatch) and version skew are reported through
+// core::Status, never by crashing or silently truncating state.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/sd_simulation.hpp"
+#include "core/status.hpp"
+#include "core/stepper.hpp"
+#include "sd/vec3.hpp"
+
+namespace mrhs::core {
+
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+/// Which stepping algorithm the checkpoint belongs to; a checkpoint
+/// resumes only with the same algorithm (the carry-over state is
+/// algorithm-specific).
+enum class CheckpointAlgorithm : std::uint8_t {
+  kOriginal = 0,
+  kCholesky = 1,
+  kBrownianDynamics = 2,
+  kMrhs = 3,
+};
+
+[[nodiscard]] constexpr const char* to_string(CheckpointAlgorithm a) {
+  switch (a) {
+    case CheckpointAlgorithm::kOriginal: return "original";
+    case CheckpointAlgorithm::kCholesky: return "cholesky";
+    case CheckpointAlgorithm::kBrownianDynamics: return "brownian_dynamics";
+    case CheckpointAlgorithm::kMrhs: return "mrhs";
+  }
+  return "unknown";
+}
+
+/// In-memory image of a checkpoint.
+struct Checkpoint {
+  SdConfig config{};
+  double dt = 0.0;
+  double mean_radius = 0.0;
+  double box_length = 0.0;
+  std::vector<sd::Vec3> positions;
+  std::vector<sd::Vec3> unwrapped;
+  std::vector<double> radii;
+  CheckpointAlgorithm algorithm = CheckpointAlgorithm::kMrhs;
+  /// State of the single-vector algorithms (also carries the step
+  /// cursor for every algorithm).
+  AlgorithmState scalar_state{};
+  /// MRHS carry-over; meaningful only when algorithm == kMrhs.
+  std::size_t mrhs_rhs = 0;
+  MrhsState mrhs_state{};
+};
+
+/// Capture the current simulation + stepper state. The checkpoint is
+/// only trajectory-exact when taken between steps (i.e. outside
+/// run()), which is the only time callers can reach the stepper.
+Checkpoint capture_checkpoint(const SdSimulation& sim,
+                              const MrhsAlgorithm& alg);
+Checkpoint capture_checkpoint(const SdSimulation& sim,
+                              const OriginalAlgorithm& alg);
+Checkpoint capture_checkpoint(const SdSimulation& sim,
+                              const BrownianDynamicsAlgorithm& alg);
+Checkpoint capture_checkpoint(const SdSimulation& sim,
+                              const CholeskyAlgorithm& alg);
+
+/// Serialize to `path` (binary) and `<path>.json` (sidecar header).
+Status save_checkpoint(const Checkpoint& ck, const std::string& path);
+
+/// Load and validate a checkpoint file. On any failure `out` is left
+/// untouched and the Status says why (kIoError / kCorruptData /
+/// kVersionMismatch).
+Status load_checkpoint(const std::string& path, Checkpoint& out);
+
+/// Rebuild the simulation a checkpoint was taken from. Uses the
+/// restore constructor — no re-packing, no re-sampling — so the
+/// rebuilt simulation is byte-identical to the captured one.
+Status restore_simulation(const Checkpoint& ck,
+                          std::optional<SdSimulation>& sim);
+
+}  // namespace mrhs::core

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <numbers>
+#include <utility>
 #include <vector>
 
 #include "sd/effective_viscosity.hpp"
@@ -41,9 +42,22 @@ SdSimulation::SdSimulation(const SdConfig& config) : config_(config) {
   dt_ = target * target * zeta / (6.0 * config.kT);
 }
 
-sparse::BcrsMatrix SdSimulation::assemble(sd::AssemblyStats* stats) const {
+SdSimulation::SdSimulation(const SdConfig& config, sd::ParticleSystem system,
+                           double dt, double mean_radius)
+    : config_(config),
+      system_(std::move(system)),
+      dt_(dt),
+      mean_radius_(mean_radius) {
+  resistance_.viscosity = config.viscosity;
+  resistance_.lubrication.viscosity = config.viscosity;
+  resistance_.lubrication.max_gap_scaled = config.lubrication_cutoff;
+}
+
+AssemblyResult SdSimulation::assemble() const {
   if (!assembler_.has_value()) assembler_.emplace(resistance_);
-  return assembler_->assemble(system_, stats);
+  AssemblyResult result;
+  result.matrix = assembler_->assemble(system_, &result.stats);
+  return result;
 }
 
 void SdSimulation::noise(std::uint64_t step, std::span<double> z) const {

@@ -48,11 +48,28 @@ struct SdConfig {
   int threads = 0;  // 0 = omp_get_max_threads()
 };
 
+/// Everything one resistance assembly produces: the matrix plus the
+/// pair statistics gathered while building it. Returning both together
+/// (instead of an out-parameter) means no caller can forget the stats
+/// or read a half-written struct on an error path.
+struct AssemblyResult {
+  sparse::BcrsMatrix matrix;
+  sd::AssemblyStats stats;
+};
+
 class SdSimulation {
  public:
   /// Sample the E. coli radius distribution, pack at `config.phi`, and
   /// derive the time step.
   explicit SdSimulation(const SdConfig& config);
+
+  /// Restore-from-checkpoint constructor: adopt an existing particle
+  /// configuration and the already-derived step size verbatim, without
+  /// re-running radius sampling or packing. Used by checkpoint.cpp;
+  /// `dt` and `mean_radius` must come from the original run for the
+  /// resumed trajectory to be bitwise identical.
+  SdSimulation(const SdConfig& config, sd::ParticleSystem system, double dt,
+               double mean_radius);
 
   [[nodiscard]] const SdConfig& config() const { return config_; }
   [[nodiscard]] const sd::ParticleSystem& system() const { return system_; }
@@ -62,8 +79,7 @@ class SdSimulation {
   [[nodiscard]] std::size_t dof() const { return 3 * system_.size(); }
 
   /// Assemble R = mu_F I + R_lub at the current configuration.
-  [[nodiscard]] sparse::BcrsMatrix assemble(
-      sd::AssemblyStats* stats = nullptr) const;
+  [[nodiscard]] AssemblyResult assemble() const;
 
   /// Standard normal noise vector for time step `step` (deterministic,
   /// so different algorithms see identical forcing).

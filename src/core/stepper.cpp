@@ -38,6 +38,16 @@ void full_step_from(sd::ParticleSystem& system,
 
 }  // namespace
 
+void RunStats::merge(const RunStats& other) {
+  timers.merge(other.timers);
+  steps.insert(steps.end(), other.steps.begin(), other.steps.end());
+  block_iterations += other.block_iterations;
+  seconds_total += other.seconds_total;
+  solver_status = solver::worse_status(solver_status, other.solver_status);
+  ladder_recoveries += other.ladder_recoveries;
+  ladder_failures += other.ladder_failures;
+}
+
 double RunStats::mean_first_solve_iters() const {
   if (steps.empty()) return 0.0;
   double s = 0.0;
@@ -50,6 +60,16 @@ double RunStats::mean_first_solve_iters() const {
 OriginalAlgorithm::OriginalAlgorithm(SdSimulation& sim,
                                      std::size_t bounds_refresh)
     : sim_(&sim), bounds_refresh_(bounds_refresh == 0 ? 1 : bounds_refresh) {}
+
+AlgorithmState OriginalAlgorithm::export_state() const {
+  return {step_, bounds_, have_bounds_};
+}
+
+void OriginalAlgorithm::import_state(const AlgorithmState& state) {
+  step_ = state.step;
+  bounds_ = state.bounds;
+  have_bounds_ = state.have_bounds;
+}
 
 RunStats OriginalAlgorithm::run(std::size_t count) {
   RunStats stats;
@@ -73,7 +93,7 @@ RunStats OriginalAlgorithm::run(std::size_t count) {
     sparse::BcrsMatrix r_k;
     {
       util::ScopedPhase t(stats.timers, phase::kConstruct);
-      r_k = sim_->assemble();
+      r_k = sim_->assemble().matrix;
     }
     solver::BcrsOperator op(r_k, config.threads);
 
@@ -99,6 +119,8 @@ RunStats OriginalAlgorithm::run(std::size_t count) {
       const auto result = solver::conjugate_gradient(op, f, u,
                                                      cg_options(config));
       rec.iters_first_solve = result.iterations;
+      stats.solver_status =
+          solver::worse_status(stats.solver_status, result.status);
     }
 
     // Midpoint configuration and second solve seeded with u_k.
@@ -108,7 +130,7 @@ RunStats OriginalAlgorithm::run(std::size_t count) {
     sparse::BcrsMatrix r_mid;
     {
       util::ScopedPhase t(stats.timers, phase::kConstruct);
-      r_mid = sim_->assemble();
+      r_mid = sim_->assemble().matrix;
     }
     solver::BcrsOperator op_mid(r_mid, config.threads);
     u_mid = u;
@@ -117,6 +139,8 @@ RunStats OriginalAlgorithm::run(std::size_t count) {
       const auto result = solver::conjugate_gradient(op_mid, f, u_mid,
                                                      cg_options(config));
       rec.iters_second_solve = result.iterations;
+      stats.solver_status =
+          solver::worse_status(stats.solver_status, result.status);
     }
 
     full_step_from(sim_->system(), start, u_mid, dt, max_step);
@@ -155,7 +179,7 @@ RunStats CholeskyAlgorithm::run(std::size_t count) {
     sparse::BcrsMatrix r_k;
     {
       util::ScopedPhase t(stats.timers, phase::kConstruct);
-      r_k = sim_->assemble();
+      r_k = sim_->assemble().matrix;
     }
 
     // One factorization serves the Brownian force and both solves.
@@ -193,7 +217,7 @@ RunStats CholeskyAlgorithm::run(std::size_t count) {
     sparse::BcrsMatrix r_half;
     {
       util::ScopedPhase t(stats.timers, phase::kConstruct);
-      r_half = sim_->assemble();
+      r_half = sim_->assemble().matrix;
     }
     solver::BcrsOperator op_half(r_half, config.threads);
     u_mid = u;
@@ -204,6 +228,8 @@ RunStats CholeskyAlgorithm::run(std::size_t count) {
           [&](std::span<double> r) { chol->solve_in_place(r); },
           config.solver_tol);
       rec.iters_second_solve = result.iterations;
+      stats.solver_status =
+          solver::worse_status(stats.solver_status, result.status);
     }
     full_step_from(sim_->system(), start, u_mid, dt, max_step);
     stats.steps.push_back(rec);
@@ -215,6 +241,16 @@ RunStats CholeskyAlgorithm::run(std::size_t count) {
 BrownianDynamicsAlgorithm::BrownianDynamicsAlgorithm(
     SdSimulation& sim, std::size_t bounds_refresh)
     : sim_(&sim), bounds_refresh_(bounds_refresh == 0 ? 1 : bounds_refresh) {}
+
+AlgorithmState BrownianDynamicsAlgorithm::export_state() const {
+  return {step_, bounds_, have_bounds_};
+}
+
+void BrownianDynamicsAlgorithm::import_state(const AlgorithmState& state) {
+  step_ = state.step;
+  bounds_ = state.bounds;
+  have_bounds_ = state.have_bounds;
+}
 
 RunStats BrownianDynamicsAlgorithm::run(std::size_t count) {
   RunStats stats;
@@ -263,50 +299,91 @@ RunStats BrownianDynamicsAlgorithm::run(std::size_t count) {
 MrhsAlgorithm::MrhsAlgorithm(SdSimulation& sim, std::size_t rhs)
     : sim_(&sim), rhs_(rhs == 0 ? 1 : rhs) {}
 
+void MrhsAlgorithm::set_horizon(std::size_t total_remaining) {
+  horizon_set_ = true;
+  horizon_end_ = step_ + total_remaining;
+}
+
+MrhsState MrhsAlgorithm::export_state() const {
+  MrhsState s;
+  s.step = step_;
+  s.horizon_set = horizon_set_;
+  s.horizon_end = horizon_end_;
+  s.chunk_active = chunk_active_;
+  s.chunk_start = chunk_start_;
+  s.chunk_len = chunk_len_;
+  s.chunk_pos = chunk_pos_;
+  s.chunk_guesses_ok = chunk_guesses_ok_;
+  s.chunk_bounds = chunk_bounds_;
+  s.chunk_guesses = chunk_guesses_;
+  return s;
+}
+
+void MrhsAlgorithm::import_state(MrhsState s) {
+  step_ = s.step;
+  horizon_set_ = s.horizon_set;
+  horizon_end_ = s.horizon_end;
+  chunk_active_ = s.chunk_active;
+  chunk_start_ = s.chunk_start;
+  chunk_len_ = s.chunk_len;
+  chunk_pos_ = s.chunk_pos;
+  chunk_guesses_ok_ = s.chunk_guesses_ok;
+  chunk_bounds_ = s.chunk_bounds;
+  chunk_guesses_ = std::move(s.chunk_guesses);
+}
+
 RunStats MrhsAlgorithm::run(std::size_t count) {
   RunStats stats;
-  std::size_t done = 0;
-  while (done < count) {
-    const std::size_t chunk = std::min(rhs_, count - done);
-    RunStats chunk_stats = run_chunk(chunk);
-    stats.timers.merge(chunk_stats.timers);
-    stats.steps.insert(stats.steps.end(), chunk_stats.steps.begin(),
-                       chunk_stats.steps.end());
-    stats.block_iterations += chunk_stats.block_iterations;
-    stats.seconds_total += chunk_stats.seconds_total;
-    done += chunk;
+  util::WallTimer total;
+  const std::size_t target = step_ + count;
+  while (step_ < target) {
+    if (!chunk_active_) {
+      begin_chunk(stats, target);
+    } else {
+      step_in_chunk(stats);
+    }
   }
+  stats.seconds_total = total.seconds();
   return stats;
 }
 
-RunStats MrhsAlgorithm::run_chunk(std::size_t chunk_len) {
-  RunStats stats;
+void MrhsAlgorithm::begin_chunk(RunStats& stats, std::size_t call_end) {
   const SdConfig& config = sim_->config();
   const std::size_t n = sim_->dof();
-  const std::size_t m = chunk_len;
+  chunk_start_ = step_;
+  // With a horizon, chunk boundaries depend only on the absolute step
+  // index; without one, chunk against the current run() call (legacy).
+  const std::size_t end =
+      (horizon_set_ && horizon_end_ > step_) ? horizon_end_ : call_end;
+  chunk_len_ = std::min(rhs_, end - step_);
+  chunk_pos_ = 0;
+  const std::size_t m = chunk_len_;
   OBS_SPAN_VAR(chunk_span, "mrhs.chunk");
   chunk_span.arg("m", static_cast<double>(m));
   chunk_span.arg("first_step", static_cast<double>(step_));
   OBS_COUNTER_ADD("stepper.chunks", 1);
   const double dt = sim_->dt();
   const double amplitude = std::sqrt(2.0 * config.kT / dt);
-  const double max_step = sim_->max_step_length();
-
-  util::WallTimer total;
 
   // Construct R_0 and calibrate the Chebyshev interval on it.
   sparse::BcrsMatrix r_0;
   {
     util::ScopedPhase t(stats.timers, phase::kConstruct);
-    r_0 = sim_->assemble();
+    r_0 = sim_->assemble().matrix;
   }
-  solver::BcrsOperator op0(r_0, config.threads);
-  solver::EigBounds bounds;
+  solver::BcrsOperator base_op(r_0, config.threads);
+  // Test seam: route block applications through the fault injector so
+  // the ladder's recovery rungs can be exercised deterministically.
+  std::optional<solver::FaultInjectingOperator> faulty;
+  if (fault_plan_.has_value()) faulty.emplace(base_op, *fault_plan_);
+  const solver::LinearOperator& op0 =
+      faulty.has_value() ? static_cast<const solver::LinearOperator&>(*faulty)
+                         : base_op;
   {
     util::ScopedPhase t(stats.timers, phase::kEigBounds);
-    bounds = solver::lanczos_bounds(op0);
+    chunk_bounds_ = solver::lanczos_bounds(base_op);
   }
-  const solver::ChebyshevSqrt cheb(bounds, config.chebyshev_order);
+  const solver::ChebyshevSqrt cheb(chunk_bounds_, config.chebyshev_order);
 
   // All m noise vectors for the chunk are available up front: Z.
   sparse::MultiVector z_block(n, m);
@@ -324,90 +401,151 @@ RunStats MrhsAlgorithm::run_chunk(std::size_t chunk_len) {
     rhs_block.scale(-amplitude);
   }
 
-  // Augmented solve R_0 U = F_B with block CG (the "Calc guesses"
-  // phase). Column 0 is the exact step-0 solution; columns 1..m-1 are
-  // the initial guesses for the coming steps.
-  sparse::MultiVector guesses(n, m);
+  // Augmented solve R_0 U = F_B (the "Calc guesses" phase), through
+  // the fault-tolerance ladder: a healthy system takes the plain
+  // block-CG rung with identical numerics; a breakdown escalates
+  // instead of aborting the trajectory. Column 0 is the exact step-0
+  // solution; columns 1..m-1 seed the coming steps.
+  chunk_guesses_ = sparse::MultiVector(n, m);
   {
     util::ScopedPhase t(stats.timers, phase::kCalcGuesses);
-    solver::BlockCgOptions opts;
-    opts.tol = config.solver_tol;
-    opts.max_iters = config.solver_max_iters;
+    solver::LadderOptions lopts;
+    lopts.controls.tol = config.solver_tol;
+    lopts.controls.max_iters = config.solver_max_iters;
     const auto result =
-        solver::block_conjugate_gradient(op0, rhs_block, guesses, opts);
+        solver::block_solve_with_ladder(op0, rhs_block, chunk_guesses_, lopts);
     stats.block_iterations += result.iterations;
+    stats.solver_status =
+        solver::worse_status(stats.solver_status, result.status);
+    chunk_guesses_ok_ = result.succeeded();
+    if (result.succeeded() && result.rung != solver::LadderRung::kBlockCg) {
+      ++stats.ladder_recoveries;
+      OBS_INSTANT("mrhs.chunk_recovered");
+    }
+    if (!result.succeeded()) {
+      // Out of rungs: drop the guesses and let every step of the chunk
+      // solve from scratch — slower, but the trajectory continues.
+      ++stats.ladder_failures;
+      chunk_guesses_.set_zero();
+      OBS_INSTANT("mrhs.chunk_guesses_dropped");
+    }
   }
 
-  std::vector<double> f(n), u(n), u_mid(n), guess(n);
-  for (std::size_t k = 0; k < m; ++k) {
-    OBS_SPAN_VAR(step_span, "step.mrhs");
-    step_span.arg("step", static_cast<double>(step_ + k));
-    OBS_COUNTER_ADD("stepper.steps", 1);
-    StepRecord rec;
-    rec.step = step_ + k;
+  // Step 0 of the chunk, completed inside begin_chunk so a checkpoint
+  // taken between steps only ever needs the guesses and the interval —
+  // never R_0 or the rhs block.
+  OBS_SPAN_VAR(step_span, "step.mrhs");
+  step_span.arg("step", static_cast<double>(step_));
+  OBS_COUNTER_ADD("stepper.steps", 1);
+  StepRecord rec;
+  rec.step = step_;
+  std::vector<double> f(n), u(n);
+  rhs_block.copy_col_out(0, f);
+  if (chunk_guesses_ok_) {
+    // The augmented solve already produced u_0 and f_0.
+    chunk_guesses_.copy_col_out(0, u);
+    rec.iters_first_solve = 0;
+    rec.guess_rel_error = 0.0;
+  } else {
+    std::fill(u.begin(), u.end(), 0.0);
+    util::ScopedPhase t(stats.timers, phase::kFirstSolve);
+    const auto result =
+        solver::conjugate_gradient(base_op, f, u, cg_options(config));
+    rec.iters_first_solve = result.iterations;
+    stats.solver_status =
+        solver::worse_status(stats.solver_status, result.status);
+  }
+  midpoint_and_advance(stats, rec, f, u);
+  ++step_;
+  chunk_pos_ = 1;
+  chunk_active_ = chunk_pos_ < chunk_len_;
+}
 
-    sparse::BcrsMatrix r_k;
-    if (k == 0) {
-      r_k = std::move(r_0);
-    } else {
-      util::ScopedPhase t(stats.timers, phase::kConstruct);
-      r_k = sim_->assemble();
-    }
-    solver::BcrsOperator op(r_k, config.threads);
+void MrhsAlgorithm::step_in_chunk(RunStats& stats) {
+  const SdConfig& config = sim_->config();
+  const std::size_t n = sim_->dof();
+  const std::size_t k = chunk_pos_;
+  const double dt = sim_->dt();
+  const double amplitude = std::sqrt(2.0 * config.kT / dt);
 
-    if (k == 0) {
-      // The augmented solve already produced u_0 and f_0.
-      rhs_block.copy_col_out(0, f);
-      guesses.copy_col_out(0, u);
-      rec.iters_first_solve = 0;
-      rec.guess_rel_error = 0.0;
-    } else {
-      // f_k = -amplitude * S(R_k) z_k at the *current* configuration.
-      sim_->noise(step_ + k, z);
-      {
-        util::ScopedPhase t(stats.timers, phase::kChebSingle);
-        const solver::ChebyshevSqrt cheb_k(bounds, config.chebyshev_order);
-        cheb_k.apply(op, z, f);
-        for (double& v : f) v *= -amplitude;
-      }
-      guesses.copy_col_out(k, guess);
-      u = guess;
-      {
-        util::ScopedPhase t(stats.timers, phase::kFirstSolve);
-        const auto result = solver::conjugate_gradient(op, f, u,
-                                                       cg_options(config));
-        rec.iters_first_solve = result.iterations;
-      }
-      const double u_norm = util::norm2(u);
-      rec.guess_rel_error =
-          u_norm > 0.0 ? util::diff_norm2(u, guess) / u_norm : 0.0;
-      OBS_HISTOGRAM_OBSERVE("mrhs.guess_rel_error", rec.guess_rel_error,
-                            obs::exponential_buckets(1e-6, 10.0, 8));
-    }
+  OBS_SPAN_VAR(step_span, "step.mrhs");
+  step_span.arg("step", static_cast<double>(step_));
+  OBS_COUNTER_ADD("stepper.steps", 1);
+  StepRecord rec;
+  rec.step = step_;
 
-    // Midpoint half-step and second solve, seeded with u_k.
-    const auto start = sim_->system().snapshot();
-    sim_->system().advance(u, 0.5 * dt, max_step);
-    sparse::BcrsMatrix r_half;
-    {
-      util::ScopedPhase t(stats.timers, phase::kConstruct);
-      r_half = sim_->assemble();
-    }
-    solver::BcrsOperator op_half(r_half, config.threads);
-    u_mid = u;
-    {
-      util::ScopedPhase t(stats.timers, phase::kSecondSolve);
-      const auto result = solver::conjugate_gradient(op_half, f, u_mid,
-                                                     cg_options(config));
-      rec.iters_second_solve = result.iterations;
-    }
-    full_step_from(sim_->system(), start, u_mid, dt, max_step);
-    stats.steps.push_back(rec);
+  sparse::BcrsMatrix r_k;
+  {
+    util::ScopedPhase t(stats.timers, phase::kConstruct);
+    r_k = sim_->assemble().matrix;
+  }
+  solver::BcrsOperator op(r_k, config.threads);
+
+  // f_k = -amplitude * S(R_k) z_k at the *current* configuration,
+  // reusing the chunk's Chebyshev interval.
+  std::vector<double> z(n), f(n), u(n), guess(n);
+  sim_->noise(step_, z);
+  {
+    util::ScopedPhase t(stats.timers, phase::kChebSingle);
+    const solver::ChebyshevSqrt cheb_k(chunk_bounds_, config.chebyshev_order);
+    cheb_k.apply(op, z, f);
+    for (double& v : f) v *= -amplitude;
+  }
+  if (chunk_guesses_ok_) {
+    chunk_guesses_.copy_col_out(k, guess);
+  } else {
+    std::fill(guess.begin(), guess.end(), 0.0);
+  }
+  u = guess;
+  {
+    util::ScopedPhase t(stats.timers, phase::kFirstSolve);
+    const auto result = solver::conjugate_gradient(op, f, u,
+                                                   cg_options(config));
+    rec.iters_first_solve = result.iterations;
+    stats.solver_status =
+        solver::worse_status(stats.solver_status, result.status);
+  }
+  if (chunk_guesses_ok_) {
+    const double u_norm = util::norm2(u);
+    rec.guess_rel_error =
+        u_norm > 0.0 ? util::diff_norm2(u, guess) / u_norm : 0.0;
+    OBS_HISTOGRAM_OBSERVE("mrhs.guess_rel_error", rec.guess_rel_error,
+                          obs::exponential_buckets(1e-6, 10.0, 8));
   }
 
-  step_ += m;
-  stats.seconds_total = total.seconds();
-  return stats;
+  midpoint_and_advance(stats, rec, f, u);
+  ++step_;
+  ++chunk_pos_;
+  if (chunk_pos_ >= chunk_len_) chunk_active_ = false;
+}
+
+void MrhsAlgorithm::midpoint_and_advance(RunStats& stats, StepRecord& rec,
+                                         const std::vector<double>& f,
+                                         const std::vector<double>& u) {
+  const SdConfig& config = sim_->config();
+  const double dt = sim_->dt();
+  const double max_step = sim_->max_step_length();
+
+  // Midpoint half-step and second solve, seeded with u_k.
+  const auto start = sim_->system().snapshot();
+  sim_->system().advance(u, 0.5 * dt, max_step);
+  sparse::BcrsMatrix r_half;
+  {
+    util::ScopedPhase t(stats.timers, phase::kConstruct);
+    r_half = sim_->assemble().matrix;
+  }
+  solver::BcrsOperator op_half(r_half, config.threads);
+  std::vector<double> u_mid = u;
+  {
+    util::ScopedPhase t(stats.timers, phase::kSecondSolve);
+    const auto result = solver::conjugate_gradient(op_half, f, u_mid,
+                                                   cg_options(config));
+    rec.iters_second_solve = result.iterations;
+    stats.solver_status =
+        solver::worse_status(stats.solver_status, result.status);
+  }
+  full_step_from(sim_->system(), start, u_mid, dt, max_step);
+  stats.steps.push_back(rec);
 }
 
 }  // namespace mrhs::core

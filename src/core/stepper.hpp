@@ -13,13 +13,25 @@
 //
 // Phase names in the emitted timings match the rows of paper
 // Tables VI and VII.
+//
+// Every algorithm exposes export_state()/import_state() so a run can
+// be checkpointed and resumed bitwise (see core/checkpoint.hpp). For
+// the MRHS algorithm that state includes the mid-chunk carry-over:
+// the stashed initial-guess block, the chunk's Chebyshev interval,
+// and the chunk cursor. Chunk boundaries are deterministic functions
+// of the step index once a horizon is set (set_horizon), so a
+// stopped-and-resumed trajectory chunks identically to a straight one.
 #pragma once
 
 #include <cstddef>
+#include <optional>
 #include <vector>
 
 #include "core/sd_simulation.hpp"
+#include "solver/fault_tolerance.hpp"
 #include "solver/lanczos.hpp"
+#include "solver/solve_controls.hpp"
+#include "sparse/multivector.hpp"
 #include "util/timer.hpp"
 
 namespace mrhs::core {
@@ -40,6 +52,18 @@ struct RunStats {
   /// Total block-CG iterations spent on augmented systems (MRHS only).
   std::size_t block_iterations = 0;
   double seconds_total = 0.0;
+  /// Worst solver outcome observed during the run: kConverged for a
+  /// clean run, kRecovered when the fault-tolerance ladder had to
+  /// escalate, kBreakdown/kMaxIters when even the ladder gave up (the
+  /// run still completes — affected steps fall back to zero guesses).
+  solver::SolveStatus solver_status = solver::SolveStatus::kConverged;
+  /// Ladder outcomes (MRHS only): solves rescued past the plain block
+  /// solve, and solves where every rung failed.
+  std::size_t ladder_recoveries = 0;
+  std::size_t ladder_failures = 0;
+
+  /// Fold another run's stats into this one (chunked/segmented runs).
+  void merge(const RunStats& other);
 
   [[nodiscard]] double avg_step_seconds() const {
     return steps.empty() ? 0.0
@@ -59,6 +83,16 @@ inline constexpr const char* kFirstSolve = "1st solve";
 inline constexpr const char* kSecondSolve = "2nd solve";
 }  // namespace phase
 
+/// Checkpointable state of the single-vector algorithms: the step
+/// cursor plus the cached Lanczos interval (refreshed every
+/// `bounds_refresh` steps — resuming without it would recalibrate at
+/// the wrong step and change the Chebyshev polynomial bitwise).
+struct AlgorithmState {
+  std::size_t step = 0;
+  solver::EigBounds bounds{};
+  bool have_bounds = false;
+};
+
 class OriginalAlgorithm {
  public:
   /// `bounds_refresh`: Lanczos recalibration period in steps.
@@ -69,6 +103,9 @@ class OriginalAlgorithm {
   RunStats run(std::size_t count);
 
   [[nodiscard]] std::size_t current_step() const { return step_; }
+
+  [[nodiscard]] AlgorithmState export_state() const;
+  void import_state(const AlgorithmState& state);
 
  private:
   SdSimulation* sim_;
@@ -91,6 +128,10 @@ class CholeskyAlgorithm {
   RunStats run(std::size_t count);
 
   [[nodiscard]] std::size_t current_step() const { return step_; }
+
+  /// The dense path keeps no cross-step caches; only the cursor.
+  [[nodiscard]] AlgorithmState export_state() const { return {step_, {}, false}; }
+  void import_state(const AlgorithmState& state) { step_ = state.step; }
 
  private:
   SdSimulation* sim_;
@@ -120,6 +161,9 @@ class BrownianDynamicsAlgorithm {
 
   [[nodiscard]] std::size_t current_step() const { return step_; }
 
+  [[nodiscard]] AlgorithmState export_state() const;
+  void import_state(const AlgorithmState& state);
+
  private:
   SdSimulation* sim_;
   std::size_t bounds_refresh_;
@@ -128,24 +172,80 @@ class BrownianDynamicsAlgorithm {
   bool have_bounds_ = false;
 };
 
+/// Checkpointable state of the MRHS algorithm. A chunk that is still
+/// in flight carries the block-solve products forward: the stashed
+/// initial-guess MultiVector (column k seeds step chunk_start + k) and
+/// the Chebyshev interval calibrated on R_0 of the chunk. Everything
+/// else each step needs is reconstructed from the particle positions
+/// and the counter-keyed noise stream.
+struct MrhsState {
+  std::size_t step = 0;
+  bool horizon_set = false;
+  std::size_t horizon_end = 0;
+  bool chunk_active = false;
+  std::size_t chunk_start = 0;
+  std::size_t chunk_len = 0;
+  std::size_t chunk_pos = 0;
+  /// False when the chunk's augmented solve failed every ladder rung;
+  /// remaining steps of the chunk then run from zero guesses.
+  bool chunk_guesses_ok = false;
+  solver::EigBounds chunk_bounds{};
+  sparse::MultiVector chunk_guesses;
+};
+
 class MrhsAlgorithm {
  public:
   /// `rhs` is m, the number of right-hand sides per chunk.
   MrhsAlgorithm(SdSimulation& sim, std::size_t rhs);
 
   /// Advance `count` steps (processed in chunks of m; a final partial
-  /// chunk uses fewer right-hand sides).
+  /// chunk uses fewer right-hand sides). Without a horizon, each call
+  /// chunks against its own `count` (legacy behavior); after
+  /// set_horizon, chunk boundaries depend only on the absolute step
+  /// index, so split calls reproduce a straight run bitwise.
   RunStats run(std::size_t count);
+
+  /// Declare that `total_remaining` more steps are planned from the
+  /// current step. Chunk boundaries are laid out against that horizon,
+  /// which makes them invariant under how run() calls are split —
+  /// the property checkpoint/resume needs.
+  void set_horizon(std::size_t total_remaining);
 
   [[nodiscard]] std::size_t current_step() const { return step_; }
   [[nodiscard]] std::size_t rhs() const { return rhs_; }
 
+  [[nodiscard]] MrhsState export_state() const;
+  void import_state(MrhsState state);
+
+  /// Test-only: wrap the chunk operator R_0 in a FaultInjectingOperator
+  /// for every subsequent chunk, to exercise the fault-tolerance
+  /// ladder end-to-end. The plan counts block applications per chunk.
+  void inject_fault_for_testing(solver::FaultInjection plan) {
+    fault_plan_ = plan;
+  }
+
  private:
-  RunStats run_chunk(std::size_t chunk_len);
+  void begin_chunk(RunStats& stats, std::size_t call_end);
+  void step_in_chunk(RunStats& stats);
+  /// Shared tail of every step: midpoint half-step, second solve
+  /// seeded with u, full step from the step-start snapshot.
+  void midpoint_and_advance(RunStats& stats, StepRecord& rec,
+                            const std::vector<double>& f,
+                            const std::vector<double>& u);
 
   SdSimulation* sim_;
   std::size_t rhs_;
   std::size_t step_ = 0;
+  bool horizon_set_ = false;
+  std::size_t horizon_end_ = 0;
+  bool chunk_active_ = false;
+  std::size_t chunk_start_ = 0;
+  std::size_t chunk_len_ = 0;
+  std::size_t chunk_pos_ = 0;
+  bool chunk_guesses_ok_ = false;
+  solver::EigBounds chunk_bounds_{};
+  sparse::MultiVector chunk_guesses_;
+  std::optional<solver::FaultInjection> fault_plan_;
 };
 
 }  // namespace mrhs::core

@@ -1,6 +1,7 @@
 #include "solver/block_cg.hpp"
 
 #include <cmath>
+#include <optional>
 #include <stdexcept>
 
 #include "dense/matrix.hpp"
@@ -12,10 +13,14 @@ namespace {
 
 /// Cholesky with a ridge retry: block CG's P^T A P can become
 /// numerically singular when columns of P are nearly dependent.
-dense::Cholesky factor_with_repair(dense::Matrix g, double rel_ridge,
-                                   std::size_t* repairs) {
+/// Returns nullopt when even the strongest ridge fails (persistent
+/// breakdown) — the caller reports SolveStatus::kBreakdown.
+std::optional<dense::Cholesky> factor_with_repair(dense::Matrix g,
+                                                  double rel_ridge,
+                                                  std::size_t* repairs) {
   double trace = 0.0;
   for (std::size_t i = 0; i < g.rows(); ++i) trace += g(i, i);
+  if (!std::isfinite(trace)) return std::nullopt;
   const double base =
       rel_ridge * (trace > 0.0 ? trace / static_cast<double>(g.rows()) : 1.0);
   double ridge = 0.0;
@@ -32,7 +37,7 @@ dense::Cholesky factor_with_repair(dense::Matrix g, double rel_ridge,
       ridge = (ridge == 0.0) ? base : ridge * 100.0;
     }
   }
-  throw std::runtime_error("block_cg: persistent breakdown in P^T A P");
+  return std::nullopt;
 }
 
 }  // namespace
@@ -52,9 +57,13 @@ BlockCgResult block_conjugate_gradient(const LinearOperator& a,
   // what distinguishes a healthy block solve from a degrading one.
   auto record_exit = [&](BlockCgResult& res) -> BlockCgResult& {
     span.arg("iterations", static_cast<double>(res.iterations));
-    span.arg("converged", res.converged ? 1.0 : 0.0);
+    span.arg("converged", res.converged() ? 1.0 : 0.0);
     OBS_COUNTER_ADD("block_cg.solves", 1);
     OBS_COUNTER_ADD("block_cg.iterations", res.iterations);
+    if (res.status == SolveStatus::kBreakdown) {
+      OBS_COUNTER_ADD("block_cg.breakdowns", 1);
+      OBS_INSTANT("block_cg.breakdown");
+    }
     OBS_HISTOGRAM_OBSERVE("block_cg.iterations_per_solve", res.iterations,
                           obs::exponential_buckets(1.0, 2.0, 11));
     for (const double rr : res.relative_residuals) {
@@ -62,6 +71,11 @@ BlockCgResult block_conjugate_gradient(const LinearOperator& a,
                             obs::exponential_buckets(1e-10, 10.0, 10));
     }
     return res;
+  };
+  // Converged with repairs counts as a recovery, not a clean converge.
+  auto converged_status = [](const BlockCgResult& res) {
+    return res.breakdown_repairs > 0 ? SolveStatus::kRecovered
+                                     : SolveStatus::kConverged;
   };
 
   sparse::MultiVector r(n, m), p(n, m), q(n, m);
@@ -78,12 +92,22 @@ BlockCgResult block_conjugate_gradient(const LinearOperator& a,
   // Classic rho-based block CG (O'Leary): per iteration one GSPMV and
   // two Gram matrices; residual norms come free from diag(rho).
   dense::Matrix rho = gram(r, r);
+  bool saw_nonfinite = false;
   auto all_converged = [&]() {
     bool ok = true;
     for (std::size_t j = 0; j < m; ++j) {
+      const double rho_jj = rho(j, j);
+      if (!std::isfinite(rho_jj)) {
+        // NaN would silently pass a `> tol` comparison; flag it as a
+        // breakdown instead of reporting bogus convergence.
+        saw_nonfinite = true;
+        ok = false;
+        result.relative_residuals[j] = rho_jj;
+        continue;
+      }
       const double denom = b_norms[j] > 0.0 ? b_norms[j] : 1.0;
       result.relative_residuals[j] =
-          std::sqrt(std::max(rho(j, j), 0.0)) / denom;
+          std::sqrt(std::max(rho_jj, 0.0)) / denom;
       OBS_HISTOGRAM_OBSERVE("block_cg.iter_relative_residual",
                             result.relative_residuals[j],
                             obs::exponential_buckets(1e-8, 10.0, 10));
@@ -93,7 +117,11 @@ BlockCgResult block_conjugate_gradient(const LinearOperator& a,
   };
 
   if (all_converged()) {
-    result.converged = true;
+    result.status = converged_status(result);
+    return record_exit(result);
+  }
+  if (saw_nonfinite) {
+    result.status = SolveStatus::kBreakdown;
     return record_exit(result);
   }
 
@@ -101,13 +129,17 @@ BlockCgResult block_conjugate_gradient(const LinearOperator& a,
   for (std::size_t it = 0; it < opts.max_iters; ++it) {
     a.apply_block(p, q);                       // Q = A P
     dense::Matrix paq = gram(p, q);            // P^T A P
-    const dense::Cholesky chol =
-        factor_with_repair(paq, opts.breakdown_ridge,
+    const auto chol =
+        factor_with_repair(std::move(paq), opts.breakdown_ridge,
                            &result.breakdown_repairs);
+    if (!chol.has_value()) {
+      result.status = SolveStatus::kBreakdown;
+      return record_exit(result);
+    }
 
     // alpha = (P^T A P)^{-1} R^T R  (P^T R = R^T R by construction).
     dense::Matrix alpha = rho;
-    chol.solve_in_place(alpha);
+    chol->solve_in_place(alpha);
 
     add_multiplied(x, p, alpha);               // X += P alpha
     // R -= Q alpha.
@@ -122,16 +154,24 @@ BlockCgResult block_conjugate_gradient(const LinearOperator& a,
     dense::Matrix rho_prev = rho;
     rho = rho_next;
     if (all_converged()) {
-      result.converged = true;
+      result.status = converged_status(result);
       break;
+    }
+    if (saw_nonfinite) {
+      result.status = SolveStatus::kBreakdown;
+      return record_exit(result);
     }
 
     // beta = rho_prev^{-1} rho_next.
-    const dense::Cholesky chol_rho =
-        factor_with_repair(rho_prev, opts.breakdown_ridge,
+    const auto chol_rho =
+        factor_with_repair(std::move(rho_prev), opts.breakdown_ridge,
                            &result.breakdown_repairs);
+    if (!chol_rho.has_value()) {
+      result.status = SolveStatus::kBreakdown;
+      return record_exit(result);
+    }
     dense::Matrix beta = rho;
-    chol_rho.solve_in_place(beta);
+    chol_rho->solve_in_place(beta);
     // P = R + P beta, in place (no large per-iteration allocation).
     multiply_in_place_right(p, beta);
     p.axpy(1.0, r);

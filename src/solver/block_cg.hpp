@@ -10,27 +10,33 @@
 #include <vector>
 
 #include "solver/operator.hpp"
+#include "solver/solve_controls.hpp"
 #include "sparse/multivector.hpp"
 
 namespace mrhs::solver {
 
-struct BlockCgOptions {
-  double tol = 1e-6;        // per-column relative residual target
-  std::size_t max_iters = 1000;
-  /// Relative ridge added to P^T A P if its Cholesky factorization
-  /// breaks down (the "numerical issues" of block methods the paper
-  /// cites via O'Leary).
-  double breakdown_ridge = 1e-13;
-};
+/// Options: the shared controls (tol is the per-column relative
+/// residual target; breakdown_ridge is the relative ridge added to
+/// P^T A P when its Cholesky factorization breaks down — the
+/// "numerical issues" of block methods the paper cites via O'Leary).
+struct BlockCgOptions : SolveControls {};
 
 struct BlockCgResult {
   std::size_t iterations = 0;
-  bool converged = false;                   // all columns converged
+  /// kConverged: all columns met tol on the normal path.
+  /// kRecovered: all columns met tol, but ridge repairs were needed.
+  /// kBreakdown: persistent Gram breakdown or non-finite values; the
+  ///             iterate X is left at its last finite-checked state.
+  /// kMaxIters:  budget exhausted before every column converged.
+  SolveStatus status = SolveStatus::kMaxIters;
   std::vector<double> relative_residuals;   // per column, at exit
   std::size_t breakdown_repairs = 0;        // ridge activations
+
+  [[nodiscard]] bool converged() const { return solve_succeeded(status); }
 };
 
 /// Solve A X = B; X carries initial guesses in, solutions out.
+/// Breakdown is reported through `status`, never thrown.
 BlockCgResult block_conjugate_gradient(const LinearOperator& a,
                                        const sparse::MultiVector& b,
                                        sparse::MultiVector& x,

@@ -16,7 +16,7 @@ namespace {
 /// iteration-count and exit-residual histograms (paper Fig. 6 data).
 CgResult finish_cg(obs::SpanGuard& span, CgResult result) {
   span.arg("iterations", static_cast<double>(result.iterations));
-  span.arg("converged", result.converged ? 1.0 : 0.0);
+  span.arg("converged", result.converged() ? 1.0 : 0.0);
   OBS_COUNTER_ADD("cg.solves", 1);
   OBS_COUNTER_ADD("cg.iterations", result.iterations);
   OBS_HISTOGRAM_OBSERVE("cg.iterations_per_solve", result.iterations,
@@ -47,7 +47,7 @@ CgResult conjugate_gradient(const LinearOperator& a, std::span<const double> b,
   CgResult result;
   if (b_norm == 0.0) {
     std::fill(x.begin(), x.end(), 0.0);
-    result.converged = true;
+    result.status = SolveStatus::kConverged;
     return finish_cg(span, result);
   }
 
@@ -55,7 +55,7 @@ CgResult conjugate_gradient(const LinearOperator& a, std::span<const double> b,
   for (double v : r) rr += v * v;
   double res_norm = std::sqrt(rr);
   if (res_norm <= opts.tol * b_norm) {
-    result.converged = true;
+    result.status = SolveStatus::kConverged;
     result.relative_residual = res_norm / b_norm;
     return finish_cg(span, result);
   }
@@ -65,9 +65,11 @@ CgResult conjugate_gradient(const LinearOperator& a, std::span<const double> b,
     a.apply(p, q);
     double pq = 0.0;
     for (std::size_t i = 0; i < n; ++i) pq += p[i] * q[i];
-    if (pq <= 0.0) {
-      // Loss of positive definiteness (should not happen for SPD A);
-      // bail out with the current iterate.
+    if (!(pq > 0.0)) {
+      // Loss of positive definiteness or a non-finite direction (the
+      // negated comparison also catches NaN); bail out with the
+      // current iterate.
+      result.status = SolveStatus::kBreakdown;
       OBS_COUNTER_ADD("cg.breakdowns", 1);
       OBS_INSTANT("cg.breakdown");
       break;
@@ -81,10 +83,16 @@ CgResult conjugate_gradient(const LinearOperator& a, std::span<const double> b,
     for (double v : r) rr_new += v * v;
     result.iterations = it + 1;
     res_norm = std::sqrt(rr_new);
+    if (!std::isfinite(res_norm)) {
+      result.status = SolveStatus::kBreakdown;
+      OBS_COUNTER_ADD("cg.breakdowns", 1);
+      OBS_INSTANT("cg.breakdown");
+      break;
+    }
     OBS_HISTOGRAM_OBSERVE("cg.iter_relative_residual", res_norm / b_norm,
                           obs::exponential_buckets(1e-8, 10.0, 10));
     if (res_norm <= opts.tol * b_norm) {
-      result.converged = true;
+      result.status = SolveStatus::kConverged;
       break;
     }
     const double beta = rr_new / rr;
@@ -115,13 +123,13 @@ CgResult preconditioned_conjugate_gradient(const LinearOperator& a,
   CgResult result;
   if (b_norm == 0.0) {
     std::fill(x.begin(), x.end(), 0.0);
-    result.converged = true;
+    result.status = SolveStatus::kConverged;
     return finish_cg(span, result);
   }
 
   double res_norm = util::norm2(r);
   if (res_norm <= opts.tol * b_norm) {
-    result.converged = true;
+    result.status = SolveStatus::kConverged;
     result.relative_residual = res_norm / b_norm;
     return finish_cg(span, result);
   }
@@ -135,7 +143,8 @@ CgResult preconditioned_conjugate_gradient(const LinearOperator& a,
     a.apply(p, q);
     double pq = 0.0;
     for (std::size_t i = 0; i < n; ++i) pq += p[i] * q[i];
-    if (pq <= 0.0) {
+    if (!(pq > 0.0)) {
+      result.status = SolveStatus::kBreakdown;
       OBS_COUNTER_ADD("cg.breakdowns", 1);
       OBS_INSTANT("cg.breakdown");
       break;
@@ -147,10 +156,16 @@ CgResult preconditioned_conjugate_gradient(const LinearOperator& a,
     }
     result.iterations = it + 1;
     res_norm = util::norm2(r);
+    if (!std::isfinite(res_norm)) {
+      result.status = SolveStatus::kBreakdown;
+      OBS_COUNTER_ADD("cg.breakdowns", 1);
+      OBS_INSTANT("cg.breakdown");
+      break;
+    }
     OBS_HISTOGRAM_OBSERVE("cg.iter_relative_residual", res_norm / b_norm,
                           obs::exponential_buckets(1e-8, 10.0, 10));
     if (res_norm <= opts.tol * b_norm) {
-      result.converged = true;
+      result.status = SolveStatus::kConverged;
       break;
     }
     precond.apply(r, z);

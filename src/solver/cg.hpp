@@ -8,18 +8,20 @@
 #include <span>
 
 #include "solver/operator.hpp"
+#include "solver/solve_controls.hpp"
 
 namespace mrhs::solver {
 
-struct CgOptions {
-  double tol = 1e-6;       // relative residual target (paper's 1e-6)
-  std::size_t max_iters = 1000;
-};
+/// Options for the single-vector CG solvers: exactly the shared
+/// controls (the breakdown ridge is unused here).
+struct CgOptions : SolveControls {};
 
 struct CgResult {
   std::size_t iterations = 0;
-  bool converged = false;
+  SolveStatus status = SolveStatus::kMaxIters;
   double relative_residual = 0.0;
+
+  [[nodiscard]] bool converged() const { return solve_succeeded(status); }
 };
 
 /// Solve A x = b. `x` carries the initial guess in and the solution

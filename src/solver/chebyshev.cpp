@@ -10,6 +10,22 @@
 
 namespace mrhs::solver {
 
+ChebyshevSqrt::ChebyshevSqrt(EigBounds bounds, const ChebyshevOptions& opts)
+    : ChebyshevSqrt(bounds, opts.order) {
+  if (!opts.adaptive) return;
+  // Grow the degree until the interval error (relative to the sqrt
+  // scale of the interval) meets the tolerance or the order budget is
+  // exhausted. Each retry rebuilds the coefficients from scratch; the
+  // construction cost is O(order^2) scalar work, negligible next to
+  // the operator applications the polynomial will drive.
+  const double target = opts.tol * std::sqrt(bounds.lambda_max);
+  std::size_t degree = opts.order;
+  while (max_interval_error(512) > target && degree < opts.max_iters) {
+    degree = std::min(opts.max_iters, degree + (degree + 1) / 2);
+    *this = ChebyshevSqrt(bounds, degree);
+  }
+}
+
 ChebyshevSqrt::ChebyshevSqrt(EigBounds bounds, std::size_t order)
     : bounds_(bounds), coeffs_(order + 1, 0.0) {
   if (bounds_.lambda_min <= 0.0 || bounds_.lambda_max <= bounds_.lambda_min) {

@@ -13,15 +13,38 @@
 
 #include "solver/lanczos.hpp"
 #include "solver/operator.hpp"
+#include "solver/solve_controls.hpp"
 #include "sparse/multivector.hpp"
 
 namespace mrhs::solver {
+
+/// Options for the polynomial approximation, spelled with the shared
+/// solver controls: `tol` is the target for the relative interval
+/// error max |S(t) - sqrt(t)| / sqrt(lambda_max) when `adaptive` is
+/// set, and `max_iters` caps the polynomial order (the analogue of an
+/// iteration budget — each order costs one operator application).
+struct ChebyshevOptions : SolveControls {
+  /// Fixed polynomial degree used when `adaptive` is false (the paper
+  /// uses 30).
+  std::size_t order = 30;
+  /// Grow the order from `order` until the interval error meets `tol`
+  /// or the order reaches `max_iters`.
+  bool adaptive = false;
+
+  ChebyshevOptions() {
+    tol = 1e-4;
+    max_iters = 96;
+  }
+};
 
 class ChebyshevSqrt {
  public:
   /// Interpolant of sqrt on [bounds.lambda_min, bounds.lambda_max] of
   /// degree `order` (the paper uses order = 30).
   ChebyshevSqrt(EigBounds bounds, std::size_t order = 30);
+
+  /// Same, driven by the unified options (fixed or adaptive order).
+  ChebyshevSqrt(EigBounds bounds, const ChebyshevOptions& opts);
 
   [[nodiscard]] std::size_t order() const { return coeffs_.size() - 1; }
   [[nodiscard]] const EigBounds& bounds() const { return bounds_; }

@@ -1,5 +1,6 @@
 #include "solver/refinement.hpp"
 
+#include <cmath>
 #include <stdexcept>
 #include <vector>
 
@@ -19,7 +20,7 @@ RefinementResult iterative_refinement(
   RefinementResult result;
   if (b_norm == 0.0) {
     std::fill(x.begin(), x.end(), 0.0);
-    result.converged = true;
+    result.status = SolveStatus::kConverged;
     return result;
   }
 
@@ -28,8 +29,12 @@ RefinementResult iterative_refinement(
     a.apply(x, r);
     for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
     result.relative_residual = util::norm2(r) / b_norm;
+    if (!std::isfinite(result.relative_residual)) {
+      result.status = SolveStatus::kBreakdown;
+      return result;
+    }
     if (result.relative_residual <= tol) {
-      result.converged = true;
+      result.status = SolveStatus::kConverged;
       return result;
     }
     if (it == max_iters) break;

@@ -11,13 +11,16 @@
 #include <span>
 
 #include "solver/operator.hpp"
+#include "solver/solve_controls.hpp"
 
 namespace mrhs::solver {
 
 struct RefinementResult {
   std::size_t iterations = 0;
-  bool converged = false;
+  SolveStatus status = SolveStatus::kMaxIters;
   double relative_residual = 0.0;
+
+  [[nodiscard]] bool converged() const { return solve_succeeded(status); }
 };
 
 /// Solve a x = b by repeated correction with `approximate_solve`,

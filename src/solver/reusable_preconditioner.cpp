@@ -30,4 +30,23 @@ void ReusablePreconditioner::report(std::size_t iterations) {
   }
 }
 
+ReusablePreconditionerState ReusablePreconditioner::export_state() const {
+  ReusablePreconditionerState s;
+  s.degradation = degradation_;
+  s.baseline_iterations = baseline_iterations_;
+  s.have_baseline = have_baseline_;
+  s.rebuilds = rebuilds_;
+  return s;
+}
+
+void ReusablePreconditioner::import_state(
+    const ReusablePreconditionerState& state) {
+  degradation_ = state.degradation;
+  baseline_iterations_ = state.baseline_iterations;
+  have_baseline_ = state.have_baseline;
+  rebuilds_ = state.rebuilds;
+  cached_.reset();
+  rebuild_pending_ = true;  // rebuild on restore
+}
+
 }  // namespace mrhs::solver

@@ -14,6 +14,18 @@
 
 namespace mrhs::solver {
 
+/// Checkpointable metadata of a ReusablePreconditioner: the rebuild
+/// policy's observed state, but not the cached factor itself — the
+/// factor is recomputed from the matrix on first use after a restore
+/// (rebuild_on_restore), which costs one build and keeps checkpoints
+/// small and matrix-layout independent.
+struct ReusablePreconditionerState {
+  double degradation = 1.3;
+  std::size_t baseline_iterations = 0;
+  bool have_baseline = false;
+  std::size_t rebuilds = 0;
+};
+
 class ReusablePreconditioner {
  public:
   /// `degradation`: rebuild once the observed iteration count exceeds
@@ -33,6 +45,12 @@ class ReusablePreconditioner {
 
   [[nodiscard]] std::size_t rebuilds() const { return rebuilds_; }
   [[nodiscard]] bool rebuild_pending() const { return rebuild_pending_; }
+
+  /// Export/import the policy state for checkpointing. Importing drops
+  /// any cached factor and schedules a rebuild on the next get() —
+  /// the restored run then re-establishes its baseline naturally.
+  [[nodiscard]] ReusablePreconditionerState export_state() const;
+  void import_state(const ReusablePreconditionerState& state);
 
  private:
   double degradation_;

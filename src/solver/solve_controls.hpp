@@ -1,0 +1,69 @@
+// Shared controls and status vocabulary for every iterative solver.
+//
+// All solver option structs (CgOptions, BlockCgOptions, ChebyshevOptions)
+// embed SolveControls so tolerance, iteration budget, and breakdown
+// policy are spelled the same way everywhere, and every result struct
+// carries a SolveStatus instead of ad-hoc bools.
+#pragma once
+
+#include <cstddef>
+
+namespace mrhs::solver {
+
+/// Outcome of an iterative solve.
+///
+///   kConverged — met the tolerance on the normal path.
+///   kMaxIters  — ran out of the iteration budget (stagnation).
+///   kBreakdown — numerical breakdown (indefinite Gram matrix,
+///                non-finite values) that could not be repaired.
+///   kRecovered — met the tolerance, but only after a repair or a
+///                fallback (ridge ridge-repair, ladder rung > 0).
+enum class SolveStatus { kConverged, kMaxIters, kBreakdown, kRecovered };
+
+/// True when the solve produced a usable solution (converged either
+/// directly or through a recovery path).
+[[nodiscard]] constexpr bool solve_succeeded(SolveStatus s) {
+  return s == SolveStatus::kConverged || s == SolveStatus::kRecovered;
+}
+
+[[nodiscard]] constexpr const char* to_string(SolveStatus s) {
+  switch (s) {
+    case SolveStatus::kConverged: return "converged";
+    case SolveStatus::kMaxIters: return "max_iters";
+    case SolveStatus::kBreakdown: return "breakdown";
+    case SolveStatus::kRecovered: return "recovered";
+  }
+  return "unknown";
+}
+
+/// Severity order for aggregating statuses across many solves:
+/// converged < recovered < max_iters < breakdown.
+[[nodiscard]] constexpr int severity(SolveStatus s) {
+  switch (s) {
+    case SolveStatus::kConverged: return 0;
+    case SolveStatus::kRecovered: return 1;
+    case SolveStatus::kMaxIters: return 2;
+    case SolveStatus::kBreakdown: return 3;
+  }
+  return 3;
+}
+
+/// The more severe of two statuses (for run-level aggregation).
+[[nodiscard]] constexpr SolveStatus worse_status(SolveStatus a,
+                                                SolveStatus b) {
+  return severity(a) >= severity(b) ? a : b;
+}
+
+/// The knobs every Krylov/polynomial solver shares.
+struct SolveControls {
+  /// Relative residual target (the paper's stopping threshold).
+  double tol = 1e-6;
+  /// Iteration budget; for polynomial methods, the order cap.
+  std::size_t max_iters = 1000;
+  /// Breakdown policy: relative ridge added to a Gram matrix whose
+  /// Cholesky factorization fails (block methods only; ignored by the
+  /// single-vector solvers).
+  double breakdown_ridge = 1e-13;
+};
+
+}  // namespace mrhs::solver

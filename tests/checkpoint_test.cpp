@@ -1,0 +1,324 @@
+// Checkpoint/restart tests: bitwise-identical resumed trajectories,
+// binary-format validation (corruption, truncation, version skew), and
+// state round-trips for the auxiliary solver caches.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/checkpoint.hpp"
+#include "core/sd_simulation.hpp"
+#include "core/status.hpp"
+#include "core/stepper.hpp"
+#include "solver/reusable_preconditioner.hpp"
+#include "sparse/bcrs.hpp"
+
+namespace {
+
+using namespace mrhs;
+
+core::SdConfig small_config(std::size_t particles = 80,
+                            std::uint64_t seed = 11) {
+  core::SdConfig config;
+  config.particles = particles;
+  config.phi = 0.35;
+  config.seed = seed;
+  return config;
+}
+
+std::string temp_path(const std::string& name) {
+  return testing::TempDir() + name;
+}
+
+std::vector<char> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+void write_file(const std::string& path, const std::vector<char>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+void expect_bitwise_equal_positions(const core::SdSimulation& a,
+                                    const core::SdSimulation& b) {
+  ASSERT_EQ(a.system().size(), b.system().size());
+  const auto pa = a.system().positions();
+  const auto pb = b.system().positions();
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    // Exact double equality: resume must reproduce the uninterrupted
+    // trajectory bit for bit, not merely to solver tolerance.
+    ASSERT_EQ(pa[i].x, pb[i].x) << "particle " << i;
+    ASSERT_EQ(pa[i].y, pb[i].y) << "particle " << i;
+    ASSERT_EQ(pa[i].z, pb[i].z) << "particle " << i;
+  }
+}
+
+// --- bitwise kill-and-resume -------------------------------------------
+
+TEST(CheckpointResume, MrhsMidChunkResumeIsBitwise) {
+  const auto config = small_config();
+  constexpr std::size_t kTotal = 10;
+  constexpr std::size_t kRhs = 4;
+  constexpr std::size_t kStopAfter = 6;  // lands mid-chunk ([4,8) pos 2)
+
+  // Straight run: 10 steps in one go under a 10-step horizon.
+  core::SdSimulation straight(config);
+  core::MrhsAlgorithm straight_alg(straight, kRhs);
+  straight_alg.set_horizon(kTotal);
+  (void)straight_alg.run(kTotal);
+
+  // Interrupted run: 6 steps, checkpoint to disk, fresh objects
+  // restored from the file, 4 more steps.
+  core::SdSimulation first(config);
+  core::MrhsAlgorithm first_alg(first, kRhs);
+  first_alg.set_horizon(kTotal);
+  (void)first_alg.run(kStopAfter);
+  const std::string path = temp_path("mrhs_midchunk.ckpt");
+  const auto ck = core::capture_checkpoint(first, first_alg);
+  ASSERT_TRUE(core::save_checkpoint(ck, path).is_ok());
+
+  core::Checkpoint loaded;
+  ASSERT_TRUE(core::load_checkpoint(path, loaded).is_ok());
+  EXPECT_EQ(loaded.algorithm, core::CheckpointAlgorithm::kMrhs);
+  EXPECT_EQ(loaded.mrhs_state.step, kStopAfter);
+  EXPECT_TRUE(loaded.mrhs_state.chunk_active);
+
+  std::optional<core::SdSimulation> resumed;
+  ASSERT_TRUE(core::restore_simulation(loaded, resumed).is_ok());
+  core::MrhsAlgorithm resumed_alg(*resumed, loaded.mrhs_rhs);
+  resumed_alg.import_state(loaded.mrhs_state);
+  EXPECT_EQ(resumed_alg.current_step(), kStopAfter);
+  (void)resumed_alg.run(kTotal - kStopAfter);
+
+  EXPECT_EQ(resumed_alg.current_step(), kTotal);
+  expect_bitwise_equal_positions(straight, *resumed);
+}
+
+TEST(CheckpointResume, OriginalAlgorithmResumeIsBitwise) {
+  const auto config = small_config(60, 3);
+  constexpr std::size_t kTotal = 6;
+  constexpr std::size_t kStopAfter = 3;
+
+  core::SdSimulation straight(config);
+  core::OriginalAlgorithm straight_alg(straight);
+  (void)straight_alg.run(kTotal);
+
+  core::SdSimulation first(config);
+  core::OriginalAlgorithm first_alg(first);
+  (void)first_alg.run(kStopAfter);
+  const std::string path = temp_path("original.ckpt");
+  ASSERT_TRUE(
+      core::save_checkpoint(core::capture_checkpoint(first, first_alg), path)
+          .is_ok());
+
+  core::Checkpoint loaded;
+  ASSERT_TRUE(core::load_checkpoint(path, loaded).is_ok());
+  EXPECT_EQ(loaded.algorithm, core::CheckpointAlgorithm::kOriginal);
+  // The Lanczos interval cache must survive the round trip — without
+  // it the resumed run would recalibrate at the wrong step.
+  EXPECT_TRUE(loaded.scalar_state.have_bounds);
+
+  std::optional<core::SdSimulation> resumed;
+  ASSERT_TRUE(core::restore_simulation(loaded, resumed).is_ok());
+  core::OriginalAlgorithm resumed_alg(*resumed);
+  resumed_alg.import_state(loaded.scalar_state);
+  (void)resumed_alg.run(kTotal - kStopAfter);
+
+  expect_bitwise_equal_positions(straight, *resumed);
+}
+
+TEST(CheckpointResume, HorizonMakesSplitRunsMatchStraightRuns) {
+  // Same process, no disk: run(3)+run(7) under a horizon must chunk
+  // exactly like run(10) — the property the resume path relies on.
+  const auto config = small_config(50, 7);
+  core::SdSimulation a(config);
+  core::MrhsAlgorithm alg_a(a, 4);
+  alg_a.set_horizon(10);
+  (void)alg_a.run(10);
+
+  core::SdSimulation b(config);
+  core::MrhsAlgorithm alg_b(b, 4);
+  alg_b.set_horizon(10);
+  (void)alg_b.run(3);
+  (void)alg_b.run(7);
+
+  expect_bitwise_equal_positions(a, b);
+}
+
+// --- round trip & validation -------------------------------------------
+
+TEST(CheckpointFormat, RoundTripPreservesEveryField) {
+  const auto config = small_config(40, 9);
+  core::SdSimulation sim(config);
+  core::MrhsAlgorithm alg(sim, 3);
+  alg.set_horizon(7);
+  (void)alg.run(4);  // leaves a chunk in flight (chunk [3,6) pos 1)
+
+  const auto ck = core::capture_checkpoint(sim, alg);
+  const std::string path = temp_path("roundtrip.ckpt");
+  ASSERT_TRUE(core::save_checkpoint(ck, path).is_ok());
+  core::Checkpoint loaded;
+  ASSERT_TRUE(core::load_checkpoint(path, loaded).is_ok());
+
+  EXPECT_EQ(loaded.config.particles, config.particles);
+  EXPECT_EQ(loaded.config.seed, config.seed);
+  EXPECT_EQ(loaded.dt, sim.dt());
+  EXPECT_EQ(loaded.mean_radius, sim.mean_radius());
+  EXPECT_EQ(loaded.box_length, sim.system().box().length());
+  EXPECT_EQ(loaded.mrhs_rhs, 3u);
+  EXPECT_EQ(loaded.mrhs_state.step, 4u);
+  EXPECT_EQ(loaded.mrhs_state.horizon_end, 7u);
+  EXPECT_TRUE(loaded.mrhs_state.horizon_set);
+  EXPECT_EQ(loaded.mrhs_state.chunk_start, ck.mrhs_state.chunk_start);
+  EXPECT_EQ(loaded.mrhs_state.chunk_pos, ck.mrhs_state.chunk_pos);
+  EXPECT_EQ(loaded.mrhs_state.chunk_guesses_ok,
+            ck.mrhs_state.chunk_guesses_ok);
+  ASSERT_EQ(loaded.mrhs_state.chunk_guesses.rows(),
+            ck.mrhs_state.chunk_guesses.rows());
+  ASSERT_EQ(loaded.mrhs_state.chunk_guesses.cols(),
+            ck.mrhs_state.chunk_guesses.cols());
+  const std::size_t total = loaded.mrhs_state.chunk_guesses.rows() *
+                            loaded.mrhs_state.chunk_guesses.cols();
+  for (std::size_t i = 0; i < total; ++i) {
+    EXPECT_EQ(loaded.mrhs_state.chunk_guesses.data()[i],
+              ck.mrhs_state.chunk_guesses.data()[i]);
+  }
+  for (std::size_t i = 0; i < loaded.positions.size(); ++i) {
+    EXPECT_EQ(loaded.positions[i].x, ck.positions[i].x);
+    EXPECT_EQ(loaded.unwrapped[i].x, ck.unwrapped[i].x);
+    EXPECT_EQ(loaded.radii[i], ck.radii[i]);
+  }
+  // The JSON sidecar exists next to the binary.
+  EXPECT_FALSE(read_file(path + ".json").empty());
+}
+
+TEST(CheckpointFormat, CorruptedPayloadIsRejected) {
+  const auto config = small_config(30, 13);
+  core::SdSimulation sim(config);
+  core::MrhsAlgorithm alg(sim, 2);
+  const std::string path = temp_path("corrupt.ckpt");
+  ASSERT_TRUE(
+      core::save_checkpoint(core::capture_checkpoint(sim, alg), path)
+          .is_ok());
+
+  auto bytes = read_file(path);
+  ASSERT_GT(bytes.size(), 64u);
+  bytes[bytes.size() / 2] ^= 0x40;  // flip a payload bit
+  write_file(path, bytes);
+
+  core::Checkpoint loaded;
+  const core::Status s = core::load_checkpoint(path, loaded);
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), core::StatusCode::kCorruptData);
+}
+
+TEST(CheckpointFormat, TruncatedFileIsRejected) {
+  const auto config = small_config(30, 13);
+  core::SdSimulation sim(config);
+  core::MrhsAlgorithm alg(sim, 2);
+  const std::string path = temp_path("truncated.ckpt");
+  ASSERT_TRUE(
+      core::save_checkpoint(core::capture_checkpoint(sim, alg), path)
+          .is_ok());
+
+  auto bytes = read_file(path);
+  bytes.resize(bytes.size() / 2);
+  write_file(path, bytes);
+
+  core::Checkpoint loaded;
+  const core::Status s = core::load_checkpoint(path, loaded);
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), core::StatusCode::kCorruptData);
+}
+
+TEST(CheckpointFormat, WrongVersionIsRejected) {
+  const auto config = small_config(30, 13);
+  core::SdSimulation sim(config);
+  core::MrhsAlgorithm alg(sim, 2);
+  const std::string path = temp_path("version.ckpt");
+  ASSERT_TRUE(
+      core::save_checkpoint(core::capture_checkpoint(sim, alg), path)
+          .is_ok());
+
+  auto bytes = read_file(path);
+  bytes[8] = 99;  // version field sits right after the 8-byte magic
+  write_file(path, bytes);
+
+  core::Checkpoint loaded;
+  const core::Status s = core::load_checkpoint(path, loaded);
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), core::StatusCode::kVersionMismatch);
+}
+
+TEST(CheckpointFormat, NotACheckpointFileIsRejected) {
+  const std::string path = temp_path("garbage.ckpt");
+  write_file(path, std::vector<char>(256, 'x'));
+  core::Checkpoint loaded;
+  const core::Status s = core::load_checkpoint(path, loaded);
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), core::StatusCode::kCorruptData);
+}
+
+TEST(CheckpointFormat, MissingFileIsIoError) {
+  core::Checkpoint loaded;
+  const core::Status s =
+      core::load_checkpoint(temp_path("does_not_exist.ckpt"), loaded);
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), core::StatusCode::kIoError);
+}
+
+TEST(CheckpointFormat, StatusMessagesAreDescriptive) {
+  core::Checkpoint loaded;
+  const core::Status s =
+      core::load_checkpoint(temp_path("nope.ckpt"), loaded);
+  EXPECT_NE(s.to_string().find("io_error"), std::string::npos);
+  EXPECT_TRUE(core::Status::ok().is_ok());
+  EXPECT_EQ(core::Status::ok().to_string(), "ok");
+}
+
+// --- auxiliary solver-state round trips --------------------------------
+
+TEST(CheckpointState, ReusablePreconditionerStateRoundTrips) {
+  const auto a = sparse::make_random_bcrs(20, 6.0, 3);
+  solver::ReusablePreconditioner pre(1.5);
+  (void)pre.get(a);
+  pre.report(10);  // baseline
+  pre.report(12);  // within budget
+  const auto state = pre.export_state();
+  EXPECT_TRUE(state.have_baseline);
+  EXPECT_EQ(state.baseline_iterations, 10u);
+  EXPECT_EQ(state.rebuilds, 1u);
+
+  solver::ReusablePreconditioner restored;
+  restored.import_state(state);
+  // Restoring schedules one rebuild (the factor is not serialized)...
+  EXPECT_TRUE(restored.rebuild_pending());
+  (void)restored.get(a);
+  EXPECT_EQ(restored.rebuilds(), 2u);
+  // ...and the degradation policy picks up where it left off.
+  restored.report(11);
+  EXPECT_FALSE(restored.rebuild_pending());
+  restored.report(100);
+  EXPECT_TRUE(restored.rebuild_pending());
+}
+
+TEST(CheckpointState, CholeskyAlgorithmStateCarriesCursor) {
+  const auto config = small_config(30, 21);
+  core::SdSimulation sim(config);
+  core::CholeskyAlgorithm alg(sim);
+  (void)alg.run(2);
+  const auto state = alg.export_state();
+  EXPECT_EQ(state.step, 2u);
+
+  core::SdSimulation sim2(config);
+  core::CholeskyAlgorithm alg2(sim2);
+  alg2.import_state(state);
+  EXPECT_EQ(alg2.current_step(), 2u);
+}
+
+}  // namespace

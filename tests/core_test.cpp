@@ -39,8 +39,7 @@ TEST(SdSimulation, PackedStateIsConsistent) {
 
 TEST(SdSimulation, AssembleProducesSpdStructure) {
   core::SdSimulation sim(small_config());
-  sd::AssemblyStats stats;
-  const auto r = sim.assemble(&stats);
+  const auto [r, stats] = sim.assemble();
   EXPECT_EQ(r.block_rows(), sim.system().size());
   EXPECT_LT(r.asymmetry(), 1e-12);
   EXPECT_GT(stats.pairs_active, 0u);

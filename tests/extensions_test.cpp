@@ -130,7 +130,7 @@ TEST(DistributedOperator, CgMatchesSingleNodeSolve) {
   config.phi = 0.45;
   config.seed = 17;
   core::SdSimulation sim(config);
-  const auto r = sim.assemble();
+  const auto r = sim.assemble().matrix;
 
   solver::BcrsOperator local(r, 1);
   const auto part = cluster::partition_coordinate_grid(sim.system(), r, 4);
@@ -142,8 +142,8 @@ TEST(DistributedOperator, CgMatchesSingleNodeSolve) {
   std::vector<double> x_local(local.size(), 0.0), x_dist(local.size(), 0.0);
   const auto res_local = solver::conjugate_gradient(local, b, x_local);
   const auto res_dist = solver::conjugate_gradient(dist, b, x_dist);
-  EXPECT_TRUE(res_local.converged);
-  EXPECT_TRUE(res_dist.converged);
+  EXPECT_TRUE(res_local.converged());
+  EXPECT_TRUE(res_dist.converged());
   EXPECT_NEAR(static_cast<double>(res_dist.iterations),
               static_cast<double>(res_local.iterations), 3.0);
   EXPECT_LT(util::diff_norm2(x_local, x_dist),
@@ -157,7 +157,7 @@ TEST(DistributedOperator, BlockCgRunsOnPartitionedMatrix) {
   config.phi = 0.4;
   config.seed = 19;
   core::SdSimulation sim(config);
-  const auto r = sim.assemble();
+  const auto r = sim.assemble().matrix;
   const auto part = cluster::partition_coordinate_grid(sim.system(), r, 3);
   const cluster::DistributedOperator dist(r, part);
 
@@ -166,7 +166,7 @@ TEST(DistributedOperator, BlockCgRunsOnPartitionedMatrix) {
   sparse::MultiVector b(dist.size(), m), x(dist.size(), m);
   b.fill_normal(rng);
   const auto result = solver::block_conjugate_gradient(dist, b, x);
-  EXPECT_TRUE(result.converged);
+  EXPECT_TRUE(result.converged());
 }
 
 TEST(MobilityOperator, MatchesDenseRpy) {

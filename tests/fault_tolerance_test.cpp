@@ -1,0 +1,291 @@
+// Fault-tolerance ladder tests: every rung is exercised with the
+// FaultInjectingOperator, and the stepper survives an injected
+// block-solve breakdown with the obs metrics recording which recovery
+// path fired.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/sd_simulation.hpp"
+#include "core/stepper.hpp"
+#include "obs/obs.hpp"
+#include "solver/fault_tolerance.hpp"
+#include "solver/operator.hpp"
+#include "sparse/bcrs.hpp"
+#include "sparse/multivector.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace mrhs;
+
+/// Fresh, enabled metrics registry per test so counter assertions see
+/// only this test's events.
+class LadderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::MetricsRegistry::instance().reset();
+    obs::MetricsRegistry::instance().enable();
+  }
+  void TearDown() override { obs::MetricsRegistry::instance().disable(); }
+
+  static double counter(const std::string& name) {
+    const auto snap = obs::MetricsRegistry::instance().snapshot();
+    const auto it = snap.counters.find(name);
+    return it == snap.counters.end() ? 0.0 : it->second;
+  }
+};
+
+struct Problem {
+  sparse::BcrsMatrix a;
+  sparse::MultiVector b;
+  sparse::MultiVector x;
+};
+
+Problem make_problem(std::size_t block_rows = 40, std::size_t m = 3,
+                     double blocks_per_row = 8.0, std::uint64_t seed = 17) {
+  Problem p{sparse::make_random_bcrs(block_rows, blocks_per_row, seed),
+            sparse::MultiVector(3 * block_rows, m),
+            sparse::MultiVector(3 * block_rows, m)};
+  util::StreamRng rng(seed + 1);
+  p.b.fill_normal(rng);
+  return p;
+}
+
+std::vector<double> true_residuals(const solver::LinearOperator& a,
+                                   const sparse::MultiVector& b,
+                                   const sparse::MultiVector& x) {
+  sparse::MultiVector r(b.rows(), b.cols());
+  a.apply_block(x, r);
+  sparse::axpby(1.0, b, -1.0, r);
+  std::vector<double> norms(b.cols()), b_norms(b.cols());
+  r.col_norms(norms);
+  b.col_norms(b_norms);
+  for (std::size_t j = 0; j < norms.size(); ++j) norms[j] /= b_norms[j];
+  return norms;
+}
+
+// --- the fault injector itself -----------------------------------------
+
+TEST_F(LadderTest, FaultInjectorPoisonsOnlyScheduledBlockApplies) {
+  auto p = make_problem();
+  solver::BcrsOperator op(p.a, 1);
+  solver::FaultInjection plan;
+  plan.mode = solver::FaultInjection::Mode::kNan;
+  plan.clean_applications = 1;
+  plan.faulty_applications = 1;
+  solver::FaultInjectingOperator faulty(op, plan);
+
+  sparse::MultiVector y(p.b.rows(), p.b.cols());
+  faulty.apply_block(p.b, y);  // call 0: clean
+  for (std::size_t i = 0; i < y.rows() * y.cols(); ++i) {
+    ASSERT_TRUE(std::isfinite(y.data()[i]));
+  }
+  faulty.apply_block(p.b, y);  // call 1: poisoned
+  bool saw_nan = false;
+  for (std::size_t i = 0; i < y.rows() * y.cols(); ++i) {
+    if (std::isnan(y.data()[i])) saw_nan = true;
+  }
+  EXPECT_TRUE(saw_nan);
+  EXPECT_EQ(faulty.injected(), 1);
+  faulty.apply_block(p.b, y);  // call 2: clean again
+  EXPECT_EQ(faulty.injected(), 1);
+
+  // block_only leaves single-vector applies untouched.
+  std::vector<double> xv(faulty.size(), 1.0), yv(faulty.size());
+  faulty.apply(xv, yv);
+  for (double v : yv) ASSERT_TRUE(std::isfinite(v));
+  EXPECT_EQ(counter("fault_injection.injected"), 1.0);
+}
+
+// --- ladder rungs -------------------------------------------------------
+
+TEST_F(LadderTest, HealthySolveStaysOnBlockCgRung) {
+  auto p = make_problem();
+  solver::BcrsOperator op(p.a, 1);
+  const auto result = solver::block_solve_with_ladder(op, p.b, p.x);
+  EXPECT_EQ(result.status, solver::SolveStatus::kConverged);
+  EXPECT_EQ(result.rung, solver::LadderRung::kBlockCg);
+  EXPECT_TRUE(result.succeeded());
+  for (double r : true_residuals(op, p.b, p.x)) EXPECT_LE(r, 1e-6 * 1.01);
+  EXPECT_EQ(counter("ladder.rung.block_cg"), 1.0);
+  EXPECT_EQ(counter("ladder.rung.block_restart"), 0.0);
+  EXPECT_EQ(counter("ladder.recoveries"), 0.0);
+  EXPECT_EQ(counter("ladder.failures"), 0.0);
+}
+
+TEST_F(LadderTest, SingleNanRecoversOnBlockRestartRung) {
+  auto p = make_problem();
+  solver::BcrsOperator op(p.a, 1);
+  solver::FaultInjection plan;
+  plan.mode = solver::FaultInjection::Mode::kNan;
+  plan.clean_applications = 1;  // rung 0's initial residual is clean,
+  plan.faulty_applications = 1;  // its first iteration breaks down
+  solver::FaultInjectingOperator faulty(op, plan);
+
+  const auto result = solver::block_solve_with_ladder(faulty, p.b, p.x);
+  EXPECT_EQ(result.status, solver::SolveStatus::kRecovered);
+  EXPECT_EQ(result.rung, solver::LadderRung::kBlockRestart);
+  EXPECT_GE(faulty.injected(), 1);
+  for (double r : true_residuals(op, p.b, p.x)) EXPECT_LE(r, 1e-6 * 1.01);
+  EXPECT_EQ(counter("ladder.rung.block_restart"), 1.0);
+  EXPECT_EQ(counter("ladder.rung.per_column_cg"), 0.0);
+  EXPECT_EQ(counter("ladder.recoveries"), 1.0);
+  EXPECT_GE(counter("block_cg.breakdowns"), 1.0);
+}
+
+TEST_F(LadderTest, StickyBlockFaultFallsBackToPerColumnCg) {
+  auto p = make_problem();
+  solver::BcrsOperator op(p.a, 1);
+  solver::FaultInjection plan;
+  plan.mode = solver::FaultInjection::Mode::kNan;
+  plan.clean_applications = 0;
+  plan.faulty_applications = -1;  // every block apply fails, forever
+  plan.block_only = true;         // single-vector applies stay healthy
+  solver::FaultInjectingOperator faulty(op, plan);
+
+  const auto result = solver::block_solve_with_ladder(faulty, p.b, p.x);
+  EXPECT_EQ(result.status, solver::SolveStatus::kRecovered);
+  EXPECT_EQ(result.rung, solver::LadderRung::kPerColumnCg);
+  // The returned iterate is validated column by column against the
+  // *clean* operator.
+  for (double r : true_residuals(op, p.b, p.x)) EXPECT_LE(r, 1e-6 * 1.01);
+  EXPECT_EQ(counter("ladder.rung.per_column_cg"), 1.0);
+  EXPECT_EQ(counter("ladder.recoveries"), 1.0);
+}
+
+TEST_F(LadderTest, StagnationReachesRelaxedRung) {
+  // No faults — a tolerance below the double-precision roundoff floor
+  // is unattainable by construction, so rungs 0-2 stall at machine
+  // precision; only the relaxed rung's coarser target is reachable.
+  auto p = make_problem(60, 3, 6.0, 29);
+  solver::BcrsOperator op(p.a, 1);
+  solver::LadderOptions opts;
+  opts.controls.tol = 1e-30;
+  opts.controls.max_iters = 25;
+  opts.relaxed_tol_factor = 1e24;  // relaxed target: 1e-6
+  const auto result = solver::block_solve_with_ladder(op, p.b, p.x, opts);
+  EXPECT_EQ(result.status, solver::SolveStatus::kRecovered);
+  EXPECT_EQ(result.rung, solver::LadderRung::kRelaxedCg);
+  for (double r : true_residuals(op, p.b, p.x)) EXPECT_LE(r, 1e-6 * 1.01);
+  EXPECT_EQ(counter("ladder.rung.relaxed_cg"), 1.0);
+  EXPECT_EQ(counter("ladder.recoveries"), 1.0);
+}
+
+TEST_F(LadderTest, TotalFailureReportsBreakdownWithFiniteIterate) {
+  auto p = make_problem();
+  solver::BcrsOperator op(p.a, 1);
+  solver::FaultInjection plan;
+  plan.mode = solver::FaultInjection::Mode::kNan;
+  plan.clean_applications = 0;
+  plan.faulty_applications = -1;
+  plan.block_only = false;  // poison everything: no rung can work
+  solver::FaultInjectingOperator faulty(op, plan);
+
+  const auto result = solver::block_solve_with_ladder(faulty, p.b, p.x);
+  EXPECT_EQ(result.status, solver::SolveStatus::kBreakdown);
+  EXPECT_FALSE(result.succeeded());
+  // Even on total failure the iterate handed back is finite (scrubbed
+  // to the initial guess), never NaN.
+  for (std::size_t i = 0; i < p.x.rows() * p.x.cols(); ++i) {
+    ASSERT_TRUE(std::isfinite(p.x.data()[i]));
+  }
+  EXPECT_EQ(counter("ladder.failures"), 1.0);
+  EXPECT_EQ(counter("ladder.recoveries"), 0.0);
+}
+
+TEST_F(LadderTest, PerturbationModeIsDeterministic) {
+  auto p = make_problem();
+  solver::BcrsOperator op(p.a, 1);
+  solver::FaultInjection plan;
+  plan.mode = solver::FaultInjection::Mode::kPerturb;
+  plan.clean_applications = 0;
+  plan.faulty_applications = 1;
+  plan.perturb_scale = 1e-3;
+  solver::FaultInjectingOperator f1(op, plan);
+  solver::FaultInjectingOperator f2(op, plan);
+  sparse::MultiVector y1(p.b.rows(), p.b.cols());
+  sparse::MultiVector y2(p.b.rows(), p.b.cols());
+  f1.apply_block(p.b, y1);
+  f2.apply_block(p.b, y2);
+  bool differs_from_clean = false;
+  sparse::MultiVector clean(p.b.rows(), p.b.cols());
+  op.apply_block(p.b, clean);
+  for (std::size_t i = 0; i < y1.rows() * y1.cols(); ++i) {
+    ASSERT_EQ(y1.data()[i], y2.data()[i]);  // same plan, same bits
+    ASSERT_TRUE(std::isfinite(y1.data()[i]));
+    if (y1.data()[i] != clean.data()[i]) differs_from_clean = true;
+  }
+  EXPECT_TRUE(differs_from_clean);
+}
+
+// --- stepper integration -----------------------------------------------
+
+core::SdConfig stepper_config() {
+  core::SdConfig config;
+  config.particles = 60;
+  config.phi = 0.35;
+  config.seed = 31;
+  config.chebyshev_order = 20;
+  return config;
+}
+
+TEST_F(LadderTest, StepperSurvivesInjectedBlockBreakdown) {
+  const auto config = stepper_config();
+  core::SdSimulation sim(config);
+  core::MrhsAlgorithm alg(sim, 4);
+  solver::FaultInjection plan;
+  plan.mode = solver::FaultInjection::Mode::kNan;
+  // The chunk prelude spends exactly chebyshev_order block applies on
+  // the Brownian forces; the next block apply is the augmented solve's
+  // initial residual — poison the one after it (first CG iteration).
+  plan.clean_applications = static_cast<long>(config.chebyshev_order) + 1;
+  plan.faulty_applications = 1;
+  alg.inject_fault_for_testing(plan);
+
+  const auto stats = alg.run(4);
+  EXPECT_EQ(stats.solver_status, solver::SolveStatus::kRecovered);
+  EXPECT_EQ(stats.ladder_recoveries, 1u);
+  EXPECT_EQ(stats.ladder_failures, 0u);
+  EXPECT_EQ(stats.steps.size(), 4u);
+  for (const auto& pos : sim.system().positions()) {
+    ASSERT_TRUE(std::isfinite(pos.x));
+    ASSERT_TRUE(std::isfinite(pos.y));
+    ASSERT_TRUE(std::isfinite(pos.z));
+  }
+  EXPECT_GE(counter("ladder.rung.block_restart"), 1.0);
+  EXPECT_GE(counter("ladder.recoveries"), 1.0);
+}
+
+TEST_F(LadderTest, StepperCompletesWhenEveryRungFails) {
+  const auto config = stepper_config();
+  core::SdSimulation sim(config);
+  core::MrhsAlgorithm alg(sim, 4);
+  solver::FaultInjection plan;
+  plan.mode = solver::FaultInjection::Mode::kNan;
+  plan.clean_applications = static_cast<long>(config.chebyshev_order);
+  plan.faulty_applications = -1;  // sticky
+  plan.block_only = false;        // per-column rungs poisoned too
+  alg.inject_fault_for_testing(plan);
+
+  const auto stats = alg.run(4);
+  // The augmented solve is unrecoverable, but the trajectory continues
+  // from zero guesses on clean per-step operators.
+  EXPECT_EQ(stats.solver_status, solver::SolveStatus::kBreakdown);
+  EXPECT_EQ(stats.ladder_failures, 1u);
+  EXPECT_EQ(stats.steps.size(), 4u);
+  for (const auto& rec : stats.steps) {
+    // No step reports the bogus zero-iteration "free" solve of a
+    // healthy chunk; every step paid for a real solve.
+    EXPECT_GT(rec.iters_first_solve, 0u);
+  }
+  for (const auto& pos : sim.system().positions()) {
+    ASSERT_TRUE(std::isfinite(pos.x));
+    ASSERT_TRUE(std::isfinite(pos.y));
+    ASSERT_TRUE(std::isfinite(pos.z));
+  }
+  EXPECT_EQ(counter("ladder.failures"), 1.0);
+}
+
+}  // namespace

@@ -49,7 +49,7 @@ TEST(Assembler, ReusedAssemblerMatchesOneShot) {
 
 TEST(Assembler, RowsSortedAndDiagPresent) {
   core::SdSimulation sim(tiny_config());
-  const auto a = sim.assemble();
+  const auto a = sim.assemble().matrix;
   const auto row_ptr = a.row_ptr();
   const auto col_idx = a.col_idx();
   for (std::size_t i = 0; i < a.block_rows(); ++i) {

@@ -72,7 +72,7 @@ TEST(BlockJacobi, ExactForBlockDiagonalMatrix) {
   rng.fill_normal(b);
   const auto result =
       solver::preconditioned_conjugate_gradient(op, precond, b, x);
-  EXPECT_TRUE(result.converged);
+  EXPECT_TRUE(result.converged());
   EXPECT_LE(result.iterations, 2u);
 }
 
@@ -106,8 +106,8 @@ TEST(Pcg, SolutionMatchesCg) {
   const auto r_cg = solver::conjugate_gradient(op, b, x_cg);
   const auto r_pcg =
       solver::preconditioned_conjugate_gradient(op, precond, b, x_pcg);
-  ASSERT_TRUE(r_cg.converged);
-  ASSERT_TRUE(r_pcg.converged);
+  ASSERT_TRUE(r_cg.converged());
+  ASSERT_TRUE(r_pcg.converged());
   EXPECT_LT(util::diff_norm2(x_cg, x_pcg),
             1e-4 * (1.0 + util::norm2(x_cg)));
 }
@@ -139,8 +139,8 @@ TEST(Pcg, ReducesIterationsOnIllScaledSystem) {
   const auto plain = solver::conjugate_gradient(op, b, x1);
   const auto pcg =
       solver::preconditioned_conjugate_gradient(op, precond, b, x2);
-  ASSERT_TRUE(plain.converged);
-  ASSERT_TRUE(pcg.converged);
+  ASSERT_TRUE(plain.converged());
+  ASSERT_TRUE(pcg.converged());
   EXPECT_LT(pcg.iterations, plain.iterations);
 }
 
@@ -151,7 +151,7 @@ TEST(Pcg, ZeroRhsAndShapeChecks) {
   std::vector<double> b(op.size(), 0.0), x(op.size(), 1.0);
   const auto result =
       solver::preconditioned_conjugate_gradient(op, precond, b, x);
-  EXPECT_TRUE(result.converged);
+  EXPECT_TRUE(result.converged());
   for (double v : x) EXPECT_DOUBLE_EQ(v, 0.0);
 
   std::vector<double> bad(op.size() - 1);

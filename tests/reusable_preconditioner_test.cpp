@@ -69,7 +69,7 @@ TEST(ReusablePreconditioner, EndToEndOnDriftingSequence) {
     std::vector<double> x(op.size(), 0.0);
     const auto result =
         solver::preconditioned_conjugate_gradient(op, precond, b, x);
-    ASSERT_TRUE(result.converged);
+    ASSERT_TRUE(result.converged());
     policy.report(result.iterations);
     total_iters += result.iterations;
   }

@@ -32,7 +32,7 @@ TEST(Cg, SolvesSpdSystem) {
   std::vector<double> b(op.size()), x(op.size(), 0.0);
   rng.fill_normal(b);
   const auto result = solver::conjugate_gradient(op, b, x);
-  EXPECT_TRUE(result.converged);
+  EXPECT_TRUE(result.converged());
   EXPECT_LE(result.relative_residual, 1e-6);
   EXPECT_LE(residual_norm(op, b, x), 1e-6 * util::norm2(b) * 1.01);
 }
@@ -44,13 +44,13 @@ TEST(Cg, InitialGuessReducesIterations) {
   std::vector<double> b(op.size()), x0(op.size(), 0.0);
   rng.fill_normal(b);
   auto cold = solver::conjugate_gradient(op, b, x0);
-  ASSERT_TRUE(cold.converged);
+  ASSERT_TRUE(cold.converged());
 
   // Perturb the solution slightly and resolve.
   std::vector<double> x1 = x0;
   for (double& v : x1) v *= 1.0 + 1e-4;
   const auto warm = solver::conjugate_gradient(op, b, x1);
-  EXPECT_TRUE(warm.converged);
+  EXPECT_TRUE(warm.converged());
   EXPECT_LT(warm.iterations, cold.iterations);
 }
 
@@ -63,7 +63,7 @@ TEST(Cg, ExactGuessConvergesInZeroIterations) {
   op.apply(x_true, b);
   std::vector<double> x = x_true;
   const auto result = solver::conjugate_gradient(op, b, x);
-  EXPECT_TRUE(result.converged);
+  EXPECT_TRUE(result.converged());
   EXPECT_EQ(result.iterations, 0u);
 }
 
@@ -72,7 +72,7 @@ TEST(Cg, ZeroRhsGivesZeroSolution) {
   solver::BcrsOperator op(a, 1);
   std::vector<double> b(op.size(), 0.0), x(op.size(), 1.0);
   const auto result = solver::conjugate_gradient(op, b, x);
-  EXPECT_TRUE(result.converged);
+  EXPECT_TRUE(result.converged());
   for (double v : x) EXPECT_DOUBLE_EQ(v, 0.0);
 }
 
@@ -85,7 +85,7 @@ TEST(Cg, RespectsMaxIterations) {
   solver::CgOptions opts;
   opts.max_iters = 3;
   const auto result = solver::conjugate_gradient(op, b, x, opts);
-  EXPECT_FALSE(result.converged);
+  EXPECT_FALSE(result.converged());
   EXPECT_EQ(result.iterations, 3u);
 }
 
@@ -115,7 +115,7 @@ TEST_P(BlockCgParam, MatchesColumnwiseCg) {
   solver::BlockCgOptions opts;
   opts.tol = 1e-8;
   const auto result = solver::block_conjugate_gradient(op, b, x, opts);
-  EXPECT_TRUE(result.converged);
+  EXPECT_TRUE(result.converged());
   ASSERT_EQ(result.relative_residuals.size(), m);
   for (double r : result.relative_residuals) EXPECT_LE(r, 1e-8);
 
@@ -142,7 +142,7 @@ TEST(BlockCg, SingleColumnMatchesCgIterations) {
   sparse::MultiVector bb(op.size(), 1), xx(op.size(), 1);
   bb.copy_col_in(0, b);
   const auto bcg = solver::block_conjugate_gradient(op, bb, xx);
-  EXPECT_TRUE(bcg.converged);
+  EXPECT_TRUE(bcg.converged());
   // Same Krylov process: iteration counts agree to within one.
   EXPECT_NEAR(static_cast<double>(bcg.iterations),
               static_cast<double>(cg.iterations), 1.0);
@@ -158,12 +158,12 @@ TEST(BlockCg, FewerIterationsThanWorstSingleSolve) {
   sparse::MultiVector b(op.size(), m), x(op.size(), m);
   b.fill_normal(rng);
   const auto bcg = solver::block_conjugate_gradient(op, b, x);
-  ASSERT_TRUE(bcg.converged);
+  ASSERT_TRUE(bcg.converged());
 
   std::vector<double> bj(op.size()), xj(op.size(), 0.0);
   b.copy_col_out(0, bj);
   const auto cg = solver::conjugate_gradient(op, bj, xj);
-  ASSERT_TRUE(cg.converged);
+  ASSERT_TRUE(cg.converged());
   EXPECT_LE(bcg.iterations, cg.iterations + 1);
 }
 
@@ -178,7 +178,7 @@ TEST(BlockCg, HandlesDependentRightHandSides) {
   sparse::MultiVector b(op.size(), 3), x(op.size(), 3);
   for (std::size_t j = 0; j < 3; ++j) b.copy_col_in(j, b0);
   const auto result = solver::block_conjugate_gradient(op, b, x);
-  EXPECT_TRUE(result.converged);
+  EXPECT_TRUE(result.converged());
   EXPECT_GT(result.breakdown_repairs, 0u);
   std::vector<double> xj(op.size());
   for (std::size_t j = 0; j < 3; ++j) {
@@ -197,7 +197,7 @@ TEST(BlockCg, InitialGuessRespected) {
   op.apply_block(x_true, b);
   sparse::MultiVector x = x_true;  // exact guess
   const auto result = solver::block_conjugate_gradient(op, b, x);
-  EXPECT_TRUE(result.converged);
+  EXPECT_TRUE(result.converged());
   EXPECT_EQ(result.iterations, 0u);
 }
 
@@ -239,7 +239,7 @@ TEST(Refinement, ConvergesWithFrozenFactor) {
   rng.fill_normal(b);
   const auto result = solver::iterative_refinement(
       op2, b, x, [&](std::span<double> r) { chol.solve_in_place(r); });
-  EXPECT_TRUE(result.converged);
+  EXPECT_TRUE(result.converged());
   EXPECT_GE(result.iterations, 1u);
   EXPECT_LE(result.iterations, 6u);  // "only a very small number"
   EXPECT_LE(residual_norm(op2, b, x), 1e-6 * util::norm2(b) * 1.01);
@@ -252,7 +252,7 @@ TEST(Refinement, ZeroRhs) {
   std::vector<double> b(op.size(), 0.0), x(op.size(), 5.0);
   const auto result = solver::iterative_refinement(
       op, b, x, [&](std::span<double> r) { chol.solve_in_place(r); });
-  EXPECT_TRUE(result.converged);
+  EXPECT_TRUE(result.converged());
   for (double v : x) EXPECT_DOUBLE_EQ(v, 0.0);
 }
 
