@@ -58,7 +58,8 @@ int main(int argc, char** argv) {
   std::iota(perm.begin(), perm.end(), 0);
   util::StreamRng rng(1);
   for (std::size_t i = perm.size(); i > 1; --i) {
-    const auto j = static_cast<std::size_t>(rng.uniform() * i);
+    const auto j =
+        static_cast<std::size_t>(rng.uniform() * static_cast<double>(i));
     std::swap(perm[i - 1], perm[j]);
   }
   const auto shuffled = permute(sorted, perm);

@@ -75,9 +75,14 @@ int main(int argc, char** argv) {
       }
       table.add_row(std::move(row));
     }
-    table.print("(" + std::string(which == 0 ? "a" : "b") + ") " +
-                specs[which].name + " (nnzb/nb = " +
-                util::Table::fmt_fixed(matrix.blocks_per_row(), 1) + "):");
+    // Built up with += : the nested operator+ chain trips a gcc 12
+    // -Wrestrict false positive in the inlined char_traits copy.
+    std::string title = which == 0 ? "(a) " : "(b) ";
+    title += specs[which].name;
+    title += " (nnzb/nb = ";
+    title += util::Table::fmt_fixed(matrix.blocks_per_row(), 1);
+    title += "):";
+    table.print(title);
     std::printf("\n");
   }
   return 0;

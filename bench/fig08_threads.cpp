@@ -4,15 +4,14 @@
 // On a single-core host the thread sweep is flat — the harness still
 // exercises the threaded code paths and records per-thread-count B/F
 // so the figure regenerates its intended content on a multicore box.
-#include <omp.h>
-
 #include <vector>
 
 #include "bench_common.hpp"
 #include "core/sd_simulation.hpp"
 #include "core/stepper.hpp"
-#include "perf/measure.hpp"
 #include "core/workloads.hpp"
+#include "perf/measure.hpp"
+#include "util/parallel.hpp"
 
 int main(int argc, char** argv) {
   using namespace mrhs;
@@ -33,8 +32,8 @@ int main(int argc, char** argv) {
       "Figure 8 — GSPMV performance and MRHS speedup vs threads",
       "(a) GSPMV time falls with threads; (b) MRHS speedup grows with "
       "threads (B/F shrinks as threads saturate bandwidth)");
-  std::printf("hardware threads available here: %d\n\n",
-              omp_get_num_procs());
+  std::printf("hardware threads available here: %d (backend: %s)\n\n",
+              util::hardware_threads(), util::parallel_backend());
 
   std::vector<int> thread_counts;
   for (std::size_t pos = 0; pos < threads_list.size();) {

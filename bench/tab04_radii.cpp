@@ -34,7 +34,9 @@ int main(int argc, char** argv) {
     table.add_row({util::Table::fmt_fixed(bin.radius_angstrom, 2),
                    util::Table::fmt_fixed(bin.fraction * 100.0, 2),
                    util::Table::fmt_fixed(
-                       100.0 * static_cast<double>(hits) / radii.size(), 2),
+                       100.0 * static_cast<double>(hits) /
+                           static_cast<double>(radii.size()),
+                       2),
                    util::Table::fmt_fixed(target, 3)});
   }
   table.print();

@@ -1,0 +1,292 @@
+#!/usr/bin/env python3
+"""mrhs_lint: repo-specific invariants no generic linter knows.
+
+Registered as the `mrhs_lint` ctest target. Exit 0 when clean, 1 with
+a file:line report otherwise.
+
+Rules
+-----
+obs-literal-name
+    The OBS_* macros cache the resolved metric handle in a
+    function-local static keyed by *call site*, not by name. A
+    non-literal name therefore records every call under whatever name
+    the first execution happened to pass (the PR 2 footgun). First
+    argument of OBS_COUNTER_ADD / OBS_GAUGE_SET / OBS_HISTOGRAM_OBSERVE
+    / OBS_SPAN / OBS_INSTANT (second for OBS_SPAN_VAR) must be a string
+    literal.
+
+solve-status-discarded
+    Solver entry points return a result carrying SolveStatus; a call
+    whose result is discarded (expression statement) silently drops
+    breakdown/stagnation. Callers must bind and inspect the result.
+
+solve-status-nodiscard
+    The declarations of those entry points (and their result structs)
+    must stay [[nodiscard]] so the compiler backs the rule above.
+
+aligned-alloc-outside-util
+    Raw std::aligned_alloc / posix_memalign / operator new with
+    align_val_t outside util/aligned.hpp bypasses AlignedAllocator and
+    its 64-byte contract; consumers must use util::AlignedVector (the
+    allocator asserts the contract in one place).
+
+aligned-load-contract
+    Files using *aligned* SIMD loads/stores (_mm256_load_pd,
+    _mm512_load_pd, ...) on data that crosses a function boundary must
+    carry an MRHS_ASSUME_ALIGNED contract (or a local alignas buffer)
+    in the same file, so debug/sanitizer builds verify the alignment
+    the intrinsic assumes.
+
+no-float-in-double-kernels
+    The numerical core (src/sparse, src/solver, src/dense) is
+    double-precision end to end; a stray `float` silently halves
+    precision (the inverse of the paper's "no double accumulation in
+    float kernels" rule — this codebase is the double side).
+
+no-raw-omp-parallel
+    `#pragma omp parallel` outside util/parallel.hpp bypasses the
+    threading backend abstraction; such a region would not run (or be
+    TSan-checked) on the std::thread backend. Use
+    util::parallel_regions / util::parallel_for.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+SOLVER_ENTRY_POINTS = [
+    "conjugate_gradient",
+    "preconditioned_conjugate_gradient",
+    "block_conjugate_gradient",
+    "block_solve_with_ladder",
+]
+
+NODISCARD_DECLS = {
+    "src/solver/cg.hpp": ["CgResult conjugate_gradient",
+                          "CgResult preconditioned_conjugate_gradient"],
+    "src/solver/block_cg.hpp": ["BlockCgResult block_conjugate_gradient"],
+    "src/solver/fault_tolerance.hpp": ["LadderResult block_solve_with_ladder"],
+}
+
+OBS_MACROS_ARG1 = ["OBS_COUNTER_ADD", "OBS_GAUGE_SET",
+                   "OBS_HISTOGRAM_OBSERVE", "OBS_SPAN", "OBS_INSTANT"]
+OBS_MACROS_ARG2 = ["OBS_SPAN_VAR"]
+
+ALIGNED_LOAD_RE = re.compile(
+    r"_mm(?:256|512)_(?:load|store)_(?:pd|ps|si256|si512)\b|"
+    r"_mm512_(?:load|store)_epi\d+\b")
+
+DOUBLE_KERNEL_DIRS = ("src/sparse", "src/solver", "src/dense")
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments and string/char literals, preserving line
+    structure exactly (every newline in the input survives, so line
+    numbers computed on the result map back to the source)."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            i = j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n if j == -1 else j + 2
+            out.append("".join(ch if ch == "\n" else " " for ch in text[i:j]))
+            i = j
+            continue
+        elif c == '"' or (c == "'" and not (i > 0 and (text[i - 1].isalnum()
+                                                       or text[i - 1] == "_"))):
+            # The apostrophe guard skips C++14 digit separators
+            # (10'000), which are not character literals.
+            q = c
+            j = i + 1
+            while j < n:
+                if text[j] == "\\":
+                    j += 2
+                    continue
+                if text[j] == q:
+                    break
+                j += 1
+            body = "".join(ch if ch == "\n" else " " for ch in text[i + 1:j])
+            out.append(q + body + (q if j < n else ""))
+            i = j + 1
+            continue
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+class Linter:
+    def __init__(self, repo: Path):
+        self.repo = repo
+        self.findings: list[tuple[str, int, str, str]] = []
+
+    def report(self, path: Path, line: int, rule: str, msg: str) -> None:
+        rel = path.relative_to(self.repo)
+        self.findings.append((str(rel), line, rule, msg))
+
+    # -- rules ---------------------------------------------------------
+
+    def check_obs_literal_names(self, path: Path, raw_lines: list[str]) -> None:
+        for lineno, line in enumerate(raw_lines, 1):
+            code = line.split("//")[0]
+            for macro in OBS_MACROS_ARG1 + OBS_MACROS_ARG2:
+                for m in re.finditer(rf"\b{macro}\s*\(", code):
+                    # Skip the macro definitions themselves.
+                    if "#define" in code:
+                        continue
+                    args = code[m.end():]
+                    if macro in OBS_MACROS_ARG2:
+                        # OBS_SPAN_VAR(var, "name"): skip the var name.
+                        comma = args.find(",")
+                        if comma == -1:
+                            continue
+                        args = args[comma + 1:]
+                    first = args.lstrip()
+                    if not first.startswith('"'):
+                        self.report(
+                            path, lineno, "obs-literal-name",
+                            f"{macro} name must be a string literal "
+                            f"(handle is cached per call site)")
+
+    def check_solve_status_discarded(self, path: Path, text: str) -> None:
+        stripped = strip_comments_and_strings(text)
+        for fn in SOLVER_ENTRY_POINTS:
+            for m in re.finditer(
+                    rf"(?m)^(\s*)((?:\w+::)*){fn}\s*\(", stripped):
+                # Only a genuine expression statement discards the
+                # result: the previous non-whitespace character must be
+                # `;`, `{`, or `}` (or start of file). A continuation
+                # line of `auto r = ...` / `return ...` has `=` or an
+                # identifier character there instead.
+                prev = stripped[:m.start()].rstrip()
+                if prev and prev[-1] not in ";{}":
+                    continue
+                lineno = stripped.count("\n", 0, m.start()) + 1
+                self.report(
+                    path, lineno, "solve-status-discarded",
+                    f"result of {fn}() is discarded; bind it and check "
+                    f"SolveStatus (solve_succeeded)")
+
+    def check_nodiscard_decls(self) -> None:
+        for rel, decls in NODISCARD_DECLS.items():
+            path = self.repo / rel
+            if not path.exists():
+                continue
+            text = path.read_text()
+            for decl in decls:
+                idx = text.find(decl)
+                if idx == -1:
+                    continue  # entry point renamed; discard rule still covers calls
+                window = text[max(0, idx - 120):idx]
+                if "[[nodiscard]]" not in window:
+                    lineno = text.count("\n", 0, idx) + 1
+                    self.report(
+                        path, lineno, "solve-status-nodiscard",
+                        f"declaration of {decl.split()[-1]} must be "
+                        f"[[nodiscard]] so discarded solves fail the build")
+
+    def check_aligned_alloc(self, path: Path, raw_lines: list[str]) -> None:
+        if path.match("*/util/aligned.hpp"):
+            return
+        for lineno, line in enumerate(raw_lines, 1):
+            code = line.split("//")[0]
+            if re.search(r"\b(?:std::)?aligned_alloc\s*\(|\bposix_memalign\s*\(",
+                         code) or \
+               ("operator new" in code and "align_val_t" in code):
+                self.report(
+                    path, lineno, "aligned-alloc-outside-util",
+                    "raw aligned allocation outside util/aligned.hpp; "
+                    "use util::AlignedVector so the 64-byte contract is "
+                    "asserted in one place")
+
+    def check_aligned_load_contract(self, path: Path, text: str,
+                                    raw_lines: list[str]) -> None:
+        hits = []
+        for lineno, line in enumerate(raw_lines, 1):
+            code = line.split("//")[0]
+            if ALIGNED_LOAD_RE.search(code):
+                hits.append(lineno)
+        if not hits:
+            return
+        if "MRHS_ASSUME_ALIGNED" in text or "alignas(" in text:
+            return
+        self.report(
+            path, hits[0], "aligned-load-contract",
+            "aligned SIMD load/store without an MRHS_ASSUME_ALIGNED "
+            "contract (or local alignas buffer) in this file")
+
+    def check_no_float(self, path: Path, raw_lines: list[str]) -> None:
+        rel = str(path.relative_to(self.repo))
+        if not rel.startswith(DOUBLE_KERNEL_DIRS):
+            return
+        for lineno, line in enumerate(raw_lines, 1):
+            code = strip_comments_and_strings(line.split("//")[0])
+            if re.search(r"\bfloat\b", code):
+                self.report(
+                    path, lineno, "no-float-in-double-kernels",
+                    "float in the double-precision numerical core; "
+                    "use double (mixed precision silently loses bits)")
+
+    def check_no_raw_omp(self, path: Path, raw_lines: list[str]) -> None:
+        if path.name == "parallel.hpp":
+            return
+        for lineno, line in enumerate(raw_lines, 1):
+            if re.search(r"#\s*pragma\s+omp\s+parallel\b", line):
+                self.report(
+                    path, lineno, "no-raw-omp-parallel",
+                    "raw `#pragma omp parallel` bypasses util/parallel.hpp; "
+                    "use util::parallel_regions / util::parallel_for so the "
+                    "region runs (and is TSan-checked) on every backend")
+
+    # -- driver --------------------------------------------------------
+
+    def run(self) -> int:
+        roots = [self.repo / d for d in ("src", "bench", "examples", "tests")]
+        files = sorted(
+            f for root in roots if root.exists()
+            for f in root.rglob("*") if f.suffix in (".hpp", ".cpp", ".h"))
+        for path in files:
+            text = path.read_text()
+            raw_lines = text.splitlines()
+            in_obs_header = path.match("*/obs/obs.hpp")
+            if not in_obs_header:
+                self.check_obs_literal_names(path, raw_lines)
+            if "tests/" not in str(path):  # tests may intentionally discard
+                self.check_solve_status_discarded(path, text)
+            self.check_aligned_alloc(path, raw_lines)
+            self.check_aligned_load_contract(path, text, raw_lines)
+            self.check_no_float(path, raw_lines)
+            self.check_no_raw_omp(path, raw_lines)
+        self.check_nodiscard_decls()
+
+        if self.findings:
+            for rel, line, rule, msg in self.findings:
+                print(f"{rel}:{line}: [{rule}] {msg}")
+            print(f"\nmrhs_lint: {len(self.findings)} finding(s)")
+            return 1
+        print("mrhs_lint: clean")
+        return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repo", type=Path, default=Path(__file__).parent.parent,
+                        help="repository root (default: script's parent dir)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule documentation and exit")
+    args = parser.parse_args()
+    if args.list_rules:
+        print(__doc__)
+        return 0
+    return Linter(args.repo.resolve()).run()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

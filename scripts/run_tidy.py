@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Run clang-tidy over the repo's translation units.
+
+Registered as the `clang_tidy` ctest target with SKIP_RETURN_CODE 77:
+when no clang-tidy binary exists on PATH (the default gcc-only
+container) the target reports SKIPPED instead of failing, so the suite
+stays green while CI images that do ship clang-tidy get the full gate.
+
+Requires a compile_commands.json (the top-level CMakeLists sets
+CMAKE_EXPORT_COMPILE_COMMANDS ON unconditionally).
+"""
+
+from __future__ import annotations
+
+import argparse
+import concurrent.futures
+import json
+import os
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+SKIP = 77  # must match SKIP_RETURN_CODE in the ctest registration
+
+CANDIDATE_NAMES = ["clang-tidy"] + [f"clang-tidy-{v}" for v in range(21, 13, -1)]
+
+
+def find_clang_tidy() -> str | None:
+    for name in CANDIDATE_NAMES:
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+def select_sources(build_dir: Path, source_dir: Path,
+                   subdirs: list[str]) -> list[str]:
+    db_path = build_dir / "compile_commands.json"
+    if not db_path.exists():
+        print(f"run_tidy: {db_path} not found; configure with CMake first",
+              file=sys.stderr)
+        sys.exit(2)
+    wanted = [str((source_dir / d).resolve()) + os.sep for d in subdirs]
+    entries = json.loads(db_path.read_text())
+    files = sorted({
+        str(Path(e["file"]).resolve())
+        for e in entries
+        if any(str(Path(e["file"]).resolve()).startswith(w) for w in wanted)
+    })
+    return files
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--build-dir", type=Path, required=True,
+                        help="CMake build dir containing compile_commands.json")
+    parser.add_argument("--source-dir", type=Path,
+                        default=Path(__file__).resolve().parent.parent,
+                        help="repository root")
+    parser.add_argument("--subdirs", nargs="*",
+                        default=["src", "tests", "bench", "examples"],
+                        help="source subtrees to lint")
+    parser.add_argument("-j", "--jobs", type=int,
+                        default=os.cpu_count() or 1,
+                        help="parallel clang-tidy processes")
+    args = parser.parse_args()
+
+    tidy = find_clang_tidy()
+    if tidy is None:
+        print("run_tidy: no clang-tidy on PATH; skipping (exit 77)")
+        return SKIP
+
+    files = select_sources(args.build_dir.resolve(),
+                           args.source_dir.resolve(), args.subdirs)
+    if not files:
+        print("run_tidy: no translation units matched", file=sys.stderr)
+        return 2
+    print(f"run_tidy: {tidy}, {len(files)} translation units, "
+          f"-j{args.jobs}")
+
+    failures = 0
+
+    def run_one(path: str) -> tuple[str, int, str]:
+        proc = subprocess.run(
+            [tidy, "-p", str(args.build_dir), "--quiet", path],
+            capture_output=True, text=True)
+        return path, proc.returncode, proc.stdout + proc.stderr
+
+    with concurrent.futures.ThreadPoolExecutor(max_workers=args.jobs) as pool:
+        for path, rc, output in pool.map(run_one, files):
+            rel = os.path.relpath(path, args.source_dir)
+            if rc != 0:
+                failures += 1
+                print(f"--- {rel}: FAILED")
+                print(output)
+            else:
+                print(f"    {rel}: ok")
+
+    if failures:
+        print(f"run_tidy: {failures}/{len(files)} files with findings")
+        return 1
+    print("run_tidy: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,6 +12,7 @@
 #include "solver/operator.hpp"
 #include "sd/mobility_operator.hpp"
 #include "sparse/multivector.hpp"
+#include "util/contracts.hpp"
 #include "util/stats.hpp"
 
 namespace mrhs::core {
@@ -32,6 +33,7 @@ void full_step_from(sd::ParticleSystem& system,
                     const sd::ParticleSystem::Snapshot& start,
                     std::span<const double> u_mid, double dt,
                     double max_step) {
+  MRHS_ASSERT_ALL_FINITE(u_mid.data(), u_mid.size());
   system.restore(start);
   system.advance(u_mid, dt, max_step);
 }

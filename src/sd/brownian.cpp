@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/contracts.hpp"
 #include "util/rng.hpp"
 
 namespace mrhs::sd {
@@ -33,6 +34,7 @@ void noise_for_step(std::uint64_t seed, std::uint64_t step,
                     std::span<double> z) {
   util::StreamRng rng(seed, /*stream=*/0xb0153 + step);
   rng.fill_normal(z);
+  MRHS_ASSERT_ALL_FINITE(z.data(), z.size());
 }
 
 }  // namespace mrhs::sd

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "sd/rpy.hpp"
+#include "util/contracts.hpp"
 
 namespace mrhs::sd {
 
@@ -12,6 +13,7 @@ void RpyMobilityOperator::apply(std::span<const double> x,
   if (x.size() != 3 * n || y.size() != 3 * n) {
     throw std::invalid_argument("RpyMobilityOperator: size mismatch");
   }
+  MRHS_ASSERT_ALL_FINITE(x.data(), x.size());
   const auto pos = system_->positions();
   const auto radii = system_->radii();
   const auto& box = system_->box();

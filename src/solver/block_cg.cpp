@@ -6,6 +6,7 @@
 
 #include "dense/matrix.hpp"
 #include "obs/obs.hpp"
+#include "util/contracts.hpp"
 
 namespace mrhs::solver {
 
@@ -51,6 +52,10 @@ BlockCgResult block_conjugate_gradient(const LinearOperator& a,
   if (b.rows() != n || x.rows() != n || x.cols() != m || m == 0) {
     throw std::invalid_argument("block_cg: shape mismatch");
   }
+  MRHS_REQUIRE(opts.tol > 0.0, "block_cg: tolerance must be positive");
+  // No finite contract on b/x: non-finite operands must surface as
+  // SolveStatus::kBreakdown (the fault-tolerance ladder escalates on
+  // it), never as an abort.
   OBS_SPAN_VAR(span, "block_cg.solve");
   span.arg("m", static_cast<double>(m));
   // Per-iteration / per-column telemetry: the residual trajectory is

@@ -37,9 +37,8 @@ struct BlockCgResult {
 
 /// Solve A X = B; X carries initial guesses in, solutions out.
 /// Breakdown is reported through `status`, never thrown.
-BlockCgResult block_conjugate_gradient(const LinearOperator& a,
-                                       const sparse::MultiVector& b,
-                                       sparse::MultiVector& x,
-                                       const BlockCgOptions& opts = {});
+[[nodiscard]] BlockCgResult block_conjugate_gradient(
+    const LinearOperator& a, const sparse::MultiVector& b,
+    sparse::MultiVector& x, const BlockCgOptions& opts = {});
 
 }  // namespace mrhs::solver

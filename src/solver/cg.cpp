@@ -6,6 +6,7 @@
 
 #include "obs/obs.hpp"
 #include "solver/preconditioner.hpp"
+#include "util/contracts.hpp"
 #include "util/stats.hpp"
 
 namespace mrhs::solver {
@@ -35,6 +36,10 @@ CgResult conjugate_gradient(const LinearOperator& a, std::span<const double> b,
   if (b.size() != n || x.size() != n) {
     throw std::invalid_argument("conjugate_gradient: size mismatch");
   }
+  MRHS_REQUIRE(opts.tol > 0.0, "cg: tolerance must be positive");
+  // No finite contract on b/x: the documented behavior for non-finite
+  // operands is SolveStatus::kBreakdown (the fault-tolerance ladder
+  // relies on it), never an abort.
   OBS_SPAN_VAR(span, "cg.solve");
 
   std::vector<double> r(n), p(n), q(n);

@@ -27,18 +27,19 @@ struct CgResult {
 /// Solve A x = b. `x` carries the initial guess in and the solution
 /// out. Counts an iteration per A-application after the initial
 /// residual evaluation.
-CgResult conjugate_gradient(const LinearOperator& a, std::span<const double> b,
-                            std::span<double> x, const CgOptions& opts = {});
+[[nodiscard]] CgResult conjugate_gradient(const LinearOperator& a,
+                                          std::span<const double> b,
+                                          std::span<double> x,
+                                          const CgOptions& opts = {});
 
 class Preconditioner;
 
 /// Preconditioned CG: same contract, with M^{-1}-applications from
 /// `precond` each iteration. Stopping is still on the true residual
 /// norm so results are comparable with the unpreconditioned solver.
-CgResult preconditioned_conjugate_gradient(const LinearOperator& a,
-                                           const Preconditioner& precond,
-                                           std::span<const double> b,
-                                           std::span<double> x,
-                                           const CgOptions& opts = {});
+[[nodiscard]] CgResult preconditioned_conjugate_gradient(
+    const LinearOperator& a, const Preconditioner& precond,
+    std::span<const double> b, std::span<double> x,
+    const CgOptions& opts = {});
 
 }  // namespace mrhs::solver

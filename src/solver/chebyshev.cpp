@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "obs/obs.hpp"
+#include "util/contracts.hpp"
 
 namespace mrhs::solver {
 
@@ -48,6 +49,7 @@ ChebyshevSqrt::ChebyshevSqrt(EigBounds bounds, std::size_t order)
     }
     coeffs_[j] = 2.0 * sum / static_cast<double>(K);
   }
+  MRHS_ASSERT_ALL_FINITE(coeffs_.data(), coeffs_.size());
 }
 
 double ChebyshevSqrt::evaluate_scalar(double t) const {
@@ -82,6 +84,7 @@ void ChebyshevSqrt::apply(const LinearOperator& a, std::span<const double> z,
   if (z.size() != n || y.size() != n) {
     throw std::invalid_argument("ChebyshevSqrt::apply: size mismatch");
   }
+  MRHS_ASSERT_ALL_FINITE(z.data(), z.size());
   OBS_SPAN_VAR(span, "chebyshev.apply");
   span.arg("order", static_cast<double>(coeffs_.size() - 1));
   OBS_COUNTER_ADD("chebyshev.applies", 1);
@@ -121,6 +124,7 @@ void ChebyshevSqrt::apply_block(const LinearOperator& a,
   if (z.rows() != n || y.rows() != n || y.cols() != m) {
     throw std::invalid_argument("ChebyshevSqrt::apply_block: shape mismatch");
   }
+  MRHS_ASSERT_ALL_FINITE(z.data(), n * m);
   OBS_SPAN_VAR(span, "chebyshev.apply_block");
   span.arg("order", static_cast<double>(coeffs_.size() - 1));
   span.arg("m", static_cast<double>(m));

@@ -74,11 +74,10 @@ struct LadderResult {
 /// (non-finite columns are reset to the initial guess, or zero if the
 /// guess itself was poisoned). `precond` upgrades the per-column rung
 /// to PCG when provided.
-LadderResult block_solve_with_ladder(const LinearOperator& a,
-                                     const sparse::MultiVector& b,
-                                     sparse::MultiVector& x,
-                                     const LadderOptions& opts = {},
-                                     const Preconditioner* precond = nullptr);
+[[nodiscard]] LadderResult block_solve_with_ladder(
+    const LinearOperator& a, const sparse::MultiVector& b,
+    sparse::MultiVector& x, const LadderOptions& opts = {},
+    const Preconditioner* precond = nullptr);
 
 /// Test-only operator wrapper that injects deterministic faults into a
 /// healthy LinearOperator, so every ladder rung can be exercised on

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "dense/matrix.hpp"
+#include "util/contracts.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 
@@ -80,6 +81,11 @@ EigBounds lanczos_bounds(const LinearOperator& a, const LanczosOptions& opts) {
     // positive floor relative to lambda_max.
     bounds.lambda_min = 1e-8 * bounds.lambda_max;
   }
+  MRHS_ASSERT_MSG(std::isfinite(bounds.lambda_min) &&
+                      std::isfinite(bounds.lambda_max) &&
+                      bounds.lambda_min > 0.0 &&
+                      bounds.lambda_max > bounds.lambda_min,
+                  "lanczos_bounds: invalid spectral interval");
   return bounds;
 }
 

@@ -5,6 +5,7 @@
 // a dense matrix (tests), or the distributed-matrix simulation.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <span>
 
@@ -31,14 +32,23 @@ class LinearOperator {
   /// Number of apply calls so far, weighted by vector count — i.e. the
   /// total number of (sparse matrix) x (one vector) products. This is
   /// what the paper counts when it reports solver cost in SPMVs.
-  [[nodiscard]] long applications() const { return applications_; }
-  void reset_application_count() { applications_ = 0; }
+  /// Relaxed atomics: one operator may serve concurrent solves (the
+  /// applies themselves are read-only), and the count is a statistic
+  /// with no ordering role.
+  [[nodiscard]] long applications() const {
+    return applications_.load(std::memory_order_relaxed);
+  }
+  void reset_application_count() {
+    applications_.store(0, std::memory_order_relaxed);
+  }
 
  protected:
-  void count(long vectors) const { applications_ += vectors; }
+  void count(long vectors) const {
+    applications_.fetch_add(vectors, std::memory_order_relaxed);
+  }
 
  private:
-  mutable long applications_ = 0;
+  mutable std::atomic<long> applications_{0};
 };
 
 /// LinearOperator view over a BCRS matrix via the GSPMV engine.

@@ -10,6 +10,7 @@
 
 #include "dense/matrix.hpp"
 #include "sparse/csr.hpp"
+#include "util/contracts.hpp"
 #include "util/rng.hpp"
 
 namespace mrhs::sparse {
@@ -28,6 +29,20 @@ BcrsMatrix::BcrsMatrix(std::size_t block_rows, std::size_t block_cols,
       static_cast<std::size_t>(row_ptr_.back()) != col_idx_.size()) {
     throw std::invalid_argument("BcrsMatrix: inconsistent structure");
   }
+#if MRHS_CONTRACTS
+  // O(nnzb) structural validation, debug/sanitizer builds only: the
+  // GSPMV kernels index unchecked off this structure.
+  MRHS_ASSERT_MSG(row_ptr_.front() == 0, "BcrsMatrix: row_ptr[0] != 0");
+  for (std::size_t bi = 0; bi < block_rows_; ++bi) {
+    MRHS_ASSERT_MSG(row_ptr_[bi] <= row_ptr_[bi + 1],
+                    "BcrsMatrix: row_ptr not monotone");
+  }
+  for (const std::int32_t bj : col_idx_) {
+    MRHS_ASSERT_MSG(
+        bj >= 0 && static_cast<std::size_t>(bj) < block_cols_,
+        "BcrsMatrix: column index out of range");
+  }
+#endif
 }
 
 CsrMatrix BcrsMatrix::to_csr() const {
@@ -223,7 +238,9 @@ BcrsMatrix make_random_bcrs(std::size_t block_rows, double blocks_per_row,
     std::set<std::size_t> partners;
     while (partners.size() < off_per_row && block_rows > 1) {
       const std::size_t bj =
-          static_cast<std::size_t>(rng.uniform() * block_rows) % block_rows;
+          static_cast<std::size_t>(rng.uniform() *
+                                   static_cast<double>(block_rows)) %
+          block_rows;
       if (bj != bi) partners.insert(bj);
     }
     for (std::size_t bj : partners) {

@@ -1,12 +1,12 @@
 #include "sparse/gspmv.hpp"
 
-#include <omp.h>
-
 #include <chrono>
 #include <stdexcept>
 
 #include "obs/obs.hpp"
 #include "sparse/simd_kernels.hpp"
+#include "util/contracts.hpp"
+#include "util/parallel.hpp"
 
 namespace mrhs::sparse {
 
@@ -108,7 +108,7 @@ void gspmv_colmajor(const BcrsMatrix& a, const double* x, double* y,
 }
 
 GspmvEngine::GspmvEngine(const BcrsMatrix& a, int threads) : a_(&a) {
-  threads_ = threads > 0 ? threads : omp_get_max_threads();
+  threads_ = threads > 0 ? threads : util::max_threads();
   parts_ = balanced_row_partition(a, static_cast<std::size_t>(threads_));
 }
 
@@ -116,6 +116,15 @@ void GspmvEngine::apply(const MultiVector& x, MultiVector& y,
                         GspmvKernel kernel) const {
   check_shapes(*a_, x, y);
   const std::size_t m = x.cols();
+  // The SIMD kernels stream whole cache lines; MultiVector storage is
+  // 64-byte aligned by construction (util::AlignedVector). No finite
+  // contract here: the fault-tolerance ladder deliberately lets a
+  // poisoned operator output circulate for one CG iteration before its
+  // breakdown detection trips, so mid-iteration operands may be
+  // transiently non-finite. Finite ingress is asserted at the solver
+  // API entry points instead (cg/block_cg/chebyshev).
+  const double* xp = MRHS_ASSUME_ALIGNED(x.data(), util::kCacheLineBytes);
+  double* yp = MRHS_ASSUME_ALIGNED(y.data(), util::kCacheLineBytes);
   OBS_SPAN_VAR(span, "gspmv.apply");
   span.arg("m", static_cast<double>(m));
   using Clock = std::chrono::steady_clock;
@@ -123,16 +132,16 @@ void GspmvEngine::apply(const MultiVector& x, MultiVector& y,
   const Clock::time_point t0 = metrics ? Clock::now() : Clock::time_point{};
 
   if (threads_ == 1) {
-    run_rows(*a_, x.data(), y.data(), m, RowRange{0, a_->block_rows()},
-             kernel);
+    run_rows(*a_, xp, yp, m, RowRange{0, a_->block_rows()}, kernel);
   } else {
-#pragma omp parallel num_threads(threads_)
-    {
-      const int tid = omp_get_thread_num();
+    // Workers write disjoint block-row ranges of y (parts_ is a
+    // partition), so the region body is race-free by construction;
+    // thread_safety_test pins this down under TSan.
+    util::parallel_regions(threads_, [&](int tid) {
       if (tid < static_cast<int>(parts_.size())) {
-        run_rows(*a_, x.data(), y.data(), m, parts_[tid], kernel);
+        run_rows(*a_, xp, yp, m, parts_[tid], kernel);
       }
-    }
+    });
   }
 
   if (metrics) {
@@ -154,13 +163,11 @@ void GspmvEngine::apply(std::span<const double> x, std::span<double> y) const {
     run_rows(*a_, x.data(), y.data(), 1, RowRange{0, a_->block_rows()},
              GspmvKernel::kAuto);
   } else {
-#pragma omp parallel num_threads(threads_)
-    {
-      const int tid = omp_get_thread_num();
+    util::parallel_regions(threads_, [&](int tid) {
       if (tid < static_cast<int>(parts_.size())) {
         run_rows(*a_, x.data(), y.data(), 1, parts_[tid], GspmvKernel::kAuto);
       }
-    }
+    });
   }
 
   if (metrics) {
@@ -190,7 +197,8 @@ double GspmvEngine::min_bytes(std::size_t m) const {
   // Read X once, read + write Y (3 scalar rows per block row each),
   // plus block values (72 B) and BCRS indexing (4 B col index per
   // block, 4 B amortized row pointer per block row).
-  return m * nb * 3.0 * sx * 3.0 + 4.0 * nb + nnzb * (4.0 + 72.0);
+  return static_cast<double>(m) * nb * 3.0 * sx * 3.0 + 4.0 * nb +
+         nnzb * (4.0 + 72.0);
 }
 
 }  // namespace mrhs::sparse

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "dense/matrix.hpp"
+#include "util/contracts.hpp"
 
 #if defined(__AVX2__) && defined(__FMA__)
 #include <immintrin.h>
@@ -80,6 +81,10 @@ dense::Matrix gram(const MultiVector& a, const MultiVector& b) {
   const std::size_t n = a.rows();
   const std::size_t m = a.cols();
   dense::Matrix g(m, m);
+  // MultiVector storage is 64-byte aligned by construction; the SIMD
+  // window loads below bank on whole cache lines per row slab.
+  (void)MRHS_ASSUME_ALIGNED(a.data(), util::kCacheLineBytes);
+  (void)MRHS_ASSUME_ALIGNED(b.data(), util::kCacheLineBytes);
 
 #if MRHS_MV_AVX2
   // Register-blocked accumulation: for each 4-column window of G, the
@@ -88,7 +93,10 @@ dense::Matrix gram(const MultiVector& a, const MultiVector& b) {
   // keeps this near the FMA ports' throughput.
   if (m >= 4 && m <= 32) {
     const std::size_t m4 = m - (m % 4);
-    std::vector<__m256d> acc(m);
+    // Fixed-size register file (m <= 32 checked above): a
+    // std::vector<__m256d> would drop the alignment attribute on the
+    // element type (-Wignored-attributes) and heap-allocate per call.
+    __m256d acc[32];
     for (std::size_t qc = 0; qc < m4; qc += 4) {
       for (std::size_t p = 0; p < m; ++p) acc[p] = _mm256_setzero_pd();
       for (std::size_t i = 0; i < n; ++i) {

@@ -1,0 +1,130 @@
+// Lightweight contract assertions for kernel and solver boundaries.
+//
+//   MRHS_ASSERT(cond)            internal invariant
+//   MRHS_ASSERT_MSG(cond, msg)   internal invariant with context
+//   MRHS_REQUIRE(cond, msg)      precondition at an API boundary
+//   MRHS_ASSUME_ALIGNED(p, a)    returns p, checked to be a-byte aligned
+//   MRHS_ASSERT_FINITE(v)        scalar NaN/Inf ingress check
+//   MRHS_ASSERT_ALL_FINITE(p, n) array NaN/Inf ingress check (O(n))
+//
+// Checks are compiled in when MRHS_CONTRACTS is 1: by default that is
+// every build without NDEBUG (Debug), plus any build configured with
+// -DMRHS_CONTRACTS=ON (the asan-ubsan and tsan presets do this so the
+// sanitizer runs also validate bounds, alignment, and NaN ingress).
+// In Release the condition expressions are *not evaluated* — a
+// contract must never carry a side effect — and MRHS_ASSUME_ALIGNED
+// degrades to __builtin_assume_aligned, handing the alignment promise
+// to the optimizer instead of checking it.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+#if !defined(MRHS_CONTRACTS)
+#if defined(MRHS_FORCE_CONTRACTS)
+#define MRHS_CONTRACTS 1
+#elif defined(NDEBUG)
+#define MRHS_CONTRACTS 0
+#else
+#define MRHS_CONTRACTS 1
+#endif
+#endif
+
+namespace mrhs::util::contracts {
+
+/// Print the violated contract and abort. Aborting (rather than
+/// throwing) keeps the failing stack intact for debuggers, sanitizer
+/// reports, and core dumps.
+[[noreturn]] inline void contract_failed(const char* kind, const char* expr,
+                                         const char* file, int line,
+                                         const char* msg) {
+  std::fprintf(stderr, "%s:%d: %s violated: %s%s%s\n", file, line, kind, expr,
+               (msg != nullptr && msg[0] != '\0') ? " — " : "",
+               msg != nullptr ? msg : "");
+  std::fflush(stderr);
+  std::abort();
+}
+
+/// Checked form: abort unless p is Alignment-byte aligned.
+template <std::size_t Alignment, class T>
+inline T* check_aligned(T* p, const char* file, int line) {
+  static_assert((Alignment & (Alignment - 1)) == 0,
+                "alignment must be a power of two");
+  if (reinterpret_cast<std::uintptr_t>(p) % Alignment != 0) {
+    contract_failed("MRHS_ASSUME_ALIGNED", "pointer is aligned", file, line,
+                    "misaligned pointer");
+  }
+  return static_cast<T*>(__builtin_assume_aligned(p, Alignment));
+}
+
+/// Unchecked form: only informs the optimizer.
+template <std::size_t Alignment, class T>
+inline T* assume_aligned_unchecked(T* p) {
+  return static_cast<T*>(__builtin_assume_aligned(p, Alignment));
+}
+
+inline bool all_finite(const double* p, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!std::isfinite(p[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace mrhs::util::contracts
+
+#if MRHS_CONTRACTS
+
+#define MRHS_ASSERT(cond)                                                  \
+  ((cond) ? static_cast<void>(0)                                           \
+          : ::mrhs::util::contracts::contract_failed(                      \
+                "MRHS_ASSERT", #cond, __FILE__, __LINE__, ""))
+
+#define MRHS_ASSERT_MSG(cond, msg)                                         \
+  ((cond) ? static_cast<void>(0)                                           \
+          : ::mrhs::util::contracts::contract_failed(                      \
+                "MRHS_ASSERT", #cond, __FILE__, __LINE__, (msg)))
+
+#define MRHS_REQUIRE(cond, msg)                                            \
+  ((cond) ? static_cast<void>(0)                                           \
+          : ::mrhs::util::contracts::contract_failed(                      \
+                "MRHS_REQUIRE", #cond, __FILE__, __LINE__, (msg)))
+
+#define MRHS_ASSUME_ALIGNED(ptr, alignment) \
+  (::mrhs::util::contracts::check_aligned<(alignment)>((ptr), __FILE__, \
+                                                       __LINE__))
+
+#define MRHS_ASSERT_FINITE(v)                                              \
+  ((std::isfinite(v)) ? static_cast<void>(0)                               \
+                      : ::mrhs::util::contracts::contract_failed(          \
+                            "MRHS_ASSERT_FINITE", #v, __FILE__, __LINE__,  \
+                            "non-finite value"))
+
+#define MRHS_ASSERT_ALL_FINITE(ptr, n)                                     \
+  ((::mrhs::util::contracts::all_finite((ptr), (n)))                       \
+       ? static_cast<void>(0)                                              \
+       : ::mrhs::util::contracts::contract_failed(                         \
+             "MRHS_ASSERT_ALL_FINITE", #ptr, __FILE__, __LINE__,           \
+             "non-finite element"))
+
+#else  // !MRHS_CONTRACTS — conditions are not evaluated.
+
+// sizeof keeps the operands in an unevaluated context: the expression
+// must still compile (contracts cannot silently bit-rot in Release)
+// and variables used only in contracts don't trip -Wunused, but no
+// code runs and no side effect can fire.
+#define MRHS_CONTRACT_UNEVALUATED(expr) \
+  static_cast<void>(sizeof((expr) ? 1 : 0))
+
+#define MRHS_ASSERT(cond) MRHS_CONTRACT_UNEVALUATED(cond)
+#define MRHS_ASSERT_MSG(cond, msg) MRHS_CONTRACT_UNEVALUATED(cond)
+#define MRHS_REQUIRE(cond, msg) MRHS_CONTRACT_UNEVALUATED(cond)
+#define MRHS_ASSUME_ALIGNED(ptr, alignment) \
+  (::mrhs::util::contracts::assume_aligned_unchecked<(alignment)>((ptr)))
+#define MRHS_ASSERT_FINITE(v) MRHS_CONTRACT_UNEVALUATED(std::isfinite(v))
+#define MRHS_ASSERT_ALL_FINITE(ptr, n) \
+  MRHS_CONTRACT_UNEVALUATED(::mrhs::util::contracts::all_finite((ptr), (n)))
+
+#endif  // MRHS_CONTRACTS

@@ -1,0 +1,117 @@
+// Threading backend abstraction for the shared-memory kernels.
+//
+// Every parallel region in the codebase goes through this header
+// instead of spelling `#pragma omp parallel` inline (mrhs_lint.py
+// enforces it). Two backends implement the same contract:
+//
+//   * OpenMP (MRHS_USE_OPENMP=1, the default build): regions map to
+//     `omp parallel`, which keeps the familiar runtime knobs
+//     (OMP_NUM_THREADS, pinning) and the pooled worker threads.
+//   * std::thread (MRHS_OPENMP=OFF, used by the `tsan` preset):
+//     regions spawn plain threads. ThreadSanitizer instruments
+//     pthread natively, so the *same kernel bodies* that run under
+//     OpenMP in production are checked for data races without the
+//     false positives of an uninstrumented libgomp (gcc's libgomp
+//     barriers are invisible to TSan, which otherwise flags every
+//     race-free `omp for` loop).
+//
+// The contract both backends honor:
+//   * `fn` is invoked with tid in [0, n_threads); tid 0 runs on the
+//     calling thread.
+//   * All invocations complete before the call returns (full barrier
+//     + happens-before edge, so writes made inside the region are
+//     visible to the caller).
+//   * `fn` must not throw: an exception escaping a worker terminates
+//     the process under both backends.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+
+#if defined(MRHS_USE_OPENMP)
+#include <omp.h>
+#else
+#include <thread>
+#include <vector>
+#endif
+
+namespace mrhs::util {
+
+/// Name of the active threading backend (build-time constant).
+constexpr const char* parallel_backend() {
+#if defined(MRHS_USE_OPENMP)
+  return "openmp";
+#else
+  return "std-thread";
+#endif
+}
+
+/// Default worker count: OMP_NUM_THREADS under OpenMP, the hardware
+/// thread count otherwise. Always >= 1.
+inline int max_threads() {
+#if defined(MRHS_USE_OPENMP)
+  return omp_get_max_threads();
+#else
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc > 0 ? static_cast<int>(hc) : 1;
+#endif
+}
+
+/// Number of logical processors visible to the process. Always >= 1.
+inline int hardware_threads() {
+#if defined(MRHS_USE_OPENMP)
+  return omp_get_num_procs();
+#else
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc > 0 ? static_cast<int>(hc) : 1;
+#endif
+}
+
+/// Run `fn(tid)` on `n_threads` workers (tid in [0, n_threads)) and
+/// wait for all of them. n_threads <= 1 runs inline on the caller.
+///
+/// Note the OpenMP runtime may deliver fewer workers than requested
+/// (nested regions, OMP_DYNAMIC); `fn` must partition work by tid and
+/// tolerate absent tids, exactly like an `omp parallel` body.
+template <class Fn>
+void parallel_regions(int n_threads, Fn&& fn) {
+  if (n_threads <= 1) {
+    fn(0);
+    return;
+  }
+#if defined(MRHS_USE_OPENMP)
+#pragma omp parallel num_threads(n_threads)
+  { fn(omp_get_thread_num()); }
+#else
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(n_threads - 1));
+  for (int tid = 1; tid < n_threads; ++tid) {
+    workers.emplace_back([&fn, tid] { fn(tid); });
+  }
+  fn(0);
+  for (std::thread& w : workers) w.join();
+#endif
+}
+
+/// Statically-chunked parallel loop: `body(i)` for i in [begin, end),
+/// split into one contiguous chunk per worker (the schedule every
+/// bandwidth-bound kernel here wants: each thread streams one slab).
+template <class Fn>
+void parallel_for(int n_threads, std::ptrdiff_t begin, std::ptrdiff_t end,
+                  Fn&& body) {
+  const std::ptrdiff_t count = end - begin;
+  if (count <= 0) return;
+  if (n_threads <= 1) {
+    for (std::ptrdiff_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+  const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(n_threads);
+  const std::ptrdiff_t chunk = (count + n - 1) / n;
+  parallel_regions(n_threads, [&](int tid) {
+    const std::ptrdiff_t lo = begin + static_cast<std::ptrdiff_t>(tid) * chunk;
+    const std::ptrdiff_t hi = lo + chunk < end ? lo + chunk : end;
+    for (std::ptrdiff_t i = lo; i < hi; ++i) body(i);
+  });
+}
+
+}  // namespace mrhs::util

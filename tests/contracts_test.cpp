@@ -1,0 +1,123 @@
+// Tests for util/contracts.hpp across both compilation modes.
+//
+// The same test source builds in every configuration: when
+// MRHS_CONTRACTS is 1 (Debug, or any build with -DMRHS_CONTRACTS=ON
+// such as the asan-ubsan and tsan presets) the macros must fire on
+// violations; when it is 0 (plain Release) they must expand to
+// nothing — in particular the condition expression is never
+// evaluated, which the side-effect probes below pin down.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "util/aligned.hpp"
+#include "util/contracts.hpp"
+
+namespace {
+
+using namespace mrhs;
+
+/// A deliberately misaligned double* into an aligned buffer: one byte
+/// past a 64-byte boundary can never be 64-byte aligned. (Unused when
+/// contracts are on under TSan, where death tests are excluded.)
+[[maybe_unused]] double* misaligned_pointer(util::AlignedVector<double>& buf) {
+  auto addr = reinterpret_cast<std::uintptr_t>(buf.data());
+  return reinterpret_cast<double*>(addr + 1);
+}
+
+TEST(Contracts, ModeMatchesBuildConfiguration) {
+#if defined(MRHS_FORCE_CONTRACTS)
+  EXPECT_EQ(MRHS_CONTRACTS, 1);
+#elif defined(NDEBUG)
+  EXPECT_EQ(MRHS_CONTRACTS, 0);
+#else
+  EXPECT_EQ(MRHS_CONTRACTS, 1);
+#endif
+}
+
+TEST(Contracts, PassingChecksAreSilent) {
+  MRHS_ASSERT(1 + 1 == 2);
+  MRHS_ASSERT_MSG(true, "never printed");
+  MRHS_REQUIRE(true, "never printed");
+  MRHS_ASSERT_FINITE(3.5);
+  const double xs[3] = {0.0, -1.5, 2.0};
+  MRHS_ASSERT_ALL_FINITE(xs, 3);
+  util::AlignedVector<double> buf(8, 0.0);
+  double* p = MRHS_ASSUME_ALIGNED(buf.data(), util::kCacheLineBytes);
+  EXPECT_EQ(p, buf.data());
+}
+
+// The macro-expansion check: in Release the condition must not even be
+// evaluated (contracts may never carry side effects, so the compiled-
+// out form discards the expression entirely).
+TEST(Contracts, ConditionNotEvaluatedWhenCompiledOut) {
+  int evaluations = 0;
+  auto probe = [&evaluations]() {
+    ++evaluations;
+    return true;
+  };
+  MRHS_ASSERT(probe());
+  MRHS_ASSERT_MSG(probe(), "msg");
+  MRHS_REQUIRE(probe(), "msg");
+#if MRHS_CONTRACTS
+  EXPECT_EQ(evaluations, 3);
+#else
+  EXPECT_EQ(evaluations, 0);
+#endif
+}
+
+#if MRHS_CONTRACTS
+
+// Death tests: violated contracts abort with a file:line diagnostic.
+// Skipped under ThreadSanitizer — gtest death tests fork, and forking
+// a TSan-instrumented multithreaded binary is unreliable.
+#if !defined(__SANITIZE_THREAD__)
+
+TEST(ContractsDeathTest, AssertFires) {
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(MRHS_ASSERT(2 + 2 == 5), "MRHS_ASSERT violated");
+}
+
+TEST(ContractsDeathTest, RequireFiresWithMessage) {
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(MRHS_REQUIRE(false, "tolerance must be positive"),
+               "tolerance must be positive");
+}
+
+TEST(ContractsDeathTest, AssumeAlignedRejectsMisalignedPointer) {
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  util::AlignedVector<double> buf(8, 0.0);
+  EXPECT_DEATH(
+      { (void)MRHS_ASSUME_ALIGNED(misaligned_pointer(buf), 64); },
+      "MRHS_ASSUME_ALIGNED");
+}
+
+TEST(ContractsDeathTest, FiniteChecksCatchNan) {
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_DEATH(MRHS_ASSERT_FINITE(nan), "MRHS_ASSERT_FINITE");
+  const double xs[3] = {0.0, nan, 1.0};
+  EXPECT_DEATH(MRHS_ASSERT_ALL_FINITE(xs, 3), "non-finite element");
+}
+
+#endif  // !__SANITIZE_THREAD__
+
+#else  // !MRHS_CONTRACTS
+
+// Compiled-out MRHS_ASSUME_ALIGNED must still return the pointer (it
+// degrades to __builtin_assume_aligned) — even a misaligned one, since
+// no check runs.
+TEST(Contracts, AssumeAlignedIsPassthroughWhenCompiledOut) {
+  util::AlignedVector<double> buf(8, 0.0);
+  double* mis = misaligned_pointer(buf);
+  // Note: 8-byte alignment promise here would be a lie for `mis`; use
+  // alignment 1 so the passthrough itself stays well-defined.
+  EXPECT_EQ(MRHS_ASSUME_ALIGNED(mis, 1), mis);
+}
+
+#endif  // MRHS_CONTRACTS
+
+}  // namespace

@@ -121,7 +121,8 @@ TEST(SpatialSort, ImprovesIndexLocality) {
                         system.positions().end());
   std::vector<double> rad(system.radii().begin(), system.radii().end());
   for (std::size_t i = pos.size(); i > 1; --i) {
-    const auto j = static_cast<std::size_t>(rng.uniform() * i);
+    const auto j =
+        static_cast<std::size_t>(rng.uniform() * static_cast<double>(i));
     std::swap(pos[i - 1], pos[j]);
     std::swap(rad[i - 1], rad[j]);
   }

@@ -84,9 +84,10 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(
         ::testing::Values<std::size_t>(1, 2, 3, 4, 5, 7, 8, 12, 16, 31, 32),
         ::testing::Values(1.0, 5.6, 24.9)),
-    [](const auto& info) {
-      return "m" + std::to_string(std::get<0>(info.param)) + "_bpr" +
-             std::to_string(static_cast<int>(std::get<1>(info.param) * 10));
+    [](const auto& param_info) {
+      return "m" + std::to_string(std::get<0>(param_info.param)) + "_bpr" +
+             std::to_string(
+                 static_cast<int>(std::get<1>(param_info.param) * 10));
     });
 
 TEST(Gspmv, SpmvMatchesSingleColumnGspmv) {

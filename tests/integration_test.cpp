@@ -55,7 +55,9 @@ TEST(Assembler, RowsSortedAndDiagPresent) {
   for (std::size_t i = 0; i < a.block_rows(); ++i) {
     bool has_diag = false;
     for (std::int64_t p = row_ptr[i]; p < row_ptr[i + 1]; ++p) {
-      if (p > row_ptr[i]) ASSERT_LT(col_idx[p - 1], col_idx[p]);
+      if (p > row_ptr[i]) {
+        ASSERT_LT(col_idx[p - 1], col_idx[p]);
+      }
       if (static_cast<std::size_t>(col_idx[p]) == i) has_diag = true;
     }
     ASSERT_TRUE(has_diag);

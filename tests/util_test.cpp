@@ -214,7 +214,7 @@ TEST(Timer, ScopedPhaseRecordsPositiveTime) {
   {
     util::ScopedPhase t(timers, "scope");
     volatile double sink = 0.0;
-    for (int i = 0; i < 100000; ++i) sink += i;
+    for (int i = 0; i < 100000; ++i) sink = sink + i;
     (void)sink;
   }
   EXPECT_GT(timers.seconds("scope"), 0.0);
