@@ -12,16 +12,25 @@
 // A resumed run continues the trajectory bitwise: positions after
 // "10 straight steps" and "5 steps, checkpoint, resume, 5 more" are
 // identical doubles (scripts/check_resume.py asserts exactly this).
+//
+// Chaos testing (builds with fault injection compiled in):
+//   quickstart --steps 20 --faults stepper.position.nan@9
+// injects a NaN coordinate after step 9; the resilient runner detects
+// it, rolls back to the last snapshot, and replays — the final
+// trajectory is bitwise identical to a fault-free run
+// (scripts/check_chaos.py asserts exactly this).
 #include <algorithm>
 #include <cstdio>
 #include <optional>
 #include <string>
 
 #include "core/checkpoint.hpp"
+#include "core/resilience.hpp"
 #include "core/sd_simulation.hpp"
 #include "core/status.hpp"
 #include "core/stepper.hpp"
 #include "util/cli.hpp"
+#include "util/fault_injection.hpp"
 
 namespace {
 
@@ -55,6 +64,8 @@ int main(int argc, char** argv) {
   std::string resume_path;
   int stop_after = 0;
   std::string positions_out;
+  int max_rollbacks = 8;
+  int snapshot_every = 16;
   util::ArgParser args("quickstart",
                        "Minimal MRHS Stokesian dynamics simulation");
   args.add("particles", particles, "number of particles");
@@ -71,10 +82,20 @@ int main(int argc, char** argv) {
            "simulates an interrupted run for checkpoint testing");
   args.add("positions-out", positions_out,
            "write final positions as hex floats (bitwise comparable)");
+  args.add("max-rollbacks", max_rollbacks,
+           "rollback budget before the run gives up");
+  args.add("snapshot-every", snapshot_every,
+           "steps between in-memory rollback snapshots");
   util::ObsCli obs_cli;
   obs_cli.add_to(args);
+  util::FaultCli fault_cli;
+  fault_cli.add_to(args);
   args.parse(argc, argv);
   obs_cli.apply();
+  if (core::Status s = fault_cli.apply(); !s.is_ok()) {
+    std::fprintf(stderr, "error: %s\n", s.to_string().c_str());
+    return 1;
+  }
 
   // 1. Build the system — from scratch, or bit-exact from a checkpoint.
   core::SdConfig config;
@@ -83,6 +104,7 @@ int main(int argc, char** argv) {
   config.seed = 2024;
   std::optional<core::SdSimulation> sim;
   std::optional<core::MrhsAlgorithm> stepper;
+  core::RunStatsSummary prior_stats;
   if (!resume_path.empty()) {
     core::Checkpoint ck;
     if (core::Status s = core::load_checkpoint(resume_path, ck); !s.is_ok()) {
@@ -103,6 +125,7 @@ int main(int argc, char** argv) {
     }
     stepper.emplace(*sim, ck.mrhs_rhs);
     stepper->import_state(ck.mrhs_state);
+    prior_stats = ck.stats;
     std::printf("resumed from %s at step %zu\n", resume_path.c_str(),
                 stepper->current_step());
   } else {
@@ -131,18 +154,30 @@ int main(int argc, char** argv) {
     remaining = std::min(remaining, static_cast<std::size_t>(stop_after));
   }
 
+  // Every step runs under the resilient wrapper: post-step health
+  // checks, rolling snapshots, rollback + degradation on corruption.
+  // Fault-free runs take the exact same trajectory as the bare stepper.
+  core::ResilienceOptions resilience;
+  resilience.snapshot_every =
+      static_cast<std::size_t>(std::max(snapshot_every, 1));
+  resilience.max_rollbacks = static_cast<std::size_t>(
+      std::max(max_rollbacks, 0));
+  core::ResilientRunner runner(*sim, *stepper, resilience);
+
   // Run in checkpoint-sized legs (one leg when no period is set).
   const auto period = checkpoint_every > 0
                           ? static_cast<std::size_t>(checkpoint_every)
                           : remaining;
   core::RunStats stats;
+  prior_stats.apply_to(stats);  // no-op unless resuming
   std::size_t done = 0;
   while (done < remaining) {
     const std::size_t leg = std::min(period, remaining - done);
-    stats.merge(stepper->run(leg));
+    stats.merge(runner.run(leg));
     done += leg;
     if (!checkpoint_out.empty()) {
-      const auto ck = core::capture_checkpoint(*sim, *stepper);
+      auto ck = core::capture_checkpoint(*sim, *stepper);
+      ck.stats = core::RunStatsSummary::from(stats);
       if (core::Status s = core::save_checkpoint(ck, checkpoint_out);
           !s.is_ok()) {
         std::fprintf(stderr, "error: checkpoint failed: %s\n",
@@ -151,6 +186,13 @@ int main(int argc, char** argv) {
       }
       std::printf("checkpoint: step %zu -> %s\n", stepper->current_step(),
                   checkpoint_out.c_str());
+    }
+    if (stats.resilience_gave_up) {
+      std::fprintf(stderr,
+                   "error: rollback budget exhausted at step %zu; "
+                   "stopping at the last good snapshot\n",
+                   stepper->current_step());
+      break;
     }
   }
 
@@ -166,6 +208,10 @@ int main(int argc, char** argv) {
                 stats.ladder_recoveries, stats.ladder_failures);
   }
   std::printf("\n");
+  std::printf("resilience: rollbacks %zu, degradations %zu, recoveries %zu"
+              " (level: %s)\n",
+              stats.rollbacks, stats.degradations, stats.recovery_promotions,
+              core::to_string(runner.level()));
   double mean_iters = 0.0;
   std::size_t guessed_steps = 0;
   for (const auto& rec : stats.steps) {
@@ -190,5 +236,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   obs_cli.finish();
-  return solver::solve_succeeded(stats.solver_status) ? 0 : 3;
+  const bool healthy =
+      solver::solve_succeeded(stats.solver_status) && !stats.resilience_gave_up;
+  return healthy ? 0 : 3;
 }

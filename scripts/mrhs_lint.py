@@ -48,6 +48,14 @@ no-raw-omp-parallel
     threading backend abstraction; such a region would not run (or be
     TSan-checked) on the std::thread backend. Use
     util::parallel_regions / util::parallel_for.
+
+fault-site-registry
+    The first argument of MRHS_FAULT_POINT / MRHS_FAULT_FIRED must be
+    a string literal naming a site in the documented kFaultSites table
+    (src/util/fault_injection.hpp). A computed name would defeat the
+    registry's arm-time validation, and an undocumented site could
+    never be armed from the CLI — a chaos schedule naming it would be
+    rejected while the site silently never fires.
 """
 
 from __future__ import annotations
@@ -74,6 +82,9 @@ NODISCARD_DECLS = {
 OBS_MACROS_ARG1 = ["OBS_COUNTER_ADD", "OBS_GAUGE_SET",
                    "OBS_HISTOGRAM_OBSERVE", "OBS_SPAN", "OBS_INSTANT"]
 OBS_MACROS_ARG2 = ["OBS_SPAN_VAR"]
+
+FAULT_MACROS = ["MRHS_FAULT_POINT", "MRHS_FAULT_FIRED"]
+FAULT_SITE_HEADER = "src/util/fault_injection.hpp"
 
 ALIGNED_LOAD_RE = re.compile(
     r"_mm(?:256|512)_(?:load|store)_(?:pd|ps|si256|si512)\b|"
@@ -122,10 +133,23 @@ def strip_comments_and_strings(text: str) -> str:
     return "".join(out)
 
 
+def load_fault_sites(repo: Path) -> set[str]:
+    """Parse the documented site table out of fault_injection.hpp."""
+    path = repo / FAULT_SITE_HEADER
+    if not path.exists():
+        return set()
+    m = re.search(r"kFaultSites\[\]\s*=\s*\{(.*?)\};", path.read_text(),
+                  re.DOTALL)
+    if not m:
+        return set()
+    return set(re.findall(r'"([^"]+)"', m.group(1)))
+
+
 class Linter:
     def __init__(self, repo: Path):
         self.repo = repo
         self.findings: list[tuple[str, int, str, str]] = []
+        self.fault_sites = load_fault_sites(repo)
 
     def report(self, path: Path, line: int, rule: str, msg: str) -> None:
         rel = path.relative_to(self.repo)
@@ -245,6 +269,31 @@ class Linter:
                     "use util::parallel_regions / util::parallel_for so the "
                     "region runs (and is TSan-checked) on every backend")
 
+    def check_fault_sites(self, path: Path, raw_lines: list[str]) -> None:
+        if path.name.startswith("fault_injection."):
+            return  # macro definitions + registry implementation
+        for lineno, line in enumerate(raw_lines, 1):
+            code = line.split("//")[0]
+            if "#define" in code:
+                continue
+            for macro in FAULT_MACROS:
+                for m in re.finditer(rf"\b{macro}\s*\(", code):
+                    args = code[m.end():].lstrip()
+                    lit = re.match(r'"([^"]*)"', args)
+                    if lit is None:
+                        self.report(
+                            path, lineno, "fault-site-registry",
+                            f"{macro} site must be a string literal "
+                            f"(arm-time validation matches exact names)")
+                        continue
+                    site = lit.group(1)
+                    if self.fault_sites and site not in self.fault_sites:
+                        self.report(
+                            path, lineno, "fault-site-registry",
+                            f'site "{site}" is not in the kFaultSites '
+                            f"table ({FAULT_SITE_HEADER}); undocumented "
+                            f"sites can never be armed")
+
     # -- driver --------------------------------------------------------
 
     def run(self) -> int:
@@ -264,6 +313,7 @@ class Linter:
             self.check_aligned_load_contract(path, text, raw_lines)
             self.check_no_float(path, raw_lines)
             self.check_no_raw_omp(path, raw_lines)
+            self.check_fault_sites(path, raw_lines)
         self.check_nodiscard_decls()
 
         if self.findings:

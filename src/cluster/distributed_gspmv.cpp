@@ -1,11 +1,15 @@
 #include "cluster/distributed_gspmv.hpp"
 
 #include <chrono>
+#include <cstdint>
 #include <stdexcept>
+#include <string>
 #include <unordered_map>
 
 #include "obs/obs.hpp"
 #include "sparse/gspmv.hpp"
+#include "util/checksum.hpp"
+#include "util/fault_injection.hpp"
 
 namespace mrhs::cluster {
 
@@ -54,8 +58,8 @@ DistributedGspmv::DistributedGspmv(const sparse::BcrsMatrix& a,
   }
 }
 
-void DistributedGspmv::apply(const sparse::MultiVector& x,
-                             sparse::MultiVector& y) const {
+util::Status DistributedGspmv::apply(const sparse::MultiVector& x,
+                                     sparse::MultiVector& y) const {
   const std::size_t m = x.cols();
   if (y.rows() != x.rows() || y.cols() != m) {
     throw std::invalid_argument("DistributedGspmv::apply: shape mismatch");
@@ -68,6 +72,10 @@ void DistributedGspmv::apply(const sparse::MultiVector& x,
   const bool metrics = obs::metrics_enabled();
   double comm_seconds = 0.0;
   double compute_seconds = 0.0;
+  // A real interconnect drops the occasional message; re-requesting
+  // the halo once or twice is routine, but corruption that survives
+  // several resends is a hard fault the solver must not average away.
+  constexpr std::size_t kMaxGatherAttempts = 3;
   for (std::size_t me = 0; me < locals_.size(); ++me) {
     const Local& local = locals_[me];
     // Gather: owned + ghost X block rows into the local vector block.
@@ -75,16 +83,66 @@ void DistributedGspmv::apply(const sparse::MultiVector& x,
     // copy so exchanged data is exactly the planned ghost rows.)
     const Clock::time_point t0 = metrics ? Clock::now() : Clock::time_point{};
     sparse::MultiVector x_local(local.cols.size() * 3, m);
+    const std::size_t owned = local.rows.size();
     {
       OBS_SPAN_VAR(gather, "dgspmv.gather");
       gather.arg("node", static_cast<double>(me));
-      for (std::size_t lc = 0; lc < local.cols.size(); ++lc) {
+      for (std::size_t lc = 0; lc < owned; ++lc) {
         const std::size_t g = local.cols[lc];
         for (std::size_t r = 0; r < 3; ++r) {
           auto dst = x_local.row(3 * lc + r);
           auto src = x.row(3 * g + r);
           std::copy(src.begin(), src.end(), dst.begin());
         }
+      }
+    }
+    // Ghost exchange, checksummed end to end: the "sender" checksums
+    // the rows it ships (from the authoritative global vector), the
+    // "receiver" checksums the buffer that arrived. Rows are row-major
+    // so the ghost region is one contiguous slab.
+    if (local.cols.size() > owned) {
+      OBS_SPAN_VAR(exchange, "dgspmv.exchange");
+      exchange.arg("node", static_cast<double>(me));
+      const std::size_t ghost_doubles = (local.cols.size() - owned) * 3 * m;
+      double* ghost = x_local.data() + owned * 3 * m;
+      std::uint32_t sent_crc = util::crc32_init();
+      for (std::size_t lc = owned; lc < local.cols.size(); ++lc) {
+        const std::size_t g = local.cols[lc];
+        for (std::size_t r = 0; r < 3; ++r) {
+          const auto src = x.row(3 * g + r);
+          sent_crc = util::crc32_update(sent_crc, src.data(),
+                                        src.size() * sizeof(double));
+        }
+      }
+      bool verified = false;
+      for (std::size_t attempt = 0; attempt < kMaxGatherAttempts;
+           ++attempt) {
+        double* dst = ghost;
+        for (std::size_t lc = owned; lc < local.cols.size(); ++lc) {
+          const std::size_t g = local.cols[lc];
+          for (std::size_t r = 0; r < 3; ++r) {
+            const auto src = x.row(3 * g + r);
+            std::copy(src.begin(), src.end(), dst);
+            dst += src.size();
+          }
+        }
+        // Chaos site: flip received ghost data between wire and use.
+        MRHS_FAULT_POINT("cluster.halo.corrupt", ghost, ghost_doubles);
+        const std::uint32_t got = util::crc32(
+            ghost, ghost_doubles * sizeof(double));
+        if (got == util::crc32_final(sent_crc)) {
+          verified = true;
+          break;
+        }
+        ++halo_retries_;
+        OBS_COUNTER_ADD("dgspmv.halo_retries", 1);
+      }
+      if (!verified) {
+        OBS_COUNTER_ADD("dgspmv.halo_failures", 1);
+        return util::Status::corrupt_data(
+            "halo exchange for node " + std::to_string(me) +
+            " failed its receipt checksum " +
+            std::to_string(kMaxGatherAttempts) + " times");
       }
     }
     const Clock::time_point t1 = metrics ? Clock::now() : Clock::time_point{};
@@ -124,6 +182,7 @@ void DistributedGspmv::apply(const sparse::MultiVector& x,
     OBS_COUNTER_ADD("dgspmv.comm_seconds", comm_seconds);
     OBS_COUNTER_ADD("dgspmv.compute_seconds", compute_seconds);
   }
+  return util::Status::ok();
 }
 
 }  // namespace mrhs::cluster

@@ -16,6 +16,7 @@
 #include "cluster/partitioner.hpp"
 #include "sparse/bcrs.hpp"
 #include "sparse/multivector.hpp"
+#include "util/status.hpp"
 
 namespace mrhs::cluster {
 
@@ -27,10 +28,23 @@ class DistributedGspmv {
 
   /// Y = A X executed node by node with explicit ghost gathers.
   /// X and Y are in global row numbering.
-  void apply(const sparse::MultiVector& x, sparse::MultiVector& y) const;
+  ///
+  /// Every ghost exchange is integrity-checked: the sender side
+  /// checksums the ghost rows it ships, the receiver side checksums
+  /// what arrived, and a mismatch re-gathers (bounded retries). A
+  /// mismatch that persists returns kCorruptData and leaves y
+  /// unspecified — a corrupted halo is surfaced, never a silently
+  /// wrong product. Shape mismatches still throw (caller bug, not a
+  /// data fault).
+  [[nodiscard]] util::Status apply(const sparse::MultiVector& x,
+                                   sparse::MultiVector& y) const;
 
   [[nodiscard]] const CommPlan& plan() const { return plan_; }
   [[nodiscard]] std::size_t parts() const { return locals_.size(); }
+
+  /// Ghost gathers repeated because a receipt checksum mismatched
+  /// (cumulative over all apply() calls).
+  [[nodiscard]] std::size_t halo_retries() const { return halo_retries_; }
 
   /// Local matrix of one node (for inspection/tests).
   [[nodiscard]] const sparse::BcrsMatrix& local_matrix(std::size_t p) const {
@@ -46,6 +60,8 @@ class DistributedGspmv {
 
   CommPlan plan_;
   std::vector<Local> locals_;
+  /// Telemetry only (apply() stays logically const).
+  mutable std::size_t halo_retries_ = 0;
 };
 
 }  // namespace mrhs::cluster

@@ -7,27 +7,17 @@
 #include <sstream>
 
 #include "obs/obs.hpp"
+#include "util/checksum.hpp"
+#include "util/fault_injection.hpp"
 
 namespace mrhs::core {
 
 namespace {
 
+using util::crc32;
+
 constexpr std::array<char, 8> kMagic = {'M', 'R', 'H', 'S',
                                         'C', 'K', 'P', 'T'};
-
-/// CRC-32 (IEEE 802.3, reflected 0xEDB88320), bitwise — checkpoint
-/// payloads are a few MB at most, so table-free is plenty fast and
-/// keeps the implementation dependency-free.
-std::uint32_t crc32(const std::uint8_t* data, std::size_t size) {
-  std::uint32_t crc = 0xFFFFFFFFu;
-  for (std::size_t i = 0; i < size; ++i) {
-    crc ^= data[i];
-    for (int bit = 0; bit < 8; ++bit) {
-      crc = (crc >> 1) ^ (0xEDB88320u & (0u - (crc & 1u)));
-    }
-  }
-  return crc ^ 0xFFFFFFFFu;
-}
 
 /// Little-endian binary writer over a growable buffer.
 class Writer {
@@ -194,6 +184,16 @@ std::vector<std::uint8_t> encode_payload(const Checkpoint& ck) {
     w.put_doubles(s.chunk_guesses.data(),
                   s.chunk_guesses.rows() * s.chunk_guesses.cols());
   }
+
+  // v2: cumulative run outcome (worst solver status + resilience
+  // counters), so a resumed run reports the whole trajectory.
+  w.put_u8(static_cast<std::uint8_t>(ck.stats.solver_status));
+  w.put_u64(ck.stats.ladder_recoveries);
+  w.put_u64(ck.stats.ladder_failures);
+  w.put_u64(ck.stats.rollbacks);
+  w.put_u64(ck.stats.degradations);
+  w.put_u64(ck.stats.recovery_promotions);
+  w.put_u8(ck.stats.resilience_gave_up ? 1 : 0);
   return w.bytes();
 }
 
@@ -258,6 +258,18 @@ Status decode_payload(const std::uint8_t* data, std::size_t size,
     r.get_doubles(s.chunk_guesses.data(), rows * cols);
   }
 
+  const std::uint8_t status = r.get_u8();
+  if (status > static_cast<std::uint8_t>(solver::SolveStatus::kRecovered)) {
+    return Status::corrupt_data("unknown solver status tag");
+  }
+  ck.stats.solver_status = static_cast<solver::SolveStatus>(status);
+  ck.stats.ladder_recoveries = r.get_u64();
+  ck.stats.ladder_failures = r.get_u64();
+  ck.stats.rollbacks = r.get_u64();
+  ck.stats.degradations = r.get_u64();
+  ck.stats.recovery_promotions = r.get_u64();
+  ck.stats.resilience_gave_up = r.get_u8() != 0;
+
   if (!r.ok()) return Status::corrupt_data("payload truncated");
   if (!r.exhausted()) {
     return Status::corrupt_data("payload has trailing bytes");
@@ -279,6 +291,16 @@ void write_sidecar(const Checkpoint& ck, const std::string& path,
       << "  \"rhs\": " << ck.mrhs_rhs << ",\n"
       << "  \"chunk_active\": "
       << (ck.mrhs_state.chunk_active ? "true" : "false") << ",\n"
+      << "  \"solver_status\": \"" << solver::to_string(ck.stats.solver_status)
+      << "\",\n"
+      << "  \"ladder_recoveries\": " << ck.stats.ladder_recoveries << ",\n"
+      << "  \"ladder_failures\": " << ck.stats.ladder_failures << ",\n"
+      << "  \"rollbacks\": " << ck.stats.rollbacks << ",\n"
+      << "  \"degradations\": " << ck.stats.degradations << ",\n"
+      << "  \"recovery_promotions\": " << ck.stats.recovery_promotions
+      << ",\n"
+      << "  \"resilience_gave_up\": "
+      << (ck.stats.resilience_gave_up ? "true" : "false") << ",\n"
       << "  \"payload_bytes\": " << payload_bytes << ",\n"
       << "  \"crc32\": " << crc << "\n"
       << "}\n";
@@ -358,6 +380,16 @@ Status save_checkpoint(const Checkpoint& ck, const std::string& path) {
   }
   out.write(reinterpret_cast<const char*>(header.bytes().data()),
             static_cast<std::streamsize>(header.bytes().size()));
+  // Chaos site: a torn write (full disk, power loss, killed process)
+  // that the writing process never notices. The load-side defenses —
+  // payload-size check and CRC trailer — are what must catch it.
+  if (MRHS_FAULT_FIRED("checkpoint.write.truncate")) {
+    out.write(reinterpret_cast<const char*>(payload.data()),
+              static_cast<std::streamsize>(payload.size() / 2));
+    out.flush();
+    OBS_COUNTER_ADD("checkpoint.saves", 1);
+    return Status::ok();
+  }
   out.write(reinterpret_cast<const char*>(payload.data()),
             static_cast<std::streamsize>(payload.size()));
   Writer trailer;

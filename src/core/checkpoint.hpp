@@ -34,7 +34,7 @@
 
 namespace mrhs::core {
 
-inline constexpr std::uint32_t kCheckpointVersion = 1;
+inline constexpr std::uint32_t kCheckpointVersion = 2;
 
 /// Which stepping algorithm the checkpoint belongs to; a checkpoint
 /// resumes only with the same algorithm (the carry-over state is
@@ -56,6 +56,46 @@ enum class CheckpointAlgorithm : std::uint8_t {
   return "unknown";
 }
 
+/// Cumulative run outcome carried across restarts. StepRecords and
+/// timers are per-process, but the *worst* solver status and the
+/// resilience counters describe the whole trajectory — without them a
+/// resumed run would report a clean final RunStats even though the
+/// pre-restart leg recovered from faults.
+struct RunStatsSummary {
+  solver::SolveStatus solver_status = solver::SolveStatus::kConverged;
+  std::size_t ladder_recoveries = 0;
+  std::size_t ladder_failures = 0;
+  std::size_t rollbacks = 0;
+  std::size_t degradations = 0;
+  std::size_t recovery_promotions = 0;
+  bool resilience_gave_up = false;
+
+  [[nodiscard]] static RunStatsSummary from(const RunStats& stats) {
+    RunStatsSummary s;
+    s.solver_status = stats.solver_status;
+    s.ladder_recoveries = stats.ladder_recoveries;
+    s.ladder_failures = stats.ladder_failures;
+    s.rollbacks = stats.rollbacks;
+    s.degradations = stats.degradations;
+    s.recovery_promotions = stats.recovery_promotions;
+    s.resilience_gave_up = stats.resilience_gave_up;
+    return s;
+  }
+
+  /// Seed a resumed run's stats with the pre-restart history, so the
+  /// final merged RunStats matches a straight run's.
+  void apply_to(RunStats& stats) const {
+    stats.solver_status =
+        solver::worse_status(stats.solver_status, solver_status);
+    stats.ladder_recoveries += ladder_recoveries;
+    stats.ladder_failures += ladder_failures;
+    stats.rollbacks += rollbacks;
+    stats.degradations += degradations;
+    stats.recovery_promotions += recovery_promotions;
+    stats.resilience_gave_up = stats.resilience_gave_up || resilience_gave_up;
+  }
+};
+
 /// In-memory image of a checkpoint.
 struct Checkpoint {
   SdConfig config{};
@@ -72,6 +112,10 @@ struct Checkpoint {
   /// MRHS carry-over; meaningful only when algorithm == kMrhs.
   std::size_t mrhs_rhs = 0;
   MrhsState mrhs_state{};
+  /// Run history up to the capture point; capture_checkpoint leaves it
+  /// default — callers with accumulated RunStats fill it in
+  /// (RunStatsSummary::from) before saving.
+  RunStatsSummary stats{};
 };
 
 /// Capture the current simulation + stepper state. The checkpoint is

@@ -1,0 +1,148 @@
+// Post-step physics health checks.
+//
+// A dynamical simulation can keep running long after its state has
+// stopped meaning anything: one NaN from a bad kernel, a particle
+// teleported by corrupted memory, or a diverging initial guess all
+// produce steps that *complete* but whose trajectory is garbage. The
+// StepHealthMonitor runs a fixed battery of cheap, deterministic
+// checks after every completed step and reports a typed verdict that
+// the resilience policy (core/resilience.hpp) can act on:
+//
+//   kOk        state is physically plausible
+//   kDegraded  finite and usable, but suspicious — thermally
+//              implausible displacement, shallow overlaps, or a
+//              diverging MRHS guess; worth degrading the algorithm
+//   kCorrupt   state is unusable (non-finite values, displacement
+//              beyond the integrator's hard clamp, deep overlap);
+//              the step must be rolled back
+//
+// All thresholds are derived from the simulation's own physical
+// scales: the displacement clamp max_step_length() (anything beyond
+// it cannot have come from the integrator), the thermal displacement
+// scale sqrt(2 kT dt / lambda_min) from the Chebyshev eigenvalue
+// interval, and surface-gap fractions of the mean pair radius. Every
+// check is O(n) (overlaps via the linked-cell list) and pure — the
+// same state always yields the same verdict.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/sd_simulation.hpp"
+#include "core/stepper.hpp"
+#include "sd/vec3.hpp"
+#include "solver/lanczos.hpp"
+
+namespace mrhs::core {
+
+enum class HealthState : std::uint8_t { kOk = 0, kDegraded, kCorrupt };
+
+/// Which check produced the verdict (kNone when healthy).
+enum class HealthCheck : std::uint8_t {
+  kNone = 0,
+  /// A position or accumulated displacement is NaN/Inf.
+  kNonFinite,
+  /// A particle moved farther in one step than physics allows.
+  kDisplacement,
+  /// Particle pairs overlap beyond the packer/integrator tolerance.
+  kOverlap,
+  /// The MRHS initial guess diverged from the converged solution.
+  kGuessDivergence,
+};
+
+[[nodiscard]] constexpr const char* to_string(HealthState state) {
+  switch (state) {
+    case HealthState::kOk: return "ok";
+    case HealthState::kDegraded: return "degraded";
+    case HealthState::kCorrupt: return "corrupt";
+  }
+  return "unknown";
+}
+
+[[nodiscard]] constexpr const char* to_string(HealthCheck check) {
+  switch (check) {
+    case HealthCheck::kNone: return "none";
+    case HealthCheck::kNonFinite: return "non_finite";
+    case HealthCheck::kDisplacement: return "displacement";
+    case HealthCheck::kOverlap: return "overlap";
+    case HealthCheck::kGuessDivergence: return "guess_divergence";
+  }
+  return "unknown";
+}
+
+struct HealthVerdict {
+  HealthState state = HealthState::kOk;
+  /// The worst failing check (ties go to the first in battery order).
+  HealthCheck check = HealthCheck::kNone;
+  std::size_t step = 0;
+  /// Human-readable failure description, empty when ok.
+  std::string detail;
+
+  [[nodiscard]] bool ok() const { return state == HealthState::kOk; }
+  [[nodiscard]] bool corrupt() const {
+    return state == HealthState::kCorrupt;
+  }
+};
+
+struct HealthConfig {
+  /// Corrupt when a per-step displacement exceeds the integrator's
+  /// clamp max_step_length() by this factor. The clamp is a hard bound
+  /// on what advance() can produce; the slack covers accumulation
+  /// rounding in the unwrapped-displacement bookkeeping.
+  double displacement_slack = 1.05;
+  /// Degraded when a per-step displacement exceeds this multiple of
+  /// the thermal scale sqrt(2 kT dt / lambda_min) (lambda_min from the
+  /// Chebyshev eigenvalue interval; the check is skipped until
+  /// set_bounds() provides one). ~6 sigma of the step distribution.
+  double thermal_sigmas = 6.0;
+  /// Overlap depth as a fraction of the mean pair radius
+  /// (a_i + a_j)/2: degraded above the first, corrupt above the
+  /// second. The packer admits ~1e-9 residual overlaps and the
+  /// midpoint clamp keeps dynamic overlaps shallow, so these have
+  /// plenty of margin.
+  double overlap_degraded_depth = 0.02;
+  double overlap_corrupt_depth = 0.25;
+  /// Degraded when an MRHS guess lands farther from the converged
+  /// solution than a zero guess would (relative error above 1 means
+  /// the "guess" added error); corrupt when it is non-finite.
+  double guess_divergence = 1.0;
+};
+
+/// Runs the check battery against a simulation after each completed
+/// step. Stateful only in the displacement baseline: the monitor
+/// remembers the previous step's unwrapped displacements to measure
+/// per-step motion, so after a rollback (or any external state edit)
+/// call rebase() before the next check.
+class StepHealthMonitor {
+ public:
+  explicit StepHealthMonitor(const SdSimulation& sim,
+                             HealthConfig config = {});
+
+  /// Provide the current Chebyshev eigenvalue interval; enables the
+  /// thermal displacement plausibility check.
+  void set_bounds(const solver::EigBounds& bounds);
+
+  /// Check the simulation state after the step described by `record`
+  /// completed. Advances the displacement baseline to the current
+  /// state. Emits health.* counters.
+  [[nodiscard]] HealthVerdict check(const StepRecord& record);
+
+  /// Reset the displacement baseline to the current state (after a
+  /// rollback / import_state).
+  void rebase();
+
+  /// Hard per-step displacement bound currently in force.
+  [[nodiscard]] double displacement_bound() const;
+  /// Thermal per-step displacement scale, 0 until bounds are known.
+  [[nodiscard]] double thermal_scale() const;
+
+ private:
+  const SdSimulation* sim_;
+  HealthConfig config_;
+  std::vector<sd::Vec3> last_unwrapped_;
+  solver::EigBounds bounds_{};
+  bool have_bounds_ = false;
+};
+
+}  // namespace mrhs::core

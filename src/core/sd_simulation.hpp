@@ -76,6 +76,11 @@ class SdSimulation {
   [[nodiscard]] sd::ParticleSystem& system() { return system_; }
   [[nodiscard]] double dt() const { return dt_; }
   [[nodiscard]] double mean_radius() const { return mean_radius_; }
+
+  /// Override the derived step size. The resilience policy's last
+  /// degradation rung shrinks dt (and restores it on recovery); noise
+  /// amplitudes and displacement bounds all rescale through dt().
+  void set_dt(double dt) { dt_ = dt; }
   [[nodiscard]] std::size_t dof() const { return 3 * system_.size(); }
 
   /// Assemble R = mu_F I + R_lub at the current configuration.

@@ -1,75 +1,15 @@
-// A single, lightweight error type for the core layer.
-//
-// Checkpoint I/O and solver fault handling both need to report
-// recoverable failures across the CLI boundary without exceptions for
-// control flow and without bare bools that lose the reason. Status is
-// a code plus a human-readable message; `ok()` gates the happy path.
+// Historical home of the Status error type. The implementation moved
+// down to util/status.hpp so layers below core (cluster's halo
+// integrity, util's fault registry) can report errors with the same
+// vocabulary; this header keeps the mrhs::core spelling working.
 #pragma once
 
-#include <cstdint>
-#include <string>
-#include <utility>
+#include "util/status.hpp"
 
 namespace mrhs::core {
 
-enum class StatusCode : std::uint8_t {
-  kOk = 0,
-  kInvalidArgument,
-  kIoError,
-  kCorruptData,
-  kVersionMismatch,
-  kSolverFailure,
-};
-
-[[nodiscard]] constexpr const char* to_string(StatusCode code) {
-  switch (code) {
-    case StatusCode::kOk: return "ok";
-    case StatusCode::kInvalidArgument: return "invalid_argument";
-    case StatusCode::kIoError: return "io_error";
-    case StatusCode::kCorruptData: return "corrupt_data";
-    case StatusCode::kVersionMismatch: return "version_mismatch";
-    case StatusCode::kSolverFailure: return "solver_failure";
-  }
-  return "unknown";
-}
-
-class [[nodiscard]] Status {
- public:
-  Status() = default;
-  Status(StatusCode code, std::string message)
-      : code_(code), message_(std::move(message)) {}
-
-  static Status ok() { return {}; }
-  static Status invalid_argument(std::string msg) {
-    return {StatusCode::kInvalidArgument, std::move(msg)};
-  }
-  static Status io_error(std::string msg) {
-    return {StatusCode::kIoError, std::move(msg)};
-  }
-  static Status corrupt_data(std::string msg) {
-    return {StatusCode::kCorruptData, std::move(msg)};
-  }
-  static Status version_mismatch(std::string msg) {
-    return {StatusCode::kVersionMismatch, std::move(msg)};
-  }
-  static Status solver_failure(std::string msg) {
-    return {StatusCode::kSolverFailure, std::move(msg)};
-  }
-
-  [[nodiscard]] bool is_ok() const { return code_ == StatusCode::kOk; }
-  explicit operator bool() const { return is_ok(); }
-  [[nodiscard]] StatusCode code() const { return code_; }
-  [[nodiscard]] const std::string& message() const { return message_; }
-
-  /// "ok" or "<code>: <message>" — ready for logs and stderr.
-  [[nodiscard]] std::string to_string() const {
-    if (is_ok()) return "ok";
-    return std::string(core::to_string(code_)) + ": " + message_;
-  }
-
- private:
-  StatusCode code_ = StatusCode::kOk;
-  std::string message_;
-};
+using Status = util::Status;
+using StatusCode = util::StatusCode;
+using util::to_string;
 
 }  // namespace mrhs::core

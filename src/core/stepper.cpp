@@ -1,6 +1,7 @@
 #include "core/stepper.hpp"
 
 #include <cmath>
+#include <limits>
 #include <memory>
 
 #include "dense/matrix.hpp"
@@ -13,6 +14,7 @@
 #include "sd/mobility_operator.hpp"
 #include "sparse/multivector.hpp"
 #include "util/contracts.hpp"
+#include "util/fault_injection.hpp"
 #include "util/stats.hpp"
 
 namespace mrhs::core {
@@ -36,6 +38,20 @@ void full_step_from(sd::ParticleSystem& system,
   MRHS_ASSERT_ALL_FINITE(u_mid.data(), u_mid.size());
   system.restore(start);
   system.advance(u_mid, dt, max_step);
+  // Chaos sites (compiled out unless MRHS_FAULTS): corrupt the state
+  // *after* the step completed, past every solver-level defense — only
+  // the post-step health monitor can catch these.
+  if (MRHS_FAULT_FIRED("stepper.position.nan")) {
+    system.positions()[0].x = std::numeric_limits<double>::quiet_NaN();
+  }
+  if (MRHS_FAULT_FIRED("stepper.position.overlap") && system.size() > 1) {
+    // Teleport particle 0 deep into particle 1: finite, but unphysical.
+    const auto pos = system.positions();
+    const double pair_radius =
+        0.5 * (system.radii()[0] + system.radii()[1]);
+    pos[0] = system.box().wrap(pos[1] +
+                               sd::Vec3{0.05 * pair_radius, 0.0, 0.0});
+  }
 }
 
 }  // namespace
@@ -48,6 +64,10 @@ void RunStats::merge(const RunStats& other) {
   solver_status = solver::worse_status(solver_status, other.solver_status);
   ladder_recoveries += other.ladder_recoveries;
   ladder_failures += other.ladder_failures;
+  rollbacks += other.rollbacks;
+  degradations += other.degradations;
+  recovery_promotions += other.recovery_promotions;
+  resilience_gave_up = resilience_gave_up || other.resilience_gave_up;
 }
 
 double RunStats::mean_first_solve_iters() const {

@@ -61,6 +61,14 @@ struct RunStats {
   /// solve, and solves where every rung failed.
   std::size_t ladder_recoveries = 0;
   std::size_t ladder_failures = 0;
+  /// Resilience events (core/resilience.hpp): snapshot rollbacks after
+  /// corrupt health verdicts, degradation-ladder rungs descended,
+  /// rungs promoted back after clean streaks, and whether the runner
+  /// ran out of rollback budget and stopped early.
+  std::size_t rollbacks = 0;
+  std::size_t degradations = 0;
+  std::size_t recovery_promotions = 0;
+  bool resilience_gave_up = false;
 
   /// Fold another run's stats into this one (chunked/segmented runs).
   void merge(const RunStats& other);
@@ -213,6 +221,17 @@ class MrhsAlgorithm {
 
   [[nodiscard]] std::size_t current_step() const { return step_; }
   [[nodiscard]] std::size_t rhs() const { return rhs_; }
+  [[nodiscard]] bool horizon_set() const { return horizon_set_; }
+
+  /// Change m; takes effect at the next chunk (a chunk in flight keeps
+  /// its width). The resilience ladder uses this to degrade/recover.
+  void set_rhs(std::size_t rhs) { rhs_ = rhs == 0 ? 1 : rhs; }
+
+  /// Chebyshev interval of the current/most recent chunk (lambda_min
+  /// is 0 until the first chunk calibrates one).
+  [[nodiscard]] const solver::EigBounds& chunk_bounds() const {
+    return chunk_bounds_;
+  }
 
   [[nodiscard]] MrhsState export_state() const;
   void import_state(MrhsState state);

@@ -6,6 +6,7 @@
 #include "obs/obs.hpp"
 #include "sparse/simd_kernels.hpp"
 #include "util/contracts.hpp"
+#include "util/fault_injection.hpp"
 #include "util/parallel.hpp"
 
 namespace mrhs::sparse {
@@ -143,6 +144,9 @@ void GspmvEngine::apply(const MultiVector& x, MultiVector& y,
       }
     });
   }
+  // Chaos site: one flipped entry in the product block, as a kernel
+  // bug or FP corruption mid-solve would produce it.
+  MRHS_FAULT_POINT("gspmv.apply.nan", yp, a_->rows() * m);
 
   if (metrics) {
     record_metrics(m, std::chrono::duration<double>(Clock::now() - t0).count());

@@ -1,0 +1,40 @@
+// CRC-32 (IEEE 802.3, reflected 0xEDB88320), bitwise and table-free.
+//
+// One implementation serves every integrity check in the tree: the
+// checkpoint payload trailer and the halo-exchange receipts in the
+// distributed GSPMV. The payloads involved are at most a few MB, so
+// the bitwise form is plenty fast and keeps the code dependency-free.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mrhs::util {
+
+/// Streaming form: feed chunks through a running state. Start from
+/// crc32_init(), finish with crc32_final().
+[[nodiscard]] constexpr std::uint32_t crc32_init() { return 0xFFFFFFFFu; }
+
+[[nodiscard]] inline std::uint32_t crc32_update(std::uint32_t state,
+                                                const void* data,
+                                                std::size_t size) {
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    state ^= bytes[i];
+    for (int bit = 0; bit < 8; ++bit) {
+      state = (state >> 1) ^ (0xEDB88320u & (0u - (state & 1u)));
+    }
+  }
+  return state;
+}
+
+[[nodiscard]] constexpr std::uint32_t crc32_final(std::uint32_t state) {
+  return state ^ 0xFFFFFFFFu;
+}
+
+/// One-shot form.
+[[nodiscard]] inline std::uint32_t crc32(const void* data, std::size_t size) {
+  return crc32_final(crc32_update(crc32_init(), data, size));
+}
+
+}  // namespace mrhs::util

@@ -2,6 +2,7 @@
 // distributed GSPMV, and the alpha-beta time model.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <numeric>
 #include <vector>
 
@@ -117,6 +118,104 @@ TEST(CommPlan, SinglePartHasNoCommunication) {
   const cluster::CommPlan plan(ts.matrix, part);
   EXPECT_EQ(plan.total_ghost_rows(), 0u);
   EXPECT_EQ(plan.node(0).recv_neighbors, 0u);
+
+  // The executed single-node GSPMV takes the empty-exchange path: no
+  // ghosts, no retries, and the result needs no halo at all.
+  const cluster::DistributedGspmv dist(ts.matrix, part);
+  const std::size_t m = 4;
+  util::StreamRng rng(43);
+  sparse::MultiVector x(ts.matrix.cols(), m), y(ts.matrix.rows(), m),
+      y_ref(ts.matrix.rows(), m);
+  x.fill_normal(rng);
+  ASSERT_TRUE(dist.apply(x, y).is_ok());
+  EXPECT_EQ(dist.halo_retries(), 0u);
+  sparse::gspmv_reference(ts.matrix, x, y_ref);
+  for (std::size_t i = 0; i < y.rows(); ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      EXPECT_DOUBLE_EQ(y(i, j), y_ref(i, j));
+    }
+  }
+}
+
+TEST(CommPlan, NodeOwningZeroRowsIsLegal) {
+  // A partitioner may leave a node empty (e.g. a grid cell with no
+  // particles). The plan and the executed product must both cope.
+  const auto ts = make_system(120, 0.35, 1.0, 71);
+  cluster::Partition part;
+  part.parts = 3;
+  part.owner.assign(ts.matrix.block_rows(), 0);
+  for (std::size_t row = ts.matrix.block_rows() / 2;
+       row < ts.matrix.block_rows(); ++row) {
+    part.owner[row] = 1;
+  }  // node 2 owns nothing
+  const cluster::CommPlan plan(ts.matrix, part);
+  EXPECT_TRUE(plan.node(2).owned_rows.empty());
+  EXPECT_EQ(plan.node(2).local_nnzb, 0u);
+  EXPECT_EQ(plan.node(2).recv_neighbors, 0u);
+  EXPECT_EQ(plan.node(2).send_ghost_rows, 0u);
+
+  const cluster::DistributedGspmv dist(ts.matrix, part);
+  const std::size_t m = 3;
+  util::StreamRng rng(71);
+  sparse::MultiVector x(ts.matrix.cols(), m), y(ts.matrix.rows(), m),
+      y_ref(ts.matrix.rows(), m);
+  x.fill_normal(rng);
+  ASSERT_TRUE(dist.apply(x, y).is_ok());
+  sparse::gspmv_reference(ts.matrix, x, y_ref);
+  double worst = 0.0, scale = 0.0;
+  for (std::size_t i = 0; i < y.rows(); ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      worst = std::max(worst, std::abs(y(i, j) - y_ref(i, j)));
+      scale = std::max(scale, std::abs(y_ref(i, j)));
+    }
+  }
+  EXPECT_LT(worst, 1e-12 * scale);
+}
+
+TEST(CommPlan, FullyDenseCouplingRowGhostsEveryRemoteRow) {
+  // A hand-built 6-block-row matrix whose row 0 couples to *every*
+  // column — the worst case for a halo plan: its owner must ghost
+  // every row the other node owns.
+  const std::size_t n = 6;
+  sparse::BcrsBuilder builder(n, n);
+  auto block = [](double v) {
+    std::array<double, 9> b{};
+    b[0] = b[4] = b[8] = v;  // diagonal 3x3 block, value v
+    b[1] = 0.25 * v;         // plus one off-diagonal entry
+    return b;
+  };
+  for (std::size_t c = 0; c < n; ++c) {
+    const auto b = block(1.0 + static_cast<double>(c));
+    builder.add_block(0, c, b);
+  }
+  for (std::size_t r = 1; r < n; ++r) {
+    const auto b = block(10.0 + static_cast<double>(r));
+    builder.add_block(r, r, b);
+  }
+  const auto matrix = builder.build();
+
+  cluster::Partition part;
+  part.parts = 2;
+  part.owner = {0, 0, 0, 1, 1, 1};
+  const cluster::CommPlan plan(matrix, part);
+  // Node 0's dense row reaches all three of node 1's rows.
+  EXPECT_EQ(plan.node(0).recv_ghost_rows, 3u);
+  EXPECT_EQ(plan.node(1).recv_ghost_rows, 0u);
+  EXPECT_EQ(plan.node(1).send_ghost_rows, 3u);
+
+  const cluster::DistributedGspmv dist(matrix, part);
+  const std::size_t m = 2;
+  util::StreamRng rng(77);
+  sparse::MultiVector x(matrix.cols(), m), y(matrix.rows(), m),
+      y_ref(matrix.rows(), m);
+  x.fill_normal(rng);
+  ASSERT_TRUE(dist.apply(x, y).is_ok());
+  sparse::gspmv_reference(matrix, x, y_ref);
+  for (std::size_t i = 0; i < y.rows(); ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      EXPECT_DOUBLE_EQ(y(i, j), y_ref(i, j));
+    }
+  }
 }
 
 class DistributedParam : public ::testing::TestWithParam<std::size_t> {};
@@ -133,7 +232,7 @@ TEST_P(DistributedParam, MatchesSingleNodeGspmv) {
   sparse::MultiVector x(ts.matrix.cols(), m), y_dist(ts.matrix.rows(), m),
       y_ref(ts.matrix.rows(), m);
   x.fill_normal(rng);
-  dist.apply(x, y_dist);
+  ASSERT_TRUE(dist.apply(x, y_dist).is_ok());
   sparse::gspmv_reference(ts.matrix, x, y_ref);
   double worst = 0.0, scale = 0.0;
   for (std::size_t i = 0; i < y_ref.rows(); ++i) {
