@@ -39,10 +39,13 @@ sparse::BcrsMatrix permute(const sparse::BcrsMatrix& a,
 int main(int argc, char** argv) {
   using namespace mrhs;
   int particles = 10000;
+  bench::BenchHarness harness("abl01_ordering");
   util::ArgParser args("abl01_ordering",
                        "Ablation: Morton row ordering vs random ordering");
   args.add("particles", particles, "particles for the test matrix");
+  harness.add_to(args);
   args.parse(argc, argv);
+  harness.begin();
 
   bench::print_header(
       "Ablation — spatial (Morton) row ordering vs random permutation",
@@ -83,9 +86,15 @@ int main(int argc, char** argv) {
   table.print("GSPMV on the same matrix, Morton vs random row order "
               "(nnzb/nb = " +
               util::Table::fmt_fixed(sorted.blocks_per_row(), 1) + "):");
+  for (std::size_t k = 0; k < 5; ++k) {
+    harness.report().set_value(
+        "shuffle_slowdown.m=" + std::to_string(ms[k]),
+        curve_shuffled[k].seconds / curve_sorted[k].seconds);
+  }
   bench::print_note(
       "random ordering inflates X-gather traffic (the model's k(m)), "
       "pushing r(m) toward linear growth — ordering is load-bearing "
       "for the whole MRHS speedup.");
+  harness.finish("Ablation — Morton row ordering vs random permutation");
   return 0;
 }

@@ -15,10 +15,13 @@
 int main(int argc, char** argv) {
   using namespace mrhs;
   int particles = 2000;
+  bench::BenchHarness harness("abl02_preconditioner");
   util::ArgParser args("abl02_preconditioner",
                        "Ablation: block-Jacobi vs plain CG on SD systems");
   args.add("particles", particles, "particles per system");
+  harness.add_to(args);
   args.parse(argc, argv);
+  harness.begin();
 
   bench::print_header(
       "Ablation — block-Jacobi preconditioning of the resistance solves",
@@ -56,11 +59,19 @@ int main(int argc, char** argv) {
              1.0 - static_cast<double>(pcg.iterations) /
                        static_cast<double>(plain.iterations),
              0)});
+    const std::string suffix = util::Table::fmt(phi, 2);
+    harness.report().set_value("cg_iters.phi=" + suffix,
+                               static_cast<double>(plain.iterations));
+    harness.report().set_value("pcg_iters.phi=" + suffix,
+                               static_cast<double>(pcg.iterations));
+    harness.ledger().add_phase("cg.phi=" + suffix, s1);
+    harness.ledger().add_phase("pcg.phi=" + suffix, s2);
   }
   table.print("one resistance solve per occupancy (Brownian RHS):");
   bench::print_note(
       "block-Jacobi equalizes the per-particle drag scales "
       "(polydisperse radii) but cannot touch the pair lubrication "
       "stiffness, so the reduction is real yet bounded.");
+  harness.finish("Ablation — block-Jacobi preconditioning");
   return 0;
 }

@@ -18,12 +18,15 @@ int main(int argc, char** argv) {
   using namespace mrhs;
   int particles = 300;
   double phi = 0.5;
+  bench::BenchHarness harness("abl03_chebyshev_order");
   util::ArgParser args("abl03_chebyshev_order",
                        "Ablation: Chebyshev order vs sqrt accuracy");
   args.add("particles", particles,
            "particles (small: dense reference is O(n^3))");
   args.add("phi", phi, "volume occupancy");
+  harness.add_to(args);
   args.parse(argc, argv);
+  harness.begin();
 
   bench::print_header(
       "Ablation — Chebyshev order for S(R) ~ sqrt(R)",
@@ -60,6 +63,10 @@ int main(int argc, char** argv) {
                    util::Table::fmt(util::diff_norm2(y, y_ref) / ref_norm, 3),
                    std::to_string(order),
                    util::Table::fmt(seconds * 1e3, 3)});
+    harness.report().set_value("rel_err.order=" + std::to_string(order),
+                               util::diff_norm2(y, y_ref) / ref_norm);
+    harness.report().set_value("ms.order=" + std::to_string(order),
+                               seconds * 1e3);
   }
   table.print();
   bench::print_note(
@@ -68,5 +75,6 @@ int main(int argc, char** argv) {
       "1e-4-1e-3 relative — far below the sampling noise of the "
       "Brownian forcing it feeds, which is the accuracy target that "
       "matters.");
+  harness.finish("Ablation — Chebyshev order for S(R) ~ sqrt(R)");
   return 0;
 }

@@ -3,13 +3,23 @@
 // Every bench prints (1) what it reproduces, (2) the paper's reported
 // values where they exist, and (3) the values measured here, in a
 // layout close to the paper's so EXPERIMENTS.md can be filled by
-// reading the output.
+// reading the output. BenchHarness additionally writes the
+// machine-readable obs::BenchReport sidecar next to the printed table
+// (scripts/bench_runner.py merges those into the BENCH_<date>.json
+// trajectory).
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
+#include "core/stepper.hpp"
+#include "obs/bench_report.hpp"
+#include "obs/metrics.hpp"
+#include "obs/perf_ledger.hpp"
+#include "perf/machine.hpp"
 #include "util/cli.hpp"
+#include "util/parallel.hpp"
 #include "util/table.hpp"
 
 namespace mrhs::bench {
@@ -25,12 +35,6 @@ inline void print_header(const std::string& experiment,
 inline void print_note(const std::string& note) {
   std::printf("note: %s\n", note.c_str());
 }
-
-}  // namespace mrhs::bench
-
-#include "core/stepper.hpp"
-
-namespace mrhs::bench {
 
 /// Per-step seconds of one phase (amortized over the steps of a run).
 inline double per_step(const core::RunStats& stats, const char* phase) {
@@ -65,5 +69,102 @@ inline const std::vector<std::string>& breakdown_rows() {
       "2nd solve",    "Construct",    "Eig bounds",  "Average"};
   return rows;
 }
+
+/// One-stop observability for a bench binary: the ObsCli flags, the
+/// metrics registry, the roofline ledger, and the BenchReport sidecar.
+///
+///   bench::BenchHarness harness("tab02_spmv_baseline");
+///   util::ArgParser args(...);
+///   harness.add_to(args);          // --report-out, --machine-probe,
+///   args.parse(argc, argv);        // --trace-out, --metrics-out, ...
+///   harness.begin();               // metrics on, counter baseline
+///   ... run, print the table ...
+///   harness.report().set_value("speedup", s);
+///   harness.finish("Table II — SPMV baseline");  // writes sidecar
+///
+/// The sidecar defaults to "<bench>.report.json" in the cwd
+/// (MRHS_REPORT_OUT overrides the default; --report-out overrides
+/// both; "off" disables it). If the bench never probed the machine
+/// itself (set_machine), finish() runs the cheap cached probe so every
+/// report carries a roofline — "--machine-probe off" skips that.
+class BenchHarness {
+ public:
+  explicit BenchHarness(std::string name)
+      : name_(std::move(name)), report_(name_) {
+    report_out_ = name_ + ".report.json";
+    if (const char* env = std::getenv("MRHS_REPORT_OUT")) report_out_ = env;
+    if (const char* sha = std::getenv("MRHS_GIT_SHA")) {
+      report_.set_git_sha(sha);
+    }
+  }
+
+  void add_to(util::ArgParser& args) {
+    args.add("report-out", report_out_,
+             "bench report JSON sidecar path (off = disabled)");
+    args.add("machine-probe", machine_probe_,
+             "roofline machine probe: quick, full, or off");
+    obs_cli_.add_to(args);
+  }
+
+  /// Arm trace/metrics outputs, switch the metrics registry on (the
+  /// ledger needs the kernel counters), and snapshot the baseline.
+  void begin() {
+    obs_cli_.apply();
+    obs::MetricsRegistry::instance().enable();
+    ledger_.begin();
+  }
+
+  /// A bench that measured B/F itself (fig07, tab08, ...) installs the
+  /// measurement so finish() skips the probe.
+  void set_machine(const perf::MachineParams& machine) {
+    ledger_.set_machine(machine);
+  }
+
+  [[nodiscard]] obs::PerfLedger& ledger() { return ledger_; }
+  [[nodiscard]] obs::BenchReport& report() { return report_; }
+
+  /// Copy a run's per-phase wall-clock breakdown into the ledger,
+  /// optionally prefixed ("mrhs/1st solve") to keep variants apart.
+  void add_phases(const core::RunStats& stats,
+                  const std::string& prefix = "") {
+    for (const auto& name : stats.timers.names()) {
+      ledger_.add_phase(prefix + name, stats.timers.seconds(name),
+                        stats.timers.calls(name));
+    }
+  }
+
+  /// Collect, attribute, and write the sidecar; flushes the ObsCli
+  /// outputs too. Call once, after the printed tables.
+  void finish(const std::string& title) {
+    report_.set_title(title);
+    report_.set_threads(util::max_threads());
+#ifdef NDEBUG
+    report_.set_info("build", "release");
+#else
+    report_.set_info("build", "debug");
+#endif
+    if (!ledger_.has_machine() && machine_probe_ != "off") {
+      ledger_.set_machine(machine_probe_ == "full"
+                              ? perf::measure_machine()
+                              : perf::measure_machine_quick());
+    }
+    report_.set_ledger(ledger_.collect());
+    report_.capture_histograms();
+    if (!report_out_.empty() && report_out_ != "off") {
+      if (report_.write_file(report_out_)) {
+        std::printf("bench report: %s\n", report_out_.c_str());
+      }
+    }
+    obs_cli_.finish();
+  }
+
+ private:
+  std::string name_;
+  std::string report_out_;
+  std::string machine_probe_ = "quick";
+  util::ObsCli obs_cli_;
+  obs::PerfLedger ledger_;
+  obs::BenchReport report_;
+};
 
 }  // namespace mrhs::bench

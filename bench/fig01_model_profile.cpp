@@ -10,11 +10,14 @@ int main(int argc, char** argv) {
   using namespace mrhs;
   double ratio = 2.0;
   double k = 0.0;
+  bench::BenchHarness harness("fig01_model_profile");
   util::ArgParser args("fig01_model_profile",
                        "Reproduce paper Fig. 1 (model profile)");
   args.add("ratio", ratio, "relative-time budget (paper uses 2x)");
   args.add("k", k, "extra X accesses k(m) (paper's figure assumes 0)");
+  harness.add_to(args);
   args.parse(argc, argv);
+  harness.begin();
 
   bench::print_header(
       "Figure 1 — vectors multipliable in " + util::Table::fmt(ratio, 3) +
@@ -54,8 +57,12 @@ int main(int argc, char** argv) {
     spots.add_row({s.name, util::Table::fmt(s.bpr, 3),
                    util::Table::fmt(s.bf, 2), s.paper,
                    std::to_string(model.vectors_within_ratio(ratio))});
+    harness.report().set_value(
+        std::string("model_vectors.") + s.name,
+        static_cast<double>(model.vectors_within_ratio(ratio)));
   }
   spots.print("\npaper text anchors (k = 0 model is an upper profile; the "
               "paper notes measured values are somewhat smaller):");
+  harness.finish("Figure 1 — model profile of multipliable vectors");
   return 0;
 }

@@ -9,17 +9,21 @@
 #include "perf/machine.hpp"
 #include "perf/measure.hpp"
 #include "perf/model.hpp"
+#include "sparse/gspmv.hpp"
 
 int main(int argc, char** argv) {
   using namespace mrhs;
   int particles = 10000;
   int threads = 0;
   int max_m = 42;
+  bench::BenchHarness harness("fig02_relative_time");
   util::ArgParser args("fig02_relative_time", "Reproduce paper Fig. 2");
   args.add("particles", particles, "particles per system");
   args.add("threads", threads, "GSPMV threads (0 = all)");
   args.add("max_m", max_m, "largest vector count (paper sweeps to 42)");
+  harness.add_to(args);
   args.parse(argc, argv);
+  harness.begin();
 
   bench::print_header(
       "Figure 2 — GSPMV relative time r(m)",
@@ -27,6 +31,7 @@ int main(int argc, char** argv) {
       "m ~ 8 (mat1), ~12 (mat2), ~16 (mat3/SNB)");
 
   const auto machine = perf::measure_machine();
+  harness.set_machine(machine);
   std::printf("machine: B = %.1f GB/s, F = %.1f Gflop/s, B/F = %.2f "
               "(paper WSM: 23/45/0.55, SNB: 33/90/0.37)\n\n",
               machine.bandwidth * 1e-9, machine.flops * 1e-9,
@@ -51,6 +56,32 @@ int main(int argc, char** argv) {
 
     const auto measured = perf::measure_relative_time(
         sm.matrix, ms, threads, /*min_seconds=*/0.2);
+
+    // The acceptance-critical roofline samples: one GSPMV at m = 1 and
+    // one at the measured per-vector optimum, with the engine's
+    // minimum-traffic byte/flop model.
+    const sparse::GspmvEngine engine(sm.matrix, threads);
+    std::size_t opt_m = 1;
+    double opt_seconds = 0.0, best_per_vector = 1e300;
+    for (const auto& pt : measured) {
+      const double per_vector = pt.seconds / static_cast<double>(pt.m);
+      if (per_vector < best_per_vector) {
+        best_per_vector = per_vector;
+        opt_m = pt.m;
+        opt_seconds = pt.seconds;
+      }
+      if (pt.m == 1) {
+        harness.ledger().add_kernel_sample("gspmv@m=1",
+                                           engine.min_bytes(1),
+                                           engine.flops(1), pt.seconds);
+      }
+    }
+    harness.ledger().add_kernel_sample("gspmv@m=opt",
+                                       engine.min_bytes(opt_m),
+                                       engine.flops(opt_m), opt_seconds);
+    harness.report().set_value("gspmv.opt_m",
+                               static_cast<double>(opt_m));
+
     util::Table table({"m", "r achieved", "r predicted", "bw bound",
                        "compute bound", "inferred k(m)"});
     for (const auto& pt : measured) {
@@ -94,7 +125,11 @@ int main(int argc, char** argv) {
       std::printf("%s: %zu vectors within 2x (paper: %s)\n",
                   suite[c].spec.name.c_str(), vectors_at_2x,
                   c == 0 ? "8" : (c == 1 ? "12" : "16 on SNB"));
+      harness.report().set_value(
+          "vectors_at_2x." + suite[c].spec.name,
+          static_cast<double>(vectors_at_2x));
     }
   }
+  harness.finish("Figure 2 — GSPMV relative time r(m)");
   return 0;
 }

@@ -18,12 +18,15 @@ int main(int argc, char** argv) {
   int particles = 20000;
   int paper_particles = 300000;
   int max_m = 32;
+  bench::BenchHarness harness("fig03_multinode");
   util::ArgParser args("fig03_multinode", "Reproduce paper Fig. 3");
   args.add("particles", particles, "particles per system");
   args.add("paper_particles", paper_particles,
            "system size the timing model extrapolates to");
   args.add("max_m", max_m, "largest vector count (paper sweeps to 32)");
+  harness.add_to(args);
   args.parse(argc, argv);
+  harness.begin();
 
   bench::print_header(
       "Figure 3 — multi-node relative time r(m, p), mat1 and mat2",
@@ -84,6 +87,12 @@ int main(int argc, char** argv) {
     title += "):";
     table.print(title);
     std::printf("\n");
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      harness.report().set_value("r_m8." + specs[which].name + ".nodes=" +
+                                     std::to_string(nodes[i]),
+                                 models[i].relative_time(8));
+    }
   }
+  harness.finish("Figure 3 — multi-node relative time r(m, p)");
   return 0;
 }

@@ -13,11 +13,14 @@ int main(int argc, char** argv) {
   using namespace mrhs;
   int particles = 20000;
   int paper_particles = 300000;
+  bench::BenchHarness harness("fig04_nodes_sweep");
   util::ArgParser args("fig04_nodes_sweep", "Reproduce paper Fig. 4");
   args.add("particles", particles, "particles per system");
   args.add("paper_particles", paper_particles,
            "system size the timing model extrapolates to");
+  harness.add_to(args);
   args.parse(argc, argv);
+  harness.begin();
 
   bench::print_header(
       "Figure 4 — relative time vs number of nodes",
@@ -50,10 +53,14 @@ int main(int argc, char** argv) {
                      util::Table::fmt_fixed(model.relative_time(8), 2),
                      util::Table::fmt_fixed(model.relative_time(16), 2),
                      util::Table::fmt_fixed(model.relative_time(32), 2)});
+      harness.report().set_value("r_m16." + specs[which].name + ".nodes=" +
+                                     std::to_string(p),
+                                 model.relative_time(16));
     }
     table.print(specs[which].name + " (nnzb/nb = " +
                 util::Table::fmt_fixed(matrix.blocks_per_row(), 1) + "):");
     std::printf("\n");
   }
+  harness.finish("Figure 4 — relative time vs number of nodes");
   return 0;
 }

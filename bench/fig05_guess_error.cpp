@@ -15,12 +15,15 @@ int main(int argc, char** argv) {
   double phi = 0.5;
   int rhs = 24;
   int seed = 42;
+  bench::BenchHarness harness("fig05_guess_error");
   util::ArgParser args("fig05_guess_error", "Reproduce paper Fig. 5");
   args.add("particles", particles, "particles (paper: 3000)");
   args.add("phi", phi, "volume occupancy (paper: 0.5)");
   args.add("rhs", rhs, "chunk length m = steps to track");
   args.add("seed", seed, "seed");
+  harness.add_to(args);
   args.parse(argc, argv);
+  harness.begin();
 
   bench::print_header(
       "Figure 5 — relative error of initial guesses vs time step",
@@ -51,5 +54,10 @@ int main(int argc, char** argv) {
   std::printf("power-law fit: error ~ %.4g * step^%.2f  (r2 = %.3f)\n",
               std::exp(fit.intercept), fit.slope, fit.r2);
   std::printf("paper: exponent 0.5, constant ~0.006\n");
+  harness.add_phases(stats);
+  harness.report().set_value("fit_exponent", fit.slope);
+  harness.report().set_value("fit_constant", std::exp(fit.intercept));
+  harness.report().set_value("fit_r2", fit.r2);
+  harness.finish("Figure 5 — relative error of initial guesses vs step");
   return 0;
 }

@@ -12,12 +12,15 @@ int main(int argc, char** argv) {
   int steps = 24;
   double phi = 0.5;
   std::string sizes = "1000,3000,6000";
+  bench::BenchHarness harness("fig06_iterations_vs_step");
   util::ArgParser args("fig06_iterations_vs_step", "Reproduce paper Fig. 6");
   args.add("steps", steps, "time steps to run (one MRHS chunk)");
   args.add("phi", phi, "volume occupancy (paper: 0.5)");
   args.add("sizes", sizes,
            "comma-separated particle counts (paper: 3k/30k/300k)");
+  harness.add_to(args);
   args.parse(argc, argv);
+  harness.begin();
 
   bench::print_header(
       "Figure 6 — iterations for convergence vs time step, with guesses",
@@ -41,8 +44,16 @@ int main(int argc, char** argv) {
     core::SdSimulation sim(config);
     core::MrhsAlgorithm mrhs(sim, static_cast<std::size_t>(steps));
     const auto stats = mrhs.run(static_cast<std::size_t>(steps));
+    harness.add_phases(stats, "n=" + std::to_string(n) + "/");
     std::vector<std::size_t> iters;
-    for (const auto& rec : stats.steps) iters.push_back(rec.iters_first_solve);
+    double total = 0.0;
+    for (const auto& rec : stats.steps) {
+      iters.push_back(rec.iters_first_solve);
+      total += static_cast<double>(rec.iters_first_solve);
+    }
+    harness.report().set_value(
+        "mean_first_solve_iters.n=" + std::to_string(n),
+        total / static_cast<double>(stats.steps.size()));
     iteration_curves.push_back(std::move(iters));
   }
 
@@ -60,5 +71,6 @@ int main(int argc, char** argv) {
   }
   table.print("first-solve iterations (step 0 is solved by the augmented "
               "system):");
+  harness.finish("Figure 6 — iterations vs time step, with guesses");
   return 0;
 }

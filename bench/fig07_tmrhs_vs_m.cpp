@@ -10,6 +10,8 @@
 #include "core/sd_simulation.hpp"
 #include "core/stepper.hpp"
 #include "perf/machine.hpp"
+#include "perf/measure.hpp"
+#include "sparse/gspmv.hpp"
 
 int main(int argc, char** argv) {
   using namespace mrhs;
@@ -17,15 +19,15 @@ int main(int argc, char** argv) {
   double phi = 0.5;
   int steps_per_m = 0;  // 0 -> one chunk of m steps per point
   std::string m_list = "1,2,4,6,8,10,12,16,20,24,32";
+  bench::BenchHarness harness("fig07_tmrhs_vs_m");
   util::ArgParser args("fig07_tmrhs_vs_m", "Reproduce paper Fig. 7");
   args.add("particles", particles, "particles (paper: 300k; scaled)");
   args.add("phi", phi, "volume occupancy (paper: 0.5)");
   args.add("m_list", m_list, "comma-separated m values");
   args.add("steps", steps_per_m, "steps per point (0 = one chunk of m)");
-  util::ObsCli obs_cli;
-  obs_cli.add_to(args);
+  harness.add_to(args);
   args.parse(argc, argv);
-  obs_cli.apply();
+  harness.begin();
 
   bench::print_header(
       "Figure 7 — predicted and achieved average step time vs m",
@@ -48,6 +50,7 @@ int main(int argc, char** argv) {
   // Calibrate the cost model: machine B and F, matrix shape, and the
   // iteration counts N / N1 / N2 measured from short reference runs.
   const auto machine = perf::measure_machine();
+  harness.set_machine(machine);
   core::MrhsCostModel model;
   {
     core::SdSimulation sim(config);
@@ -96,7 +99,10 @@ int main(int argc, char** argv) {
     const std::size_t steps =
         steps_per_m > 0 ? static_cast<std::size_t>(steps_per_m) : m;
     const auto stats = mrhs.run(steps);
+    harness.add_phases(stats, "m=" + std::to_string(m) + "/");
     const double achieved = stats.avg_step_seconds();
+    harness.report().set_value("step_seconds.m=" + std::to_string(m),
+                               achieved);
     if (achieved < best_measured) {
       best_measured = achieved;
       best_m = m;
@@ -112,6 +118,27 @@ int main(int argc, char** argv) {
               "GSPMV crossover m_s = %zu\n",
               best_m, model.optimal_m(64), model.crossover_m(64));
   std::printf("paper: m_optimal = 10, m_s = 12 for the 300k/50%% system\n");
-  obs_cli.finish();
+
+  // Roofline samples for the committed trajectory: bare GSPMV on this
+  // system's matrix at m = 1 and at the achieved optimum.
+  {
+    core::SdSimulation sim(config);
+    const auto rmat = sim.assemble().matrix;
+    const sparse::GspmvEngine engine(rmat, 0);
+    const double t1 = perf::measure_gspmv_seconds(rmat, 1);
+    const double topt = perf::measure_gspmv_seconds(rmat, best_m);
+    harness.ledger().add_kernel_sample("gspmv@m=1", engine.min_bytes(1),
+                                       engine.flops(1), t1);
+    harness.ledger().add_kernel_sample("gspmv@m=opt",
+                                       engine.min_bytes(best_m),
+                                       engine.flops(best_m), topt);
+  }
+  harness.report().set_value("achieved_opt_m", static_cast<double>(best_m));
+  harness.report().set_value("best_step_seconds", best_measured);
+  harness.report().set_value("model_opt_m",
+                             static_cast<double>(model.optimal_m(64)));
+  harness.report().set_value("model_crossover_m",
+                             static_cast<double>(model.crossover_m(64)));
+  harness.finish("Figure 7 — predicted and achieved step time vs m");
   return 0;
 }

@@ -20,13 +20,16 @@ int main(int argc, char** argv) {
   int rhs = 16;
   int steps = 8;
   std::string threads_list = "1,2,4,8";
+  bench::BenchHarness harness("fig08_threads");
   util::ArgParser args("fig08_threads", "Reproduce paper Fig. 8");
   args.add("particles", particles, "particles (paper: 300k; scaled)");
   args.add("phi", phi, "volume occupancy (paper: 0.5)");
   args.add("rhs", rhs, "right-hand sides (paper: 16)");
   args.add("steps", steps, "steps per measurement");
   args.add("threads_list", threads_list, "comma-separated thread counts");
+  harness.add_to(args);
   args.parse(argc, argv);
+  harness.begin();
 
   bench::print_header(
       "Figure 8 — GSPMV performance and MRHS speedup vs threads",
@@ -56,6 +59,10 @@ int main(int argc, char** argv) {
                          util::Table::fmt(t1 * 1e3, 3),
                          util::Table::fmt(t16 * 1e3, 3),
                          util::Table::fmt_fixed(t16 / t1, 2)});
+    harness.report().set_value("gspmv_m1_ms.threads=" + std::to_string(t),
+                               t1 * 1e3);
+    harness.report().set_value("r16.threads=" + std::to_string(t),
+                               t16 / t1);
   }
   gspmv_table.print("(a) GSPMV wall time vs threads (nnzb/nb = " +
                     util::Table::fmt_fixed(matrix.blocks_per_row(), 1) +
@@ -80,7 +87,11 @@ int main(int argc, char** argv) {
          util::Table::fmt(st_o.avg_step_seconds(), 3),
          util::Table::fmt_fixed(
              st_o.avg_step_seconds() / st_m.avg_step_seconds(), 2)});
+    harness.report().set_value(
+        "speedup.threads=" + std::to_string(t),
+        st_o.avg_step_seconds() / st_m.avg_step_seconds());
   }
   speedup_table.print("\n(b) MRHS speedup over the original algorithm:");
+  harness.finish("Figure 8 — GSPMV performance and MRHS speedup vs threads");
   return 0;
 }

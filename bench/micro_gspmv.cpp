@@ -3,6 +3,7 @@
 // paper's layout choice), and the m sweep on an SD-like matrix.
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
 #include "sparse/bcrs.hpp"
 #include "sparse/csr.hpp"
 #include "sparse/gspmv.hpp"
@@ -112,4 +113,16 @@ BENCHMARK(bm_spmv);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main so the run also emits a BenchReport sidecar (the harness
+// stays out of google-benchmark's argv; override the sidecar path with
+// MRHS_REPORT_OUT).
+int main(int argc, char** argv) {
+  mrhs::bench::BenchHarness harness("micro_gspmv");
+  harness.begin();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  harness.finish("Microbenchmarks — GSPMV kernels");
+  return 0;
+}

@@ -3,6 +3,7 @@
 // the two inputs of the paper's performance model.
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
 #include "perf/machine.hpp"
 #include "sparse/bcrs.hpp"
 #include "sparse/gspmv.hpp"
@@ -70,4 +71,16 @@ BENCHMARK(bm_measured_machine)->Iterations(1);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main so the run also emits a BenchReport sidecar (the harness
+// stays out of google-benchmark's argv; override the sidecar path with
+// MRHS_REPORT_OUT).
+int main(int argc, char** argv) {
+  mrhs::bench::BenchHarness harness("micro_kernels");
+  harness.begin();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  harness.finish("Microbenchmarks — machine probes and solver kernels");
+  return 0;
+}

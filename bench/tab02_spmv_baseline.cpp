@@ -11,10 +11,13 @@ int main(int argc, char** argv) {
   using namespace mrhs;
   int particles = 20000;
   int threads = 0;
+  bench::BenchHarness harness("tab02_spmv_baseline");
   util::ArgParser args("tab02_spmv_baseline", "Reproduce paper Table II");
   args.add("particles", particles, "particles per system");
   args.add("threads", threads, "GSPMV threads (0 = all)");
+  harness.add_to(args);
   args.parse(argc, argv);
+  harness.begin();
 
   bench::print_header(
       "Table II — SPMV (m = 1) performance and bandwidth usage",
@@ -26,6 +29,12 @@ int main(int argc, char** argv) {
   std::printf("measured STREAM triad bandwidth here: %.1f GB/s "
               "(paper: WSM 23, SNB 33)\n\n",
               bandwidth * 1e-9);
+
+  // Roofline against the bench's own full-size STREAM measurement
+  // (the quick probe still supplies F).
+  perf::MachineParams machine = perf::measure_machine_quick();
+  machine.bandwidth = bandwidth;
+  harness.set_machine(machine);
 
   const auto suite =
       core::build_matrix_suite(static_cast<std::size_t>(particles), 42);
@@ -39,7 +48,15 @@ int main(int argc, char** argv) {
                    util::Table::fmt_fixed(t.gflops, 2),
                    util::Table::fmt_pct(t.gbytes_per_sec * 1e9 / bandwidth,
                                         0)});
+    harness.ledger().add_kernel_sample(
+        "gspmv@m=1/" + sm.spec.name, t.gbytes_per_sec * 1e9 * t.seconds,
+        t.gflops * 1e9 * t.seconds, t.seconds);
+    harness.report().set_value("gbps." + sm.spec.name, t.gbytes_per_sec);
+    harness.report().set_value("pct_of_stream." + sm.spec.name,
+                               t.gbytes_per_sec * 1e9 / bandwidth);
   }
   table.print();
+  harness.report().set_value("stream_gbps", bandwidth * 1e-9);
+  harness.finish("Table II — SPMV (m = 1) performance and bandwidth usage");
   return 0;
 }

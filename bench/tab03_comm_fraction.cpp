@@ -14,11 +14,14 @@ int main(int argc, char** argv) {
   using namespace mrhs;
   int particles = 20000;
   int paper_particles = 300000;
+  bench::BenchHarness harness("tab03_comm_fraction");
   util::ArgParser args("tab03_comm_fraction", "Reproduce paper Table III");
   args.add("particles", particles, "particles per system");
   args.add("paper_particles", paper_particles,
            "system size the timing model extrapolates to");
+  harness.add_to(args);
   args.parse(argc, argv);
+  harness.begin();
 
   bench::print_header(
       "Table III — GSPMV communication time fractions, mat1",
@@ -51,6 +54,11 @@ int main(int argc, char** argv) {
                    util::Table::fmt_pct(model.comm_fraction(8), 0),
                    util::Table::fmt_pct(model.comm_fraction(32), 0),
                    paper[row++]});
+    for (std::size_t m : {1u, 8u, 32u}) {
+      harness.report().set_value("comm_fraction.nodes=" + std::to_string(p) +
+                                     ".m=" + std::to_string(m),
+                                 model.comm_fraction(m));
+    }
   }
   table.print("communication fraction of the slowest node (mat1, nnzb/nb = " +
               util::Table::fmt_fixed(matrix.blocks_per_row(), 1) + "):");
@@ -83,5 +91,6 @@ int main(int argc, char** argv) {
   }
   ablation.print("\npartitioner ablation (coordinate grid should be close "
                  "to RCB, far below naive):");
+  harness.finish("Table III — GSPMV communication time fractions");
   return 0;
 }

@@ -10,10 +10,13 @@
 int main(int argc, char** argv) {
   using namespace mrhs;
   int samples = 200000;
+  bench::BenchHarness harness("tab04_radii");
   util::ArgParser args("tab04_radii",
                        "Reproduce paper Table IV (workload input)");
   args.add("samples", samples, "sampling check size");
+  harness.add_to(args);
   args.parse(argc, argv);
+  harness.begin();
 
   bench::print_header(
       "Table IV — distribution of particle radii (E. coli cytoplasm)",
@@ -41,5 +44,7 @@ int main(int argc, char** argv) {
   }
   table.print();
   std::printf("distribution mean: %.2f A -> 1 reduced length unit\n", mean);
+  harness.report().set_value("distribution_mean_angstrom", mean);
+  harness.finish("Table IV — particle radius distribution");
   return 0;
 }

@@ -10,11 +10,14 @@ int main(int argc, char** argv) {
   using namespace mrhs;
   int particles = 2000;
   int steps = 24;
+  bench::BenchHarness harness("tab05_iterations_occupancy");
   util::ArgParser args("tab05_iterations_occupancy",
                        "Reproduce paper Table V");
   args.add("particles", particles, "particles (paper: 300k; scaled)");
   args.add("steps", steps, "steps (paper tabulates 2..24)");
+  harness.add_to(args);
   args.parse(argc, argv);
+  harness.begin();
 
   bench::print_header(
       "Table V — iterations with and without initial guesses vs occupancy",
@@ -69,6 +72,12 @@ int main(int argc, char** argv) {
                 "reduction\n",
                 phis[c], w / (steps - 1), wo / (steps - 1),
                 100.0 * (1.0 - w / wo));
+    const std::string suffix = util::Table::fmt(phis[c], 2);
+    harness.report().set_value("iters_with_guess.phi=" + suffix,
+                               w / (steps - 1));
+    harness.report().set_value("iters_without_guess.phi=" + suffix,
+                               wo / (steps - 1));
   }
+  harness.finish("Table V — iterations with/without guesses vs occupancy");
   return 0;
 }

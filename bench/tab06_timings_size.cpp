@@ -14,16 +14,16 @@ int main(int argc, char** argv) {
   double phi = 0.5;
   int rhs = 16;
   int steps = 16;
+  bench::BenchHarness harness("tab06_timings_size");
   util::ArgParser args("tab06_timings_size", "Reproduce paper Table VI");
   args.add("sizes", sizes,
            "comma-separated particle counts (paper: 3k/30k/300k)");
   args.add("phi", phi, "volume occupancy (paper: 0.5)");
   args.add("rhs", rhs, "right-hand sides per chunk (paper: 16)");
   args.add("steps", steps, "steps per measurement");
-  util::ObsCli obs_cli;
-  obs_cli.add_to(args);
+  harness.add_to(args);
   args.parse(argc, argv);
-  obs_cli.apply();
+  harness.begin();
 
   bench::print_header(
       "Table VI — per-step timing breakdown vs problem size (phi = " +
@@ -57,6 +57,7 @@ int main(int argc, char** argv) {
     core::SdSimulation sim(config);
     core::MrhsAlgorithm mrhs(sim, static_cast<std::size_t>(rhs));
     const auto stats = mrhs.run(static_cast<std::size_t>(steps));
+    harness.add_phases(stats, "mrhs.n=" + std::to_string(n) + "/");
     columns.push_back(bench::breakdown_column(stats, /*is_mrhs=*/true));
     mrhs_avg.push_back(stats.avg_step_seconds());
   }
@@ -68,6 +69,7 @@ int main(int argc, char** argv) {
     core::SdSimulation sim(config);
     core::OriginalAlgorithm orig(sim);
     const auto stats = orig.run(static_cast<std::size_t>(steps));
+    harness.add_phases(stats, "orig.n=" + std::to_string(n) + "/");
     columns.push_back(bench::breakdown_column(stats, /*is_mrhs=*/false));
     orig_avg.push_back(stats.avg_step_seconds());
   }
@@ -86,7 +88,12 @@ int main(int argc, char** argv) {
                 "speedup\n",
                 particle_counts[i], mrhs_avg[i], orig_avg[i],
                 100.0 * (1.0 - mrhs_avg[i] / orig_avg[i]));
+    const std::string n = std::to_string(particle_counts[i]);
+    harness.report().set_value("mrhs_step_seconds.n=" + n, mrhs_avg[i]);
+    harness.report().set_value("orig_step_seconds.n=" + n, orig_avg[i]);
+    harness.report().set_value("speedup.n=" + n,
+                               orig_avg[i] / mrhs_avg[i]);
   }
-  obs_cli.finish();
+  harness.finish("Table VI — per-step timing breakdown vs problem size");
   return 0;
 }

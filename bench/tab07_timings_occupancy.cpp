@@ -11,12 +11,15 @@ int main(int argc, char** argv) {
   int particles = 3000;
   int rhs = 16;
   int steps = 16;
+  bench::BenchHarness harness("tab07_timings_occupancy");
   util::ArgParser args("tab07_timings_occupancy",
                        "Reproduce paper Table VII");
   args.add("particles", particles, "particles (paper: 300k; scaled)");
   args.add("rhs", rhs, "right-hand sides per chunk (paper: 16)");
   args.add("steps", steps, "steps per measurement");
+  harness.add_to(args);
   args.parse(argc, argv);
+  harness.begin();
 
   bench::print_header(
       "Table VII — per-step timing breakdown vs occupancy (" +
@@ -37,6 +40,7 @@ int main(int argc, char** argv) {
     core::SdSimulation sim(config);
     core::MrhsAlgorithm mrhs(sim, static_cast<std::size_t>(rhs));
     const auto stats = mrhs.run(static_cast<std::size_t>(steps));
+    harness.add_phases(stats, "mrhs.phi=" + util::Table::fmt(phi, 2) + "/");
     columns.push_back(bench::breakdown_column(stats, /*is_mrhs=*/true));
     mrhs_avg.push_back(stats.avg_step_seconds());
   }
@@ -48,6 +52,7 @@ int main(int argc, char** argv) {
     core::SdSimulation sim(config);
     core::OriginalAlgorithm orig(sim);
     const auto stats = orig.run(static_cast<std::size_t>(steps));
+    harness.add_phases(stats, "orig.phi=" + util::Table::fmt(phi, 2) + "/");
     columns.push_back(bench::breakdown_column(stats, /*is_mrhs=*/false));
     orig_avg.push_back(stats.avg_step_seconds());
   }
@@ -67,6 +72,14 @@ int main(int argc, char** argv) {
                 "speedup\n",
                 phis[i], mrhs_avg[i], orig_avg[i],
                 100.0 * (1.0 - mrhs_avg[i] / orig_avg[i]));
+    const std::string suffix = util::Table::fmt(phis[i], 2);
+    harness.report().set_value("mrhs_step_seconds.phi=" + suffix,
+                               mrhs_avg[i]);
+    harness.report().set_value("orig_step_seconds.phi=" + suffix,
+                               orig_avg[i]);
+    harness.report().set_value("speedup.phi=" + suffix,
+                               orig_avg[i] / mrhs_avg[i]);
   }
+  harness.finish("Table VII — per-step timing breakdown vs occupancy");
   return 0;
 }

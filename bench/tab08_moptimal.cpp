@@ -12,9 +12,12 @@
 int main(int argc, char** argv) {
   using namespace mrhs;
   int scale = 100;  // paper sizes divided by this
+  bench::BenchHarness harness("tab08_moptimal");
   util::ArgParser args("tab08_moptimal", "Reproduce paper Table VIII");
   args.add("scale", scale, "divide the paper's particle counts by this");
+  harness.add_to(args);
   args.parse(argc, argv);
+  harness.begin();
 
   bench::print_header(
       "Table VIII — m_s vs m_optimal for five systems",
@@ -34,6 +37,7 @@ int main(int argc, char** argv) {
                          "12 / 10"};
 
   const auto machine = perf::measure_machine();
+  harness.set_machine(machine);
   util::Table table({"paper system", "particles here", "m_s", "m_optimal",
                      "paper m_s / m_opt"});
   int row = 0;
@@ -80,11 +84,18 @@ int main(int argc, char** argv) {
                    std::to_string(particles),
                    std::to_string(model.crossover_m(64)),
                    std::to_string(model.optimal_m(64)), paper[row++]});
+    const std::string sys_key = std::to_string(sys.paper_particles) +
+                                "@" + util::Table::fmt(sys.phi, 2);
+    harness.report().set_value("m_s." + sys_key,
+                               static_cast<double>(model.crossover_m(64)));
+    harness.report().set_value("m_optimal." + sys_key,
+                               static_cast<double>(model.optimal_m(64)));
   }
   table.print();
   bench::print_note(
       "m_s and m_optimal depend on nnzb/nb and this machine's B/F, so "
       "absolute values shift with hardware; the invariant is "
       "m_optimal <= m_s and the two being close.");
+  harness.finish("Table VIII — m_s vs m_optimal for five systems");
   return 0;
 }

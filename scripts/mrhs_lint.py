@@ -56,6 +56,13 @@ fault-site-registry
     registry's arm-time validation, and an undocumented site could
     never be armed from the CLI — a chaos schedule naming it would be
     rejected while the site silently never fires.
+
+bench-report
+    Every bench binary (bench/*.cpp with a main()) must emit a
+    machine-readable BenchReport sidecar via bench::BenchHarness —
+    printf-only benches are invisible to scripts/bench_runner.py and
+    the BENCH_*.json regression pipeline, so their numbers silently
+    fall out of the performance history.
 """
 
 from __future__ import annotations
@@ -294,6 +301,20 @@ class Linter:
                             f"table ({FAULT_SITE_HEADER}); undocumented "
                             f"sites can never be armed")
 
+    def check_bench_report(self, path: Path, text: str) -> None:
+        rel = str(path.relative_to(self.repo))
+        if not (rel.startswith("bench/") and path.suffix == ".cpp"):
+            return
+        stripped = strip_comments_and_strings(text)
+        if not re.search(r"\bint\s+main\s*\(", stripped):
+            return
+        if "BenchHarness" not in text and "BenchReport" not in text:
+            self.report(
+                path, 1, "bench-report",
+                "bench binary without a BenchHarness/BenchReport: its "
+                "numbers never reach the BENCH_*.json regression "
+                "pipeline (wrap main with bench::BenchHarness)")
+
     # -- driver --------------------------------------------------------
 
     def run(self) -> int:
@@ -314,6 +335,7 @@ class Linter:
             self.check_no_float(path, raw_lines)
             self.check_no_raw_omp(path, raw_lines)
             self.check_fault_sites(path, raw_lines)
+            self.check_bench_report(path, text)
         self.check_nodiscard_decls()
 
         if self.findings:

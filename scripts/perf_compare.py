@@ -1,0 +1,243 @@
+#!/usr/bin/env python3
+"""Compare two mrhs-bench-trajectory files (scripts/bench_runner.py
+output) with noise-aware thresholds.
+
+For every bench present in both trajectories, three metric classes are
+compared, each as the *median across the runs* of each file:
+
+  phase seconds            lower is better   tolerance --time-tol
+  kernel GB/s and GF/s     higher is better  tolerance --rate-tol
+  published "values"       direction inferred from the key name
+                           (*seconds*/*ms* lower; *speedup*/*gbps*/
+                           *gflops* higher; anything else informational)
+
+Tiny absolute magnitudes are skipped (--min-seconds, --min-rate):
+sub-millisecond phases are timer noise, not signal.
+
+Exit codes: 0 no regression, 1 regression found, 2 schema violation
+(wrong schema name/version — never compare apples to oranges).
+--report-only downgrades regressions to exit 0 (for noisy CI runners)
+while schema violations still hard-fail.
+
+`--self-test` runs the comparator against built-in synthetic fixtures
+(a clean self-diff plus an injected 2x regression) and exits nonzero
+unless both behave as specified.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+
+SCHEMA_NAME = "mrhs-bench-trajectory"
+SCHEMA_VERSION = 1
+
+
+def load_trajectory(path: str) -> dict:
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != SCHEMA_NAME or \
+            doc.get("schema_version") != SCHEMA_VERSION:
+        raise SchemaError(
+            f"{path}: schema {doc.get('schema')!r} "
+            f"v{doc.get('schema_version')!r}, want {SCHEMA_NAME!r} "
+            f"v{SCHEMA_VERSION}")
+    if not isinstance(doc.get("benches"), dict):
+        raise SchemaError(f"{path}: missing 'benches' object")
+    return doc
+
+
+class SchemaError(Exception):
+    pass
+
+
+def median_metrics(runs: list[dict]) -> dict[str, float]:
+    """Flatten each run's comparable metrics, then take per-key
+    medians across runs. Keys are class-prefixed:
+    phase/<name>.seconds, kernel/<name>.gbytes_per_sec, value/<key>."""
+    per_run: list[dict[str, float]] = []
+    for run in runs:
+        flat: dict[str, float] = {}
+        for p in run.get("phases", []):
+            flat[f"phase/{p['name']}.seconds"] = float(p["seconds"])
+        for k in run.get("kernels", []):
+            if float(k.get("seconds", 0.0)) <= 0.0:
+                continue
+            flat[f"kernel/{k['name']}.gbytes_per_sec"] = \
+                float(k["gbytes_per_sec"])
+            flat[f"kernel/{k['name']}.gflops_per_sec"] = \
+                float(k["gflops_per_sec"])
+        for key, value in run.get("values", {}).items():
+            flat[f"value/{key}"] = float(value)
+        per_run.append(flat)
+    keys = set()
+    for flat in per_run:
+        keys |= flat.keys()
+    return {key: statistics.median([f[key] for f in per_run if key in f])
+            for key in keys}
+
+
+def direction_of(key: str) -> str:
+    """'lower', 'higher', or 'info' (not regression-checked)."""
+    if key.startswith("phase/"):
+        return "lower"
+    if key.startswith("kernel/"):
+        return "higher"
+    name = key.lower()
+    if any(tag in name for tag in ("seconds", "_ms", ".ms", "ms.")):
+        return "lower"
+    if any(tag in name for tag in ("speedup", "gbps", "gflops")):
+        return "higher"
+    return "info"
+
+
+def compare(base: dict, cand: dict, time_tol: float, rate_tol: float,
+            min_seconds: float, min_rate: float) -> tuple[list[str], int]:
+    """Return (regression messages, metrics compared)."""
+    regressions: list[str] = []
+    compared = 0
+    for bench in sorted(set(base["benches"]) & set(cand["benches"])):
+        bm = median_metrics(base["benches"][bench].get("runs", []))
+        cm = median_metrics(cand["benches"][bench].get("runs", []))
+        for key in sorted(set(bm) & set(cm)):
+            direction = direction_of(key)
+            if direction == "info":
+                continue
+            old, new = bm[key], cm[key]
+            if direction == "lower":
+                if max(old, new) < min_seconds:
+                    continue
+                tol = time_tol
+                worse = new > old * (1.0 + tol)
+            else:
+                if max(old, new) < min_rate:
+                    continue
+                tol = rate_tol
+                worse = new < old * (1.0 - tol)
+            compared += 1
+            if worse and old > 0.0:
+                change = (new - old) / old * 100.0
+                regressions.append(
+                    f"{bench}: {key}: {old:.4g} -> {new:.4g} "
+                    f"({change:+.1f}%, tol {tol * 100:.0f}%)")
+    return regressions, compared
+
+
+def synthetic_trajectory(slow: float = 1.0) -> dict:
+    """Fixture: one bench, three runs with mild jitter. `slow` scales
+    phase time up and kernel rate down (slow > 1 => regression)."""
+    runs = []
+    for jitter in (0.98, 1.0, 1.03):
+        runs.append({
+            "schema": "mrhs-bench-report", "schema_version": 1,
+            "bench": "synthetic",
+            "phases": [
+                {"name": "1st solve", "seconds": 0.5 * slow * jitter,
+                 "calls": 16},
+                {"name": "tiny", "seconds": 1e-5 * slow * jitter,
+                 "calls": 1},
+            ],
+            "kernels": [
+                {"name": "gspmv", "bytes": 1e9, "flops": 2e8,
+                 "seconds": 0.04 * slow * jitter,
+                 "gbytes_per_sec": 25.0 / (slow * jitter),
+                 "gflops_per_sec": 5.0 / (slow * jitter)},
+            ],
+            "values": {"speedup": 2.0 / slow, "note": 42.0 * slow},
+        })
+    return {"schema": SCHEMA_NAME, "schema_version": SCHEMA_VERSION,
+            "created": "self-test", "git_sha": "",
+            "benches": {"synthetic": {"runs": runs}}}
+
+
+def self_test(time_tol: float, rate_tol: float) -> int:
+    base = synthetic_trajectory(1.0)
+    same = synthetic_trajectory(1.0)
+    regressed = synthetic_trajectory(2.0)
+
+    clean, n_clean = compare(base, same, time_tol, rate_tol, 1e-3, 0.1)
+    if clean:
+        print("self-test: FAIL, self-diff flagged regressions:")
+        for r in clean:
+            print(f"  {r}")
+        return 1
+    if n_clean == 0:
+        print("self-test: FAIL, self-diff compared zero metrics")
+        return 1
+
+    found, _ = compare(base, regressed, time_tol, rate_tol, 1e-3, 0.1)
+    # The 2x slowdown must be caught in every checked class: phase
+    # time, kernel rates, and the direction-inferred speedup value.
+    wanted = ("phase/1st solve.seconds", "kernel/gspmv.gbytes_per_sec",
+              "value/speedup")
+    missing = [w for w in wanted
+               if not any(w in r for r in found)]
+    if missing:
+        print(f"self-test: FAIL, regression not flagged for: {missing}")
+        for r in found:
+            print(f"  found: {r}")
+        return 1
+    # The sub-millisecond phase and the directionless "note" value must
+    # NOT be flagged (noise floor / informational).
+    for quiet in ("phase/tiny.seconds", "value/note"):
+        if any(quiet in r for r in found):
+            print(f"self-test: FAIL, noise metric flagged: {quiet}")
+            return 1
+    print(f"self-test: PASS ({n_clean} metrics on self-diff, "
+          f"{len(found)} regressions on 2x-slowdown fixture)")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", nargs="?", help="baseline trajectory")
+    parser.add_argument("candidate", nargs="?", help="candidate trajectory")
+    parser.add_argument("--time-tol", type=float, default=0.30,
+                        help="relative slowdown tolerated on times")
+    parser.add_argument("--rate-tol", type=float, default=0.25,
+                        help="relative drop tolerated on GB/s / GF/s")
+    parser.add_argument("--min-seconds", type=float, default=1e-3,
+                        help="ignore phases faster than this (noise)")
+    parser.add_argument("--min-rate", type=float, default=0.1,
+                        help="ignore rates below this many G/s")
+    parser.add_argument("--report-only", action="store_true",
+                        help="print regressions but exit 0 (noisy runners)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run against built-in synthetic fixtures")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test(args.time_tol, args.rate_tol)
+    if not args.baseline or not args.candidate:
+        parser.error("baseline and candidate are required "
+                     "(or use --self-test)")
+
+    try:
+        base = load_trajectory(args.baseline)
+        cand = load_trajectory(args.candidate)
+    except SchemaError as err:
+        print(f"perf_compare: SCHEMA: {err}")
+        return 2
+
+    regressions, compared = compare(base, cand, args.time_tol,
+                                    args.rate_tol, args.min_seconds,
+                                    args.min_rate)
+    shared = sorted(set(base["benches"]) & set(cand["benches"]))
+    print(f"perf_compare: {len(shared)} shared benches, "
+          f"{compared} metrics compared")
+    if not regressions:
+        print("perf_compare: no regressions")
+        return 0
+    print(f"perf_compare: {len(regressions)} regression(s):")
+    for r in regressions:
+        print(f"  {r}")
+    if args.report_only:
+        print("perf_compare: --report-only, exiting 0")
+        return 0
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

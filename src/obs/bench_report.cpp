@@ -1,0 +1,175 @@
+#include "obs/bench_report.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"  // write_json_string / write_json_number
+
+namespace mrhs::obs {
+
+void BenchReport::capture_histograms() {
+  const MetricsSnapshot snap = MetricsRegistry::instance().snapshot();
+  for (const auto& [name, hs] : snap.histograms) {
+    if (hs.total == 0) continue;
+    HistogramSummary s;
+    s.count = hs.total;
+    s.mean = hs.sum / static_cast<double>(hs.total);
+    s.min = hs.min;
+    s.max = hs.max;
+    s.p50 = hs.quantile(0.50);
+    s.p95 = hs.quantile(0.95);
+    s.p99 = hs.quantile(0.99);
+    histograms_[name] = s;
+  }
+}
+
+namespace {
+
+void write_scalar_map(std::ostream& os,
+                      const std::map<std::string, double>& m,
+                      const char* indent) {
+  os << "{";
+  bool first = true;
+  for (const auto& [name, value] : m) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n" << indent;
+    write_json_string(os, name);
+    os << ": ";
+    write_json_number(os, value);
+  }
+  os << "}";
+}
+
+void write_kernel(std::ostream& os, const KernelAttribution& k) {
+  os << "{\"name\": ";
+  write_json_string(os, k.name);
+  os << ", \"bytes\": ";
+  write_json_number(os, k.bytes);
+  os << ", \"flops\": ";
+  write_json_number(os, k.flops);
+  os << ", \"seconds\": ";
+  write_json_number(os, k.seconds);
+  os << ", \"calls\": ";
+  write_json_number(os, k.calls);
+  os << ",\n       \"gbytes_per_sec\": ";
+  write_json_number(os, k.gbytes_per_sec);
+  os << ", \"gflops_per_sec\": ";
+  write_json_number(os, k.gflops_per_sec);
+  os << ", \"pct_of_bandwidth\": ";
+  write_json_number(os, k.pct_of_bandwidth);
+  os << ", \"pct_of_flops\": ";
+  write_json_number(os, k.pct_of_flops);
+  os << ",\n       \"roofline_seconds\": ";
+  write_json_number(os, k.roofline_seconds);
+  os << ", \"pct_of_roofline\": ";
+  write_json_number(os, k.pct_of_roofline);
+  os << ", \"bound\": ";
+  write_json_string(os, k.bound);
+  os << "}";
+}
+
+}  // namespace
+
+void BenchReport::write_json(std::ostream& os) const {
+  os << "{\n  \"schema\": ";
+  write_json_string(os, kSchemaName);
+  os << ",\n  \"schema_version\": " << kSchemaVersion;
+  os << ",\n  \"bench\": ";
+  write_json_string(os, bench_);
+  os << ",\n  \"title\": ";
+  write_json_string(os, title_);
+  os << ",\n  \"git_sha\": ";
+  write_json_string(os, git_sha_);
+  os << ",\n  \"threads\": " << threads_;
+
+  os << ",\n  \"info\": {";
+  bool first = true;
+  for (const auto& [key, value] : info_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n    ";
+    write_json_string(os, key);
+    os << ": ";
+    write_json_string(os, value);
+  }
+  os << "}";
+
+  os << ",\n  \"machine\": {\"bandwidth_gbps\": ";
+  write_json_number(os, ledger_.machine.bandwidth * 1e-9);
+  os << ", \"flops_gflops\": ";
+  write_json_number(os, ledger_.machine.flops * 1e-9);
+  os << ", \"bytes_per_flop\": ";
+  write_json_number(os, ledger_.machine.bytes_per_flop());
+  os << "}";
+
+  os << ",\n  \"phases\": [";
+  first = true;
+  for (const auto& p : ledger_.phases) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n    {\"name\": ";
+    write_json_string(os, p.name);
+    os << ", \"seconds\": ";
+    write_json_number(os, p.seconds);
+    os << ", \"calls\": " << p.calls << "}";
+  }
+  os << "]";
+
+  os << ",\n  \"kernels\": [";
+  first = true;
+  for (const auto& k : ledger_.kernels) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n    ";
+    write_kernel(os, k);
+  }
+  os << "]";
+
+  os << ",\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, s] : histograms_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n    ";
+    write_json_string(os, name);
+    os << ": {\"count\": " << s.count << ", \"mean\": ";
+    write_json_number(os, s.mean);
+    os << ", \"min\": ";
+    write_json_number(os, s.min);
+    os << ", \"max\": ";
+    write_json_number(os, s.max);
+    os << ", \"p50\": ";
+    write_json_number(os, s.p50);
+    os << ", \"p95\": ";
+    write_json_number(os, s.p95);
+    os << ", \"p99\": ";
+    write_json_number(os, s.p99);
+    os << "}";
+  }
+  os << "}";
+
+  os << ",\n  \"counters\": ";
+  write_scalar_map(os, ledger_.counters, "    ");
+  os << ",\n  \"values\": ";
+  write_scalar_map(os, values_, "    ");
+  os << "\n}\n";
+}
+
+bool BenchReport::write_file(const std::string& path) const {
+  std::ofstream os(path);
+  if (os) {
+    write_json(os);
+    os.flush();
+  }
+  if (!os) {
+    std::fprintf(stderr,
+                 "bench_report: warning: could not write report to %s\n",
+                 path.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace mrhs::obs

@@ -1,0 +1,104 @@
+// Machine-readable bench report: the JSON sidecar every bench binary
+// writes next to its printed table (bench_common.hpp wires it in).
+//
+// The schema is versioned so scripts/perf_compare.py can hard-fail on
+// incompatible files instead of silently comparing apples to oranges:
+//
+//   {
+//     "schema": "mrhs-bench-report", "schema_version": 1,
+//     "bench": "tab02_spmv_baseline", "title": "...",
+//     "git_sha": "...", "threads": 8,
+//     "info": {"build_type": "Release", "backend": "openmp", ...},
+//     "machine": {"bandwidth_gbps": B, "flops_gflops": F,
+//                 "bytes_per_flop": B/F},
+//     "phases":  [{"name", "seconds", "calls"}, ...],
+//     "kernels": [{"name", "bytes", "flops", "seconds", "calls",
+//                  "gbytes_per_sec", "gflops_per_sec",
+//                  "pct_of_bandwidth", "pct_of_flops",
+//                  "roofline_seconds", "pct_of_roofline", "bound"}, ...],
+//     "histograms": {"block_cg.iterations_per_solve":
+//                    {"count", "mean", "min", "max",
+//                     "p50", "p95", "p99"}, ...},
+//     "counters": {...},   // window deltas (raw telemetry)
+//     "values":   {...}    // free-form scalars the bench publishes
+//   }
+//
+// scripts/bench_runner.py merges these sidecars into the repo-root
+// BENCH_<date>.json trajectory that perf_compare.py diffs in CI.
+#pragma once
+
+#include <map>
+#include <ostream>
+#include <string>
+
+#include "obs/perf_ledger.hpp"
+
+namespace mrhs::obs {
+
+/// Summary row of one histogram (solver convergence telemetry).
+struct HistogramSummary {
+  std::uint64_t count = 0;
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+class BenchReport {
+ public:
+  static constexpr int kSchemaVersion = 1;
+  static constexpr const char* kSchemaName = "mrhs-bench-report";
+
+  explicit BenchReport(std::string bench_name)
+      : bench_(std::move(bench_name)) {}
+
+  void set_title(std::string title) { title_ = std::move(title); }
+  void set_git_sha(std::string sha) { git_sha_ = std::move(sha); }
+  void set_threads(int threads) { threads_ = threads; }
+  /// Free-form build/environment facts ("build_type", "backend", ...).
+  void set_info(const std::string& key, std::string value) {
+    info_[key] = std::move(value);
+  }
+  /// Publish a named scalar result (speedups, fitted exponents, ...).
+  void set_value(const std::string& key, double value) {
+    values_[key] = value;
+  }
+
+  /// Install the ledger's collected attribution (machine, phases,
+  /// kernels, counter deltas).
+  void set_ledger(LedgerReport ledger) { ledger_ = std::move(ledger); }
+  [[nodiscard]] const LedgerReport& ledger() const { return ledger_; }
+
+  /// Summarize every histogram in the global MetricsRegistry into the
+  /// report (percentiles via HistogramSnapshot::quantile).
+  void capture_histograms();
+
+  [[nodiscard]] const std::string& bench() const { return bench_; }
+  [[nodiscard]] const std::map<std::string, double>& values() const {
+    return values_;
+  }
+  [[nodiscard]] const std::map<std::string, HistogramSummary>& histograms()
+      const {
+    return histograms_;
+  }
+
+  void write_json(std::ostream& os) const;
+  /// Write to `path`; returns false (with a stderr warning) on I/O
+  /// failure — a bench never aborts because its sidecar could not be
+  /// written.
+  bool write_file(const std::string& path) const;
+
+ private:
+  std::string bench_;
+  std::string title_;
+  std::string git_sha_;
+  int threads_ = 0;
+  std::map<std::string, std::string> info_;
+  std::map<std::string, double> values_;
+  std::map<std::string, HistogramSummary> histograms_;
+  LedgerReport ledger_;
+};
+
+}  // namespace mrhs::obs

@@ -50,6 +50,27 @@ void Histogram::reset() {
              std::memory_order_relaxed);
 }
 
+double HistogramSnapshot::quantile(double q) const {
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const double in_bucket = static_cast<double>(counts[i]);
+    if (in_bucket == 0.0) continue;
+    if (cumulative + in_bucket >= target) {
+      double lower = i == 0 ? min : bounds[i - 1];
+      double upper = i < bounds.size() ? bounds[i] : max;
+      lower = std::clamp(lower, min, max);
+      upper = std::clamp(upper, lower, max);
+      const double frac = (target - cumulative) / in_bucket;
+      return std::clamp(lower + (upper - lower) * frac, min, max);
+    }
+    cumulative += in_bucket;
+  }
+  return max;
+}
+
 std::vector<double> linear_buckets(double start, double step, std::size_t n) {
   std::vector<double> out(n);
   for (std::size_t i = 0; i < n; ++i) {
@@ -176,6 +197,12 @@ void MetricsRegistry::write_json(std::ostream& os) const {
     write_json_number(os, hs.min);
     os << ", \"max\": ";
     write_json_number(os, hs.max);
+    os << ", \"p50\": ";
+    write_json_number(os, hs.quantile(0.50));
+    os << ", \"p95\": ";
+    write_json_number(os, hs.quantile(0.95));
+    os << ", \"p99\": ";
+    write_json_number(os, hs.quantile(0.99));
     os << "}";
   }
   if (!snap.histograms.empty()) os << "\n  ";

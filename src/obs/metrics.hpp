@@ -121,6 +121,14 @@ struct HistogramSnapshot {
   double sum = 0.0;
   double min = 0.0;
   double max = 0.0;
+
+  /// Estimated q-quantile (q in [0, 1]): walk the buckets to the one
+  /// containing rank q*total and interpolate linearly inside it. The
+  /// first bucket's lower edge and the overflow bucket's upper edge
+  /// are the observed min/max, and the estimate is clamped to
+  /// [min, max] — so exact for q = 0/1 and within one bucket width
+  /// otherwise. Returns 0 when the histogram is empty.
+  [[nodiscard]] double quantile(double q) const;
 };
 
 struct MetricsSnapshot {
@@ -154,7 +162,7 @@ class MetricsRegistry {
 
   /// {"counters": {...}, "gauges": {...}, "histograms": {name:
   ///  {"bounds": [...], "counts": [...], "count": N, "sum": s,
-  ///   "min": a, "max": b}}}
+  ///   "min": a, "max": b, "p50": ..., "p95": ..., "p99": ...}}}
   void write_json(std::ostream& os) const;
 
   MetricsRegistry(const MetricsRegistry&) = delete;

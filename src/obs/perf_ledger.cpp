@@ -1,0 +1,104 @@
+#include "obs/perf_ledger.hpp"
+
+#include <algorithm>
+#include <string_view>
+#include <utility>
+
+namespace mrhs::obs {
+
+void attribute(KernelAttribution& k, const perf::MachineParams& machine) {
+  if (k.seconds > 0.0) {
+    k.gbytes_per_sec = k.bytes / k.seconds * 1e-9;
+    k.gflops_per_sec = k.flops / k.seconds * 1e-9;
+  }
+  if (machine.bandwidth > 0.0) {
+    k.pct_of_bandwidth =
+        k.seconds > 0.0 ? (k.bytes / k.seconds) / machine.bandwidth : 0.0;
+  }
+  if (machine.flops > 0.0) {
+    k.pct_of_flops =
+        k.seconds > 0.0 ? (k.flops / k.seconds) / machine.flops : 0.0;
+  }
+  if (machine.bandwidth > 0.0 && machine.flops > 0.0) {
+    const double t_bw = k.bytes / machine.bandwidth;
+    const double t_comp = k.flops / machine.flops;
+    k.roofline_seconds = std::max(t_bw, t_comp);
+    k.bound = t_bw >= t_comp ? "bandwidth" : "compute";
+    if (k.seconds > 0.0) {
+      k.pct_of_roofline = k.roofline_seconds / k.seconds;
+    }
+  }
+}
+
+void PerfLedger::begin() {
+  baseline_counters_ = MetricsRegistry::instance().snapshot().counters;
+  phases_.clear();
+  samples_.clear();
+}
+
+void PerfLedger::add_phase(const std::string& name, double seconds,
+                           std::size_t calls) {
+  phases_.push_back(PhaseAttribution{name, seconds, calls});
+}
+
+void PerfLedger::add_kernel_sample(const std::string& name, double bytes,
+                                   double flops, double seconds,
+                                   double calls) {
+  KernelAttribution k;
+  k.name = name;
+  k.bytes = bytes;
+  k.flops = flops;
+  k.seconds = seconds;
+  k.calls = calls;
+  samples_.push_back(std::move(k));
+}
+
+LedgerReport PerfLedger::collect() const {
+  LedgerReport report;
+  report.machine = machine_;
+  report.phases = phases_;
+
+  const auto now = MetricsRegistry::instance().snapshot().counters;
+  for (const auto& [name, value] : now) {
+    const auto base = baseline_counters_.find(name);
+    const double delta =
+        value - (base == baseline_counters_.end() ? 0.0 : base->second);
+    if (delta != 0.0) report.counters[name] = delta;
+  }
+
+  // Discover kernel families: every "<kernel>.bytes" counter with a
+  // nonzero delta defines one, with .flops/.seconds/.calls siblings.
+  auto delta_of = [&report](const std::string& name) {
+    const auto it = report.counters.find(name);
+    return it == report.counters.end() ? 0.0 : it->second;
+  };
+  constexpr std::string_view kBytesSuffix = ".bytes";
+  for (const auto& [name, delta] : report.counters) {
+    if (name.size() <= kBytesSuffix.size() ||
+        name.compare(name.size() - kBytesSuffix.size(), kBytesSuffix.size(),
+                     kBytesSuffix) != 0) {
+      continue;
+    }
+    const std::string kernel = name.substr(0, name.size() - kBytesSuffix.size());
+    KernelAttribution k;
+    k.name = kernel;
+    k.bytes = delta;
+    k.flops = delta_of(kernel + ".flops");
+    k.seconds = delta_of(kernel + ".seconds");
+    // Call count, with fallbacks for the names kernels already use:
+    // gspmv counts ".calls", the solvers ".solves", Chebyshev
+    // ".applies"/".block_applies".
+    k.calls = delta_of(kernel + ".calls");
+    if (k.calls == 0.0) k.calls = delta_of(kernel + ".solves");
+    if (k.calls == 0.0) {
+      k.calls = delta_of(kernel + ".applies") +
+                delta_of(kernel + ".block_applies");
+    }
+    report.kernels.push_back(std::move(k));
+  }
+  for (const auto& sample : samples_) report.kernels.push_back(sample);
+  for (auto& k : report.kernels) attribute(k, machine_);
+  return report;
+}
+
+}  // namespace mrhs::obs

@@ -1,0 +1,128 @@
+// Performance-attribution ledger: turns the byte/flop/second counters
+// the kernels already feed through the OBS_* macros into a roofline
+// attribution against the probed machine parameters.
+//
+// Kernels participate through a naming convention, not a registration
+// API: any metric family
+//
+//   <kernel>.bytes  <kernel>.flops  <kernel>.seconds  [<kernel>.calls]
+//
+// (gspmv.*, block_cg.*, chebyshev.*, guess.*, ...) is discovered in
+// the counter delta between begin() and collect(), and each one gets
+// achieved GB/s, GF/s, and %-of-roofline computed against the
+// machine's STREAM bandwidth B and kernel flop rate F
+// (perf::MachineParams, src/perf/machine.cpp). That makes the paper's
+// bandwidth-vs-compute crossover model (eqs. 9-12) directly checkable
+// against measurement on every instrumented run.
+//
+// Families overlap by design: a solver family (block_cg, cg,
+// chebyshev, guess) counts its own vector algebra plus its operator's
+// traffic model (LinearOperator::apply_bytes/apply_flops), and the
+// nested GSPMV applies land in gspmv.* as well. Each family is a
+// self-consistent roofline attribution of that kernel's wall time —
+// never sum families to get a total.
+//
+// Explicit samples (add_kernel_sample) exist for point measurements a
+// bench times itself — e.g. "gspmv@m=1" vs "gspmv@m=opt" — and phases
+// (add_phase) carry the paper's per-phase wall-time breakdown.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "perf/machine.hpp"
+
+namespace mrhs::obs {
+
+/// One kernel family's traffic over a measurement window, with its
+/// roofline attribution. Percentages are fractions (0.85 = 85%).
+struct KernelAttribution {
+  std::string name;
+  double bytes = 0.0;
+  double flops = 0.0;
+  double seconds = 0.0;
+  double calls = 0.0;
+  // Derived (attribute() fills these; 0 when seconds == 0 or the
+  // roofline is unknown).
+  double gbytes_per_sec = 0.0;
+  double gflops_per_sec = 0.0;
+  /// Achieved bytes/s over machine B, flops/s over machine F.
+  double pct_of_bandwidth = 0.0;
+  double pct_of_flops = 0.0;
+  /// Roofline floor max(bytes/B, flops/F) and how much of the measured
+  /// time it explains (1.0 = running exactly at the roofline).
+  double roofline_seconds = 0.0;
+  double pct_of_roofline = 0.0;
+  /// "bandwidth" or "compute": which bound dominates at this traffic
+  /// mix (the paper's m_s crossover, observed rather than modeled).
+  std::string bound;
+};
+
+struct PhaseAttribution {
+  std::string name;
+  double seconds = 0.0;
+  std::size_t calls = 0;
+};
+
+/// Fill the derived fields of `k` against `machine` (no-op rates stay
+/// zero when seconds or the machine numbers are zero).
+void attribute(KernelAttribution& k, const perf::MachineParams& machine);
+
+/// The collected result: everything BenchReport serializes.
+struct LedgerReport {
+  perf::MachineParams machine;
+  std::vector<PhaseAttribution> phases;
+  std::vector<KernelAttribution> kernels;
+  /// Counter deltas over the window (name -> value), for the report's
+  /// raw-telemetry section.
+  std::map<std::string, double> counters;
+};
+
+/// Aggregates one measurement window. Typical use (bench_common.hpp
+/// wraps this):
+///
+///   PerfLedger ledger;
+///   ledger.begin();                 // snapshot counters
+///   ... run the bench ...
+///   ledger.set_machine(machine);    // B and F from src/perf probes
+///   ledger.add_phase("1st solve", secs, calls);
+///   auto report = ledger.collect(); // delta + attribution
+///
+/// begin()/collect() read the global MetricsRegistry; the registry
+/// must be enabled for the window or every kernel delta is zero.
+class PerfLedger {
+ public:
+  void set_machine(const perf::MachineParams& machine) { machine_ = machine; }
+  [[nodiscard]] const perf::MachineParams& machine() const { return machine_; }
+  [[nodiscard]] bool has_machine() const {
+    return machine_.bandwidth > 0.0 || machine_.flops > 0.0;
+  }
+
+  /// Snapshot the current counter values as the window baseline.
+  void begin();
+
+  /// Add a named wall-time phase (paper Tables VI/VII rows).
+  void add_phase(const std::string& name, double seconds,
+                 std::size_t calls = 1);
+
+  /// Add an explicitly measured kernel sample (e.g. "gspmv@m=1").
+  void add_kernel_sample(const std::string& name, double bytes, double flops,
+                         double seconds, double calls = 1.0);
+
+  /// Compute the window delta against begin()'s baseline, discover
+  /// kernel families from the ".bytes" counters, and attribute
+  /// everything against the machine roofline. Explicit samples are
+  /// appended after the discovered families.
+  [[nodiscard]] LedgerReport collect() const;
+
+ private:
+  perf::MachineParams machine_{};
+  std::map<std::string, double> baseline_counters_;
+  std::vector<PhaseAttribution> phases_;
+  std::vector<KernelAttribution> samples_;
+};
+
+}  // namespace mrhs::obs

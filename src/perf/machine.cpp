@@ -79,4 +79,25 @@ MachineParams measure_machine(const StreamOptions& stream,
   return params;
 }
 
+MachineParams measure_machine_quick() {
+  static const MachineParams cached = [] {
+    StreamOptions stream;
+    stream.elements = 4u << 20;  // 3 x 32 MiB arrays
+    stream.repetitions = 3;
+    KernelFlopsOptions kern;
+    kern.min_seconds = 0.02;
+    MachineParams params;
+    params.bandwidth = measure_stream_bandwidth(stream);
+    double sum = 0.0;
+    int count = 0;
+    for (std::size_t m : {4, 8, 16, 32}) {
+      sum += measure_kernel_flops(m, kern);
+      ++count;
+    }
+    params.flops = sum / count;
+    return params;
+  }();
+  return cached;
+}
+
 }  // namespace mrhs::perf

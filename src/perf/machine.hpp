@@ -51,4 +51,12 @@ struct KernelFlopsOptions {
 [[nodiscard]] MachineParams measure_machine(const StreamOptions& stream = {},
                                             const KernelFlopsOptions& kern = {});
 
+/// Cheap B/F probe for per-run roofline attribution (obs::PerfLedger
+/// via bench_common's harness): a smaller STREAM working set (still
+/// beyond typical LLC) and the flop rate sampled at a few m instead of
+/// the full [2, 64] average. Noisier than measure_machine() — use it
+/// where a second-long probe per bench would dominate the bench — and
+/// cached per process, so every report of a run shares one probe.
+[[nodiscard]] MachineParams measure_machine_quick();
+
 }  // namespace mrhs::perf

@@ -7,6 +7,7 @@
 #include "dense/matrix.hpp"
 #include "obs/obs.hpp"
 #include "util/contracts.hpp"
+#include "util/timer.hpp"
 
 namespace mrhs::solver {
 
@@ -58,6 +59,7 @@ BlockCgResult block_conjugate_gradient(const LinearOperator& a,
   // it), never as an abort.
   OBS_SPAN_VAR(span, "block_cg.solve");
   span.arg("m", static_cast<double>(m));
+  const util::WallTimer solve_timer;
   // Per-iteration / per-column telemetry: the residual trajectory is
   // what distinguishes a healthy block solve from a degrading one.
   auto record_exit = [&](BlockCgResult& res) -> BlockCgResult& {
@@ -65,6 +67,25 @@ BlockCgResult block_conjugate_gradient(const LinearOperator& a,
     span.arg("converged", res.converged() ? 1.0 : 0.0);
     OBS_COUNTER_ADD("block_cg.solves", 1);
     OBS_COUNTER_ADD("block_cg.iterations", res.iterations);
+    if (obs::metrics_enabled()) {
+      // Roofline accumulators for obs::PerfLedger. Per iteration: two
+      // Gram matrices (2nm^2 flops each), two add_multiplied (2nm^2),
+      // the P update (multiply_in_place_right + axpy, 2nm^2 + 2nm),
+      // ~14nm doubles of traffic; plus the setup residual/Gram and the
+      // operator's own traffic model for every apply_block. The m^3
+      // Cholesky factors are negligible and uncounted.
+      const double iters = static_cast<double>(res.iterations);
+      const double applies = iters + 1.0;  // + initial residual
+      const double nm = static_cast<double>(n) * static_cast<double>(m);
+      const double md = static_cast<double>(m);
+      OBS_COUNTER_ADD("block_cg.bytes",
+                      applies * a.apply_bytes(m) +
+                          (14.0 * iters + 6.0) * nm * 8.0);
+      OBS_COUNTER_ADD("block_cg.flops",
+                      applies * a.apply_flops(m) +
+                          ((10.0 * md + 2.0) * iters + 2.0 * md + 4.0) * nm);
+      OBS_COUNTER_ADD("block_cg.seconds", solve_timer.seconds());
+    }
     if (res.status == SolveStatus::kBreakdown) {
       OBS_COUNTER_ADD("block_cg.breakdowns", 1);
       OBS_INSTANT("block_cg.breakdown");

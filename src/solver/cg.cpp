@@ -8,18 +8,35 @@
 #include "solver/preconditioner.hpp"
 #include "util/contracts.hpp"
 #include "util/stats.hpp"
+#include "util/timer.hpp"
 
 namespace mrhs::solver {
 
 namespace {
 
 /// Shared exit-path telemetry for both CG variants: span args plus the
-/// iteration-count and exit-residual histograms (paper Fig. 6 data).
-CgResult finish_cg(obs::SpanGuard& span, CgResult result) {
+/// iteration-count and exit-residual histograms (paper Fig. 6 data),
+/// and the cg.* roofline accumulators for obs::PerfLedger. The traffic
+/// model is approximate: per iteration one operator apply plus ~10n
+/// flops / ~14n doubles of vector algebra (dots, x/r update, direction
+/// update), and a 4n-flop / 6n-double setup.
+CgResult finish_cg(obs::SpanGuard& span, CgResult result,
+                   const LinearOperator& a, std::size_t n, double seconds) {
   span.arg("iterations", static_cast<double>(result.iterations));
   span.arg("converged", result.converged() ? 1.0 : 0.0);
   OBS_COUNTER_ADD("cg.solves", 1);
   OBS_COUNTER_ADD("cg.iterations", result.iterations);
+  if (obs::metrics_enabled()) {
+    const double iters = static_cast<double>(result.iterations);
+    const double applies = iters + 1.0;  // + initial residual
+    const double nd = static_cast<double>(n);
+    OBS_COUNTER_ADD("cg.bytes",
+                    applies * a.apply_bytes(1) +
+                        (14.0 * iters + 6.0) * nd * 8.0);
+    OBS_COUNTER_ADD("cg.flops",
+                    applies * a.apply_flops(1) + (10.0 * iters + 4.0) * nd);
+    OBS_COUNTER_ADD("cg.seconds", seconds);
+  }
   OBS_HISTOGRAM_OBSERVE("cg.iterations_per_solve", result.iterations,
                         obs::exponential_buckets(1.0, 2.0, 11));
   OBS_HISTOGRAM_OBSERVE("cg.exit_relative_residual",
@@ -41,6 +58,7 @@ CgResult conjugate_gradient(const LinearOperator& a, std::span<const double> b,
   // operands is SolveStatus::kBreakdown (the fault-tolerance ladder
   // relies on it), never an abort.
   OBS_SPAN_VAR(span, "cg.solve");
+  const util::WallTimer solve_timer;
 
   std::vector<double> r(n), p(n), q(n);
 
@@ -53,7 +71,7 @@ CgResult conjugate_gradient(const LinearOperator& a, std::span<const double> b,
   if (b_norm == 0.0) {
     std::fill(x.begin(), x.end(), 0.0);
     result.status = SolveStatus::kConverged;
-    return finish_cg(span, result);
+    return finish_cg(span, result, a, n, solve_timer.seconds());
   }
 
   double rr = 0.0;
@@ -62,7 +80,7 @@ CgResult conjugate_gradient(const LinearOperator& a, std::span<const double> b,
   if (res_norm <= opts.tol * b_norm) {
     result.status = SolveStatus::kConverged;
     result.relative_residual = res_norm / b_norm;
-    return finish_cg(span, result);
+    return finish_cg(span, result, a, n, solve_timer.seconds());
   }
 
   p.assign(r.begin(), r.end());
@@ -105,7 +123,7 @@ CgResult conjugate_gradient(const LinearOperator& a, std::span<const double> b,
     rr = rr_new;
   }
   result.relative_residual = res_norm / b_norm;
-  return finish_cg(span, result);
+  return finish_cg(span, result, a, n, solve_timer.seconds());
 }
 
 CgResult preconditioned_conjugate_gradient(const LinearOperator& a,
@@ -118,6 +136,7 @@ CgResult preconditioned_conjugate_gradient(const LinearOperator& a,
     throw std::invalid_argument("pcg: size mismatch");
   }
   OBS_SPAN_VAR(span, "pcg.solve");
+  const util::WallTimer solve_timer;
 
   std::vector<double> r(n), z(n), p(n), q(n);
 
@@ -129,14 +148,14 @@ CgResult preconditioned_conjugate_gradient(const LinearOperator& a,
   if (b_norm == 0.0) {
     std::fill(x.begin(), x.end(), 0.0);
     result.status = SolveStatus::kConverged;
-    return finish_cg(span, result);
+    return finish_cg(span, result, a, n, solve_timer.seconds());
   }
 
   double res_norm = util::norm2(r);
   if (res_norm <= opts.tol * b_norm) {
     result.status = SolveStatus::kConverged;
     result.relative_residual = res_norm / b_norm;
-    return finish_cg(span, result);
+    return finish_cg(span, result, a, n, solve_timer.seconds());
   }
 
   precond.apply(r, z);
@@ -181,7 +200,7 @@ CgResult preconditioned_conjugate_gradient(const LinearOperator& a,
     rz = rz_new;
   }
   result.relative_residual = res_norm / b_norm;
-  return finish_cg(span, result);
+  return finish_cg(span, result, a, n, solve_timer.seconds());
 }
 
 }  // namespace mrhs::solver

@@ -8,6 +8,7 @@
 
 #include "obs/obs.hpp"
 #include "util/contracts.hpp"
+#include "util/timer.hpp"
 
 namespace mrhs::solver {
 
@@ -88,6 +89,7 @@ void ChebyshevSqrt::apply(const LinearOperator& a, std::span<const double> z,
   OBS_SPAN_VAR(span, "chebyshev.apply");
   span.arg("order", static_cast<double>(coeffs_.size() - 1));
   OBS_COUNTER_ADD("chebyshev.applies", 1);
+  const util::WallTimer apply_timer;
   const double half_width = 0.5 * (bounds_.lambda_max - bounds_.lambda_min);
   const double center = 0.5 * (bounds_.lambda_max + bounds_.lambda_min);
   const double scale = 1.0 / half_width;
@@ -114,6 +116,18 @@ void ChebyshevSqrt::apply(const LinearOperator& a, std::span<const double> z,
     std::swap(t0, t1);
     std::swap(t1, t2);
   }
+  if (obs::metrics_enabled()) {
+    // Roofline accumulators for obs::PerfLedger: one operator apply
+    // per degree step, plus ~6n flops / ~7n doubles of recurrence and
+    // accumulation algebra per step (estimate).
+    const double order = static_cast<double>(coeffs_.size() - 1);
+    const double nd = static_cast<double>(n);
+    OBS_COUNTER_ADD("chebyshev.bytes",
+                    order * a.apply_bytes(1) + (7.0 * order + 5.0) * nd * 8.0);
+    OBS_COUNTER_ADD("chebyshev.flops",
+                    order * a.apply_flops(1) + (6.0 * order + 2.0) * nd);
+    OBS_COUNTER_ADD("chebyshev.seconds", apply_timer.seconds());
+  }
 }
 
 void ChebyshevSqrt::apply_block(const LinearOperator& a,
@@ -129,6 +143,7 @@ void ChebyshevSqrt::apply_block(const LinearOperator& a,
   span.arg("order", static_cast<double>(coeffs_.size() - 1));
   span.arg("m", static_cast<double>(m));
   OBS_COUNTER_ADD("chebyshev.block_applies", 1);
+  const util::WallTimer apply_timer;
   const double half_width = 0.5 * (bounds_.lambda_max - bounds_.lambda_min);
   const double center = 0.5 * (bounds_.lambda_max + bounds_.lambda_min);
   const double scale = 1.0 / half_width;
@@ -157,6 +172,18 @@ void ChebyshevSqrt::apply_block(const LinearOperator& a,
     y.axpy(coeffs_[k], t2);
     std::swap(t0, t1);
     std::swap(t1, t2);
+  }
+  if (obs::metrics_enabled()) {
+    // Block path pays extra traffic for the unfused set_zero + axpy
+    // chain: ~8nm flops / ~13nm doubles per degree step (estimate),
+    // plus the operator's own traffic model per block apply.
+    const double order = static_cast<double>(coeffs_.size() - 1);
+    const double nm = static_cast<double>(n) * static_cast<double>(m);
+    OBS_COUNTER_ADD("chebyshev.bytes",
+                    order * a.apply_bytes(m) + (13.0 * order + 7.0) * nm * 8.0);
+    OBS_COUNTER_ADD("chebyshev.flops",
+                    order * a.apply_flops(m) + (8.0 * order + 2.0) * nm);
+    OBS_COUNTER_ADD("chebyshev.seconds", apply_timer.seconds());
   }
 }
 

@@ -112,6 +112,13 @@ class FaultInjectingOperator final : public LinearOperator {
   void apply_block(const sparse::MultiVector& x,
                    sparse::MultiVector& y) const override;
 
+  [[nodiscard]] double apply_bytes(std::size_t m) const override {
+    return inner_->apply_bytes(m);
+  }
+  [[nodiscard]] double apply_flops(std::size_t m) const override {
+    return inner_->apply_flops(m);
+  }
+
   /// Faults injected so far.
   [[nodiscard]] long injected() const { return injected_; }
 

@@ -29,6 +29,19 @@ class LinearOperator {
   virtual void apply_block(const sparse::MultiVector& x,
                            sparse::MultiVector& y) const = 0;
 
+  /// Traffic model of one apply with m right-hand sides: the minimum
+  /// bytes it moves from memory and the flops it performs. Solvers add
+  /// these into their obs byte/flop accumulators so obs::PerfLedger
+  /// can attribute solve time against the machine roofline. Zero means
+  /// "no model" (matrix-free or test operators) — the attribution then
+  /// covers the solver's own vector algebra only.
+  [[nodiscard]] virtual double apply_bytes(std::size_t /*m*/) const {
+    return 0.0;
+  }
+  [[nodiscard]] virtual double apply_flops(std::size_t /*m*/) const {
+    return 0.0;
+  }
+
   /// Number of apply calls so far, weighted by vector count — i.e. the
   /// total number of (sparse matrix) x (one vector) products. This is
   /// what the paper counts when it reports solver cost in SPMVs.
@@ -71,6 +84,13 @@ class BcrsOperator final : public LinearOperator {
                    sparse::MultiVector& y) const override {
     engine_.apply(x, y, kernel_);
     count(static_cast<long>(x.cols()));
+  }
+
+  [[nodiscard]] double apply_bytes(std::size_t m) const override {
+    return engine_.min_bytes(m);
+  }
+  [[nodiscard]] double apply_flops(std::size_t m) const override {
+    return engine_.flops(m);
   }
 
   [[nodiscard]] const sparse::GspmvEngine& engine() const { return engine_; }

@@ -4,8 +4,32 @@
 #include <stdexcept>
 
 #include "dense/matrix.hpp"
+#include "obs/obs.hpp"
+#include "util/timer.hpp"
 
 namespace mrhs::solver {
+
+namespace {
+
+/// Roofline accumulators (obs::PerfLedger "guess" family) for one
+/// guess construction over a k-vector window: k operator applies, the
+/// 2nk^2-flop Gram build, and the 2nk rhs/combine passes. Approximate,
+/// like the other solver families; the k^2 Cholesky is uncounted.
+void record_guess_metrics(const LinearOperator& a, std::size_t n,
+                          std::size_t k, double seconds) {
+  if (!obs::metrics_enabled()) return;
+  const double nd = static_cast<double>(n);
+  const double kd = static_cast<double>(k);
+  OBS_COUNTER_ADD("guess.calls", 1);
+  OBS_COUNTER_ADD("guess.bytes",
+                  kd * a.apply_bytes(1) +
+                      (2.0 * kd * kd + 6.0 * kd) * nd * 8.0);
+  OBS_COUNTER_ADD("guess.flops",
+                  kd * a.apply_flops(1) + (2.0 * kd * kd + 4.0 * kd) * nd);
+  OBS_COUNTER_ADD("guess.seconds", seconds);
+}
+
+}  // namespace
 
 ProjectionGuess::ProjectionGuess(std::size_t capacity)
     : capacity_(capacity == 0 ? 1 : capacity) {}
@@ -32,6 +56,7 @@ bool ProjectionGuess::make_guess(const LinearOperator& a,
   }
 
   const std::size_t k = window_.size();
+  const util::WallTimer guess_timer;
   // G = U^T A U and rhs = U^T b.
   std::vector<std::vector<double>> au(k, std::vector<double>(n));
   for (std::size_t j = 0; j < k; ++j) a.apply(window_[j], au[j]);
@@ -70,6 +95,7 @@ bool ProjectionGuess::make_guess(const LinearOperator& a,
         const auto& u = window_[j];
         for (std::size_t t = 0; t < n; ++t) x0[t] += coef * u[t];
       }
+      record_guess_metrics(a, n, k, guess_timer.seconds());
       return true;
     } catch (const std::runtime_error&) {
       const double ridge =
@@ -79,6 +105,7 @@ bool ProjectionGuess::make_guess(const LinearOperator& a,
     }
   }
   std::fill(x0.begin(), x0.end(), 0.0);
+  record_guess_metrics(a, n, k, guess_timer.seconds());
   return false;
 }
 

@@ -13,146 +13,13 @@
 #include "core/sd_simulation.hpp"
 #include "core/stepper.hpp"
 #include "obs/obs.hpp"
+#include "json_validator.hpp"
 
 namespace {
 
 using namespace mrhs;
 
-// ---------------------------------------------------------------------
-// Minimal recursive-descent JSON validator (no external deps): accepts
-// exactly the RFC 8259 grammar, which is enough to prove the exporters
-// emit well-formed JSON.
-class JsonValidator {
- public:
-  static bool valid(const std::string& text) {
-    JsonValidator v(text);
-    v.skip_ws();
-    if (!v.value()) return false;
-    v.skip_ws();
-    return v.pos_ == text.size();
-  }
-
- private:
-  explicit JsonValidator(const std::string& text) : text_(text) {}
-
-  [[nodiscard]] char peek() const {
-    return pos_ < text_.size() ? text_[pos_] : '\0';
-  }
-  bool consume(char c) {
-    if (peek() != c) return false;
-    ++pos_;
-    return true;
-  }
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
-            text_[pos_] == '\n' || text_[pos_] == '\r')) {
-      ++pos_;
-    }
-  }
-
-  bool value() {
-    switch (peek()) {
-      case '{':
-        return object();
-      case '[':
-        return array();
-      case '"':
-        return string();
-      case 't':
-        return literal("true");
-      case 'f':
-        return literal("false");
-      case 'n':
-        return literal("null");
-      default:
-        return number();
-    }
-  }
-
-  bool literal(const char* word) {
-    for (const char* p = word; *p != '\0'; ++p) {
-      if (!consume(*p)) return false;
-    }
-    return true;
-  }
-
-  bool object() {
-    if (!consume('{')) return false;
-    skip_ws();
-    if (consume('}')) return true;
-    while (true) {
-      skip_ws();
-      if (!string()) return false;
-      skip_ws();
-      if (!consume(':')) return false;
-      skip_ws();
-      if (!value()) return false;
-      skip_ws();
-      if (consume('}')) return true;
-      if (!consume(',')) return false;
-    }
-  }
-
-  bool array() {
-    if (!consume('[')) return false;
-    skip_ws();
-    if (consume(']')) return true;
-    while (true) {
-      skip_ws();
-      if (!value()) return false;
-      skip_ws();
-      if (consume(']')) return true;
-      if (!consume(',')) return false;
-    }
-  }
-
-  bool string() {
-    if (!consume('"')) return false;
-    while (pos_ < text_.size()) {
-      const char c = text_[pos_++];
-      if (c == '"') return true;
-      if (static_cast<unsigned char>(c) < 0x20) return false;
-      if (c == '\\') {
-        if (pos_ >= text_.size()) return false;
-        const char esc = text_[pos_++];
-        if (esc == 'u') {
-          for (int i = 0; i < 4; ++i) {
-            if (pos_ >= text_.size() ||
-                std::isxdigit(static_cast<unsigned char>(text_[pos_])) == 0) {
-              return false;
-            }
-            ++pos_;
-          }
-        } else if (std::string("\"\\/bfnrt").find(esc) == std::string::npos) {
-          return false;
-        }
-      }
-    }
-    return false;
-  }
-
-  bool number() {
-    const std::size_t start = pos_;
-    consume('-');
-    if (std::isdigit(static_cast<unsigned char>(peek())) == 0) return false;
-    while (std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos_;
-    if (consume('.')) {
-      if (std::isdigit(static_cast<unsigned char>(peek())) == 0) return false;
-      while (std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos_;
-    }
-    if (peek() == 'e' || peek() == 'E') {
-      ++pos_;
-      if (peek() == '+' || peek() == '-') ++pos_;
-      if (std::isdigit(static_cast<unsigned char>(peek())) == 0) return false;
-      while (std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos_;
-    }
-    return pos_ > start;
-  }
-
-  const std::string& text_;
-  std::size_t pos_ = 0;
-};
+using JsonValidator = mrhs::testing::JsonValidator;
 
 // Fresh, enabled recorder/registry per test; disabled afterwards so
 // other suites in this binary see the default-off state.
@@ -225,6 +92,71 @@ TEST_F(ObsTest, HistogramBucketEdges) {
   EXPECT_THROW(obs::Histogram({}), std::invalid_argument);
   EXPECT_THROW(obs::Histogram({2.0, 1.0}), std::invalid_argument);
   EXPECT_THROW(obs::Histogram({1.0, 1.0}), std::invalid_argument);
+}
+
+TEST_F(ObsTest, HistogramQuantileEstimates) {
+  // 100 observations spread uniformly over (0, 10] with bucket width 1:
+  // the interpolated quantile should land within one bucket of truth.
+  obs::HistogramSnapshot hs;
+  hs.bounds = obs::linear_buckets(1.0, 1.0, 10);
+  hs.counts.assign(11, 10);
+  hs.counts.back() = 0;  // no overflow
+  hs.total = 100;
+  hs.min = 0.05;
+  hs.max = 10.0;
+
+  EXPECT_DOUBLE_EQ(hs.quantile(0.0), hs.min);
+  EXPECT_DOUBLE_EQ(hs.quantile(1.0), hs.max);
+  EXPECT_NEAR(hs.quantile(0.50), 5.0, 1.0);
+  EXPECT_NEAR(hs.quantile(0.95), 9.5, 1.0);
+  EXPECT_NEAR(hs.quantile(0.99), 9.9, 1.0);
+  // Monotone in q.
+  EXPECT_LE(hs.quantile(0.50), hs.quantile(0.95));
+  EXPECT_LE(hs.quantile(0.95), hs.quantile(0.99));
+  // Out-of-range q clamps rather than extrapolating.
+  EXPECT_DOUBLE_EQ(hs.quantile(-0.5), hs.min);
+  EXPECT_DOUBLE_EQ(hs.quantile(1.5), hs.max);
+
+  const obs::HistogramSnapshot empty;
+  EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);
+}
+
+TEST_F(ObsTest, HistogramQuantileSingleBucket) {
+  // All mass in one bucket: every quantile stays inside [min, max].
+  obs::HistogramSnapshot hs;
+  hs.bounds = {1.0, 2.0};
+  hs.counts = {0, 7, 0};
+  hs.total = 7;
+  hs.min = 1.2;
+  hs.max = 1.9;
+  for (double q : {0.0, 0.25, 0.5, 0.75, 0.99, 1.0}) {
+    const double v = hs.quantile(q);
+    EXPECT_GE(v, hs.min) << "q=" << q;
+    EXPECT_LE(v, hs.max) << "q=" << q;
+  }
+}
+
+TEST_F(ObsTest, MetricsJsonExportsPercentiles) {
+  auto& reg = obs::MetricsRegistry::instance();
+  reg.enable();
+  for (int i = 1; i <= 100; ++i) {
+    OBS_HISTOGRAM_OBSERVE("qtest.latency", static_cast<double>(i),
+                          obs::linear_buckets(10.0, 10.0, 10));
+  }
+  std::ostringstream os;
+  reg.write_json(os);
+  const std::string text = os.str();
+  EXPECT_TRUE(JsonValidator::valid(text)) << text;
+  EXPECT_NE(text.find("\"p50\""), std::string::npos);
+  EXPECT_NE(text.find("\"p95\""), std::string::npos);
+  EXPECT_NE(text.find("\"p99\""), std::string::npos);
+
+  const auto snap = reg.snapshot();
+  const auto it = snap.histograms.find("qtest.latency");
+  ASSERT_NE(it, snap.histograms.end());
+  EXPECT_NEAR(it->second.quantile(0.50), 50.0, 10.0);
+  EXPECT_NEAR(it->second.quantile(0.95), 95.0, 10.0);
+  EXPECT_NEAR(it->second.quantile(0.99), 99.0, 10.0);
 }
 
 TEST_F(ObsTest, BucketBuilders) {
