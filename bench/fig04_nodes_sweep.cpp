@@ -5,6 +5,7 @@
 #include "cluster/comm_model.hpp"
 #include "cluster/partitioner.hpp"
 #include "core/workloads.hpp"
+#include "sd/assembly_engine.hpp"
 #include "sd/packing.hpp"
 #include "sd/radii.hpp"
 #include "sd/resistance.hpp"
@@ -38,7 +39,7 @@ int main(int argc, char** argv) {
   for (std::size_t which : {0u, 1u}) {
     sd::ResistanceParams params;
     params.lubrication.max_gap_scaled = specs[which].cutoff;
-    const auto matrix = sd::assemble_resistance(system, params);
+    const auto matrix = sd::AssemblyEngine(params).assemble_full(system).matrix;
 
     util::Table table({"nodes", "r(m=8)", "r(m=16)", "r(m=32)"});
     cluster::ClusterParams cp;

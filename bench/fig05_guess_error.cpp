@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
   config.phi = phi;
   config.seed = static_cast<std::uint64_t>(seed);
   core::SdSimulation sim(config);
-  core::MrhsAlgorithm mrhs(sim, static_cast<std::size_t>(rhs));
+  core::MrhsAlgorithm mrhs(sim, {.rhs = static_cast<std::size_t>(rhs)});
   const auto stats = mrhs.run(static_cast<std::size_t>(rhs));
 
   util::Table table({"step", "rel error", "rel error / sqrt(step)"});

@@ -42,7 +42,7 @@ int main(int argc, char** argv) {
     config.phi = phi;
     config.seed = 42;
     core::SdSimulation sim(config);
-    core::MrhsAlgorithm mrhs(sim, static_cast<std::size_t>(steps));
+    core::MrhsAlgorithm mrhs(sim, {.rhs = static_cast<std::size_t>(steps)});
     const auto stats = mrhs.run(static_cast<std::size_t>(steps));
     harness.add_phases(stats, "n=" + std::to_string(n) + "/");
     std::vector<std::size_t> iters;

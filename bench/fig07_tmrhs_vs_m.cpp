@@ -72,7 +72,7 @@ int main(int argc, char** argv) {
     model.iters_second = n2 / static_cast<double>(st_orig.steps.size());
 
     core::SdSimulation sim_mrhs(config);
-    core::MrhsAlgorithm mrhs(sim_mrhs, 8);
+    core::MrhsAlgorithm mrhs(sim_mrhs, {.rhs = 8});
     const auto st_mrhs = mrhs.run(8);
     double n1 = 0;
     for (std::size_t k = 1; k < st_mrhs.steps.size(); ++k) {
@@ -95,7 +95,7 @@ int main(int argc, char** argv) {
   std::size_t best_m = 1;
   for (std::size_t m : ms) {
     core::SdSimulation sim(config);
-    core::MrhsAlgorithm mrhs(sim, m);
+    core::MrhsAlgorithm mrhs(sim, {.rhs = m});
     const std::size_t steps =
         steps_per_m > 0 ? static_cast<std::size_t>(steps_per_m) : m;
     const auto stats = mrhs.run(steps);

@@ -78,7 +78,7 @@ int main(int argc, char** argv) {
     config.seed = 42;
     config.threads = t;
     core::SdSimulation sim_m(config), sim_o(config);
-    core::MrhsAlgorithm mrhs(sim_m, static_cast<std::size_t>(rhs));
+    core::MrhsAlgorithm mrhs(sim_m, {.rhs = static_cast<std::size_t>(rhs)});
     core::OriginalAlgorithm orig(sim_o);
     const auto st_m = mrhs.run(static_cast<std::size_t>(steps));
     const auto st_o = orig.run(static_cast<std::size_t>(steps));

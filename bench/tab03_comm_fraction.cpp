@@ -6,6 +6,7 @@
 #include "cluster/comm_model.hpp"
 #include "cluster/partitioner.hpp"
 #include "core/workloads.hpp"
+#include "sd/assembly_engine.hpp"
 #include "sd/packing.hpp"
 #include "sd/radii.hpp"
 #include "sd/resistance.hpp"
@@ -37,7 +38,7 @@ int main(int argc, char** argv) {
       core::paper_matrix_suite(static_cast<std::size_t>(particles), 42)[0];
   sd::ResistanceParams params;
   params.lubrication.max_gap_scaled = spec.cutoff;
-  const auto matrix = sd::assemble_resistance(system, params);
+  const auto matrix = sd::AssemblyEngine(params).assemble_full(system).matrix;
 
   util::Table table({"nodes", "m=1", "m=8", "m=32", "paper (m=1/8/32)"});
   const char* paper[] = {"88% / 76% / 52%", "97% / 90% / 67%"};

@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
     config.seed = 42;
     {
       core::SdSimulation sim(config);
-      core::MrhsAlgorithm mrhs(sim, static_cast<std::size_t>(steps));
+      core::MrhsAlgorithm mrhs(sim, {.rhs = static_cast<std::size_t>(steps)});
       const auto stats = mrhs.run(static_cast<std::size_t>(steps));
       for (const auto& rec : stats.steps) {
         with[c].push_back(rec.iters_first_solve);

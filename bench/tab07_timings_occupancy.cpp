@@ -38,7 +38,7 @@ int main(int argc, char** argv) {
     config.phi = phi;
     config.seed = 42;
     core::SdSimulation sim(config);
-    core::MrhsAlgorithm mrhs(sim, static_cast<std::size_t>(rhs));
+    core::MrhsAlgorithm mrhs(sim, {.rhs = static_cast<std::size_t>(rhs)});
     const auto stats = mrhs.run(static_cast<std::size_t>(steps));
     harness.add_phases(stats, "mrhs.phi=" + util::Table::fmt(phi, 2) + "/");
     columns.push_back(bench::breakdown_column(stats, /*is_mrhs=*/true));

@@ -70,7 +70,7 @@ int main(int argc, char** argv) {
     }
     model.iters_second = n2 / static_cast<double>(st_orig.steps.size());
     core::SdSimulation sim_mrhs(config);
-    core::MrhsAlgorithm mrhs(sim_mrhs, 8);
+    core::MrhsAlgorithm mrhs(sim_mrhs, {.rhs = 8});
     const auto st_mrhs = mrhs.run(8);
     double n1 = 0;
     for (std::size_t k = 1; k < st_mrhs.steps.size(); ++k) {

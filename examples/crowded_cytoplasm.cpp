@@ -41,7 +41,7 @@ int main(int argc, char** argv) {
     config.seed = 7;
     core::SdSimulation sim(config);
 
-    core::MrhsAlgorithm stepper(sim, static_cast<std::size_t>(rhs));
+    core::MrhsAlgorithm stepper(sim, {.rhs = static_cast<std::size_t>(rhs)});
     const auto stats = stepper.run(static_cast<std::size_t>(steps));
 
     // D = MSD / (6 t); dilute reference D0 = kT / (6 pi eta a_mean)

@@ -66,6 +66,7 @@ int main(int argc, char** argv) {
   std::string positions_out;
   int max_rollbacks = 8;
   int snapshot_every = 16;
+  double assembly_tolerance = 0.0;
   util::ArgParser args("quickstart",
                        "Minimal MRHS Stokesian dynamics simulation");
   args.add("particles", particles, "number of particles");
@@ -86,6 +87,9 @@ int main(int argc, char** argv) {
            "rollback budget before the run gives up");
   args.add("snapshot-every", snapshot_every,
            "steps between in-memory rollback snapshots");
+  args.add("assembly-tolerance", assembly_tolerance,
+           "incremental-assembly displacement tolerance as a fraction of "
+           "the mean radius (0: rebuild every lubrication block per step)");
   util::ObsCli obs_cli;
   obs_cli.add_to(args);
   util::FaultCli fault_cli;
@@ -102,6 +106,7 @@ int main(int argc, char** argv) {
   config.particles = static_cast<std::size_t>(particles);
   config.phi = phi;
   config.seed = 2024;
+  config.assembly_tolerance = std::max(assembly_tolerance, 0.0);
   std::optional<core::SdSimulation> sim;
   std::optional<core::MrhsAlgorithm> stepper;
   core::RunStatsSummary prior_stats;
@@ -123,14 +128,14 @@ int main(int argc, char** argv) {
                    s.to_string().c_str());
       return 1;
     }
-    stepper.emplace(*sim, ck.mrhs_rhs);
+    stepper.emplace(*sim, core::AlgorithmConfig{.rhs = ck.mrhs_rhs});
     stepper->import_state(ck.mrhs_state);
     prior_stats = ck.stats;
     std::printf("resumed from %s at step %zu\n", resume_path.c_str(),
                 stepper->current_step());
   } else {
     sim.emplace(config);
-    stepper.emplace(*sim, static_cast<std::size_t>(rhs));
+    stepper.emplace(*sim, core::AlgorithmConfig{.rhs = static_cast<std::size_t>(rhs)});
   }
   std::printf("system: %zu particles, phi = %.2f, box = %.1f radii, "
               "dt = %.3g\n",
@@ -226,6 +231,11 @@ int main(int argc, char** argv) {
   }
   std::printf("mean squared displacement: %.4g (radius units^2)\n",
               sim->system().mean_squared_displacement());
+  const sd::AssemblyEngine& engine = sim->engine();
+  std::printf("assembly: tolerance %.3g, pattern rebuilds %zu, "
+              "pairs recomputed %zu, blocks reused %zu\n",
+              engine.tolerance(), engine.pattern_rebuilds(),
+              engine.pairs_dirty_total(), engine.blocks_reused_total());
   std::printf("\nphase breakdown (s/step):\n");
   for (const auto& name : stats.timers.names()) {
     std::printf("  %-14s %.4f\n", name.c_str(),

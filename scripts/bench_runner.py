@@ -42,7 +42,8 @@ TRAJECTORY_VERSION = 1
 
 # Curated smoke set: small enough for CI, together covering GSPMV
 # roofline attribution (tab02, fig02, fig07), solver phase breakdowns
-# (tab06), guess construction (fig05), and the matrix suite (tab01).
+# (tab06), guess construction (fig05), the matrix suite (tab01), and
+# incremental assembly (abl04).
 CURATED = {
     "tab01_matrices": ["--particles", "2000"],
     "tab02_spmv_baseline": ["--particles", "2000"],
@@ -50,6 +51,7 @@ CURATED = {
     "fig05_guess_error": ["--particles", "600"],
     "fig07_tmrhs_vs_m": ["--particles", "800", "--steps", "4"],
     "tab06_timings_size": ["--sizes", "300,600,1200", "--steps", "4"],
+    "abl04_incremental_assembly": ["--particles", "600", "--steps", "6"],
 }
 
 

@@ -63,6 +63,15 @@ bench-report
     printf-only benches are invisible to scripts/bench_runner.py and
     the BENCH_*.json regression pipeline, so their numbers silently
     fall out of the performance history.
+
+assembly-via-engine
+    ResistanceAssembler (and the removed free assemble_resistance) is
+    an implementation detail of sd::AssemblyEngine. A direct call
+    outside src/sd bypasses the engine's dirty-pair tracking and
+    pattern cache, so its matrix silently diverges from the engine's
+    incremental state and none of the assembly.* counters fire.
+    Construct an AssemblyEngine and use assemble_full() /
+    assemble_incremental() instead.
 """
 
 from __future__ import annotations
@@ -301,6 +310,21 @@ class Linter:
                             f"table ({FAULT_SITE_HEADER}); undocumented "
                             f"sites can never be armed")
 
+    def check_assembly_via_engine(self, path: Path,
+                                  raw_lines: list[str]) -> None:
+        rel = str(path.relative_to(self.repo))
+        if rel.startswith("src/sd/"):
+            return  # the engine and the assembler itself live here
+        for lineno, line in enumerate(raw_lines, 1):
+            code = strip_comments_and_strings(line.split("//")[0])
+            if re.search(r"\bResistanceAssembler\b|\bassemble_resistance\s*\(",
+                         code):
+                self.report(
+                    path, lineno, "assembly-via-engine",
+                    "direct ResistanceAssembler use outside src/sd bypasses "
+                    "sd::AssemblyEngine (dirty-pair tracking, pattern cache, "
+                    "assembly.* counters); route through the engine")
+
     def check_bench_report(self, path: Path, text: str) -> None:
         rel = str(path.relative_to(self.repo))
         if not (rel.startswith("bench/") and path.suffix == ".cpp"):
@@ -335,6 +359,7 @@ class Linter:
             self.check_no_float(path, raw_lines)
             self.check_no_raw_omp(path, raw_lines)
             self.check_fault_sites(path, raw_lines)
+            self.check_assembly_via_engine(path, raw_lines)
             self.check_bench_report(path, text)
         self.check_nodiscard_decls()
 

@@ -118,6 +118,7 @@ void write_config(Writer& w, const SdConfig& c) {
   w.put_f64(c.max_step_fraction);
   w.put_f64(c.lubrication_cutoff);
   w.put_f64(c.packing_pad);
+  w.put_f64(c.assembly_tolerance);
   w.put_u64(static_cast<std::uint64_t>(c.threads));
 }
 
@@ -134,7 +135,29 @@ void read_config(Reader& r, SdConfig& c) {
   c.max_step_fraction = r.get_f64();
   c.lubrication_cutoff = r.get_f64();
   c.packing_pad = r.get_f64();
+  c.assembly_tolerance = r.get_f64();
   c.threads = static_cast<int>(r.get_u64());
+}
+
+void write_vec3s(Writer& w, const std::vector<sd::Vec3>& v) {
+  w.put_u64(v.size());
+  for (const auto& p : v) {
+    w.put_f64(p.x);
+    w.put_f64(p.y);
+    w.put_f64(p.z);
+  }
+}
+
+[[nodiscard]] bool read_vec3s(Reader& r, std::vector<sd::Vec3>& v) {
+  const std::uint64_t count = r.get_u64();
+  if (!r.plausible_count(count, 3 * sizeof(double))) return false;
+  v.resize(count);
+  for (auto& p : v) {
+    p.x = r.get_f64();
+    p.y = r.get_f64();
+    p.z = r.get_f64();
+  }
+  return true;
 }
 
 std::vector<std::uint8_t> encode_payload(const Checkpoint& ck) {
@@ -194,6 +217,15 @@ std::vector<std::uint8_t> encode_payload(const Checkpoint& ck) {
   w.put_u64(ck.stats.degradations);
   w.put_u64(ck.stats.recovery_promotions);
   w.put_u8(ck.stats.resilience_gave_up ? 1 : 0);
+
+  // v3: assembly-engine state. Tensors are not stored — import
+  // recomputes them from the reference positions bitwise.
+  w.put_f64(ck.assembly.tolerance);
+  w.put_f64(ck.assembly.skin);
+  w.put_u64(ck.assembly.pattern_epoch);
+  w.put_u8(ck.assembly.has_pattern ? 1 : 0);
+  write_vec3s(w, ck.assembly.pattern_refs);
+  write_vec3s(w, ck.assembly.pair_refs);
   return w.bytes();
 }
 
@@ -270,6 +302,15 @@ Status decode_payload(const std::uint8_t* data, std::size_t size,
   ck.stats.recovery_promotions = r.get_u64();
   ck.stats.resilience_gave_up = r.get_u8() != 0;
 
+  ck.assembly.tolerance = r.get_f64();
+  ck.assembly.skin = r.get_f64();
+  ck.assembly.pattern_epoch = r.get_u64();
+  ck.assembly.has_pattern = r.get_u8() != 0;
+  if (!read_vec3s(r, ck.assembly.pattern_refs) ||
+      !read_vec3s(r, ck.assembly.pair_refs)) {
+    return Status::corrupt_data("implausible assembly-state count");
+  }
+
   if (!r.ok()) return Status::corrupt_data("payload truncated");
   if (!r.exhausted()) {
     return Status::corrupt_data("payload has trailing bytes");
@@ -301,6 +342,11 @@ void write_sidecar(const Checkpoint& ck, const std::string& path,
       << ",\n"
       << "  \"resilience_gave_up\": "
       << (ck.stats.resilience_gave_up ? "true" : "false") << ",\n"
+      << "  \"assembly_tolerance\": " << ck.assembly.tolerance << ",\n"
+      << "  \"assembly_pattern_epoch\": " << ck.assembly.pattern_epoch
+      << ",\n"
+      << "  \"assembly_has_pattern\": "
+      << (ck.assembly.has_pattern ? "true" : "false") << ",\n"
       << "  \"payload_bytes\": " << payload_bytes << ",\n"
       << "  \"crc32\": " << crc << "\n"
       << "}\n";
@@ -316,6 +362,7 @@ Checkpoint capture_common(const SdSimulation& sim) {
   ck.positions = snap.positions;
   ck.unwrapped = snap.unwrapped;
   ck.radii.assign(sim.system().radii().begin(), sim.system().radii().end());
+  ck.assembly = sim.export_assembly_state();
   return ck;
 }
 
@@ -469,6 +516,7 @@ Status restore_simulation(const Checkpoint& ck,
                             sd::PeriodicBox(ck.box_length));
   system.restore({ck.positions, ck.unwrapped});
   sim.emplace(ck.config, std::move(system), ck.dt, ck.mean_radius);
+  sim->import_assembly_state(ck.assembly);
   return Status::ok();
 }
 

@@ -34,7 +34,7 @@
 
 namespace mrhs::core {
 
-inline constexpr std::uint32_t kCheckpointVersion = 2;
+inline constexpr std::uint32_t kCheckpointVersion = 3;
 
 /// Which stepping algorithm the checkpoint belongs to; a checkpoint
 /// resumes only with the same algorithm (the carry-over state is
@@ -116,6 +116,12 @@ struct Checkpoint {
   /// default — callers with accumulated RunStats fill it in
   /// (RunStatsSummary::from) before saving.
   RunStatsSummary stats{};
+  /// v3: incremental-assembly engine state (tolerance, skin, pattern
+  /// epoch, reference positions). Without it a resume would rebuild
+  /// the pattern and refresh every pair at the restart step, breaking
+  /// bitwise equality with the straight run whenever
+  /// assembly_tolerance > 0.
+  sd::AssemblyEngineState assembly{};
 };
 
 /// Capture the current simulation + stepper state. The checkpoint is

@@ -28,6 +28,7 @@ void ResilientRunner::take_snapshot() {
   snap.step = alg_->current_step();
   snap.system = sim_->system().snapshot();
   snap.alg = alg_->export_state();
+  snap.assembly = sim_->export_assembly_state();
   snapshot_ = std::move(snap);
   epoch_rollbacks_ = 0;
   OBS_COUNTER_ADD("resilience.snapshots", 1);
@@ -64,6 +65,7 @@ bool ResilientRunner::roll_back(RunStats& stats) {
 
   const Snapshot& snap = *snapshot_;
   sim_->system().restore(snap.system);
+  sim_->import_assembly_state(snap.assembly);
   alg_->import_state(MrhsState(snap.alg));
   while (!stats.steps.empty() && stats.steps.back().step >= snap.step) {
     stats.steps.pop_back();
@@ -148,6 +150,7 @@ RunStats ResilientRunner::run(std::size_t count) {
         // Budget exhausted: park the trajectory at the last good
         // snapshot rather than integrating a corrupt state onward.
         sim_->system().restore(snapshot_->system);
+        sim_->import_assembly_state(snapshot_->assembly);
         alg_->import_state(MrhsState(snapshot_->alg));
         while (!stats.steps.empty() &&
                stats.steps.back().step >= snapshot_->step) {

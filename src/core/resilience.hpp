@@ -100,6 +100,11 @@ class ResilientRunner {
     std::size_t step = 0;
     sd::ParticleSystem::Snapshot system;
     MrhsState alg;
+    /// Assembly-engine state at the snapshot step: without it a
+    /// rollback would replay with refreshed lubrication blocks and
+    /// diverge bitwise from the fault-free trajectory whenever
+    /// incremental assembly is enabled.
+    sd::AssemblyEngineState assembly;
   };
 
   void take_snapshot();

@@ -40,6 +40,10 @@ SdSimulation::SdSimulation(const SdConfig& config) : config_(config) {
   const double target =
       std::min(config.rms_step_fraction, 0.4 * pad) * mean_radius_;
   dt_ = target * target * zeta / (6.0 * config.kT);
+
+  engine_.emplace(resistance_,
+                  sd::AssemblyOptions{
+                      .tolerance = config.assembly_tolerance * mean_radius_});
 }
 
 SdSimulation::SdSimulation(const SdConfig& config, sd::ParticleSystem system,
@@ -51,13 +55,13 @@ SdSimulation::SdSimulation(const SdConfig& config, sd::ParticleSystem system,
   resistance_.viscosity = config.viscosity;
   resistance_.lubrication.viscosity = config.viscosity;
   resistance_.lubrication.max_gap_scaled = config.lubrication_cutoff;
+  engine_.emplace(resistance_,
+                  sd::AssemblyOptions{
+                      .tolerance = config.assembly_tolerance * mean_radius_});
 }
 
-AssemblyResult SdSimulation::assemble() const {
-  if (!assembler_.has_value()) assembler_.emplace(resistance_);
-  AssemblyResult result;
-  result.matrix = assembler_->assemble(system_, &result.stats);
-  return result;
+AssemblyResult SdSimulation::assemble() {
+  return engine_->assemble_incremental(system_);
 }
 
 void SdSimulation::noise(std::uint64_t step, std::span<double> z) const {

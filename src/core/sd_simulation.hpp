@@ -7,6 +7,7 @@
 #include <optional>
 #include <span>
 
+#include "sd/assembly_engine.hpp"
 #include "sd/brownian.hpp"
 #include "sd/packing.hpp"
 #include "sd/particle_system.hpp"
@@ -45,17 +46,19 @@ struct SdConfig {
   /// wide gaps, crowded ones sit near contact, reproducing the paper's
   /// occupancy-dependent conditioning (Table V).
   double packing_pad = -1.0;
+  /// Incremental-assembly displacement tolerance as a fraction of the
+  /// mean radius (sd::AssemblyEngine; the Verlet skin is derived from
+  /// it). 0 (default) rebuilds every assembly from scratch and is
+  /// bitwise identical to the legacy path; nonzero trades a bounded
+  /// trajectory perturbation for reusing clean lubrication blocks
+  /// (bench/abl04 measures the trade-off).
+  double assembly_tolerance = 0.0;
   int threads = 0;  // 0 = omp_get_max_threads()
 };
 
-/// Everything one resistance assembly produces: the matrix plus the
-/// pair statistics gathered while building it. Returning both together
-/// (instead of an out-parameter) means no caller can forget the stats
-/// or read a half-written struct on an error path.
-struct AssemblyResult {
-  sparse::BcrsMatrix matrix;
-  sd::AssemblyStats stats;
-};
+/// Matrix + stats of one assembly (now produced by sd::AssemblyEngine;
+/// the alias keeps core-level callers source-compatible).
+using AssemblyResult = sd::AssemblyResult;
 
 class SdSimulation {
  public:
@@ -83,8 +86,24 @@ class SdSimulation {
   void set_dt(double dt) { dt_ = dt; }
   [[nodiscard]] std::size_t dof() const { return 3 * system_.size(); }
 
-  /// Assemble R = mu_F I + R_lub at the current configuration.
-  [[nodiscard]] AssemblyResult assemble() const;
+  /// Assemble R = mu_F I + R_lub at the current configuration, via
+  /// the engine's incremental path (a full rebuild when
+  /// `assembly_tolerance` is 0, the default).
+  [[nodiscard]] AssemblyResult assemble();
+
+  /// The stateful assembly engine (pattern cache + dirty-pair
+  /// tracker). Steppers call this directly; its state participates in
+  /// checkpoint/rollback via export_assembly_state()/
+  /// import_assembly_state().
+  [[nodiscard]] sd::AssemblyEngine& engine() { return *engine_; }
+  [[nodiscard]] const sd::AssemblyEngine& engine() const { return *engine_; }
+
+  [[nodiscard]] sd::AssemblyEngineState export_assembly_state() const {
+    return engine_->export_state();
+  }
+  void import_assembly_state(const sd::AssemblyEngineState& state) {
+    engine_->import_state(state, system_);
+  }
 
   /// Standard normal noise vector for time step `step` (deterministic,
   /// so different algorithms see identical forcing).
@@ -103,8 +122,9 @@ class SdSimulation {
   SdConfig config_;
   sd::ParticleSystem system_;
   sd::ResistanceParams resistance_;
-  /// Reused across the two assemblies of every time step.
-  mutable std::optional<sd::ResistanceAssembler> assembler_;
+  /// Stateful assembly: pattern cache and dirty-pair tracker persist
+  /// across the two assemblies of every time step (and across steps).
+  std::optional<sd::AssemblyEngine> engine_;
   double dt_ = 0.0;
   double mean_radius_ = 1.0;
 };

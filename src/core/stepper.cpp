@@ -79,9 +79,10 @@ double RunStats::mean_first_solve_iters() const {
   return s / static_cast<double>(steps.size());
 }
 
-OriginalAlgorithm::OriginalAlgorithm(SdSimulation& sim,
-                                     std::size_t bounds_refresh)
-    : sim_(&sim), bounds_refresh_(bounds_refresh == 0 ? 1 : bounds_refresh) {}
+OriginalAlgorithm::OriginalAlgorithm(SdSimulation& sim, AlgorithmConfig config)
+    : sim_(&sim),
+      bounds_refresh_(config.bounds_refresh == 0 ? 1 : config.bounds_refresh) {
+}
 
 AlgorithmState OriginalAlgorithm::export_state() const {
   return {step_, bounds_, have_bounds_};
@@ -115,7 +116,7 @@ RunStats OriginalAlgorithm::run(std::size_t count) {
     sparse::BcrsMatrix r_k;
     {
       util::ScopedPhase t(stats.timers, phase::kConstruct);
-      r_k = sim_->assemble().matrix;
+      r_k = sim_->engine().assemble_incremental(sim_->system()).matrix;
     }
     solver::BcrsOperator op(r_k, config.threads);
 
@@ -152,7 +153,7 @@ RunStats OriginalAlgorithm::run(std::size_t count) {
     sparse::BcrsMatrix r_mid;
     {
       util::ScopedPhase t(stats.timers, phase::kConstruct);
-      r_mid = sim_->assemble().matrix;
+      r_mid = sim_->engine().assemble_incremental(sim_->system()).matrix;
     }
     solver::BcrsOperator op_mid(r_mid, config.threads);
     u_mid = u;
@@ -172,9 +173,9 @@ RunStats OriginalAlgorithm::run(std::size_t count) {
   return stats;
 }
 
-CholeskyAlgorithm::CholeskyAlgorithm(SdSimulation& sim, std::size_t max_dof)
+CholeskyAlgorithm::CholeskyAlgorithm(SdSimulation& sim, AlgorithmConfig config)
     : sim_(&sim) {
-  if (sim.dof() > max_dof) {
+  if (sim.dof() > config.max_dense_dof) {
     throw std::invalid_argument(
         "CholeskyAlgorithm: system too large for the dense O(n^3) path");
   }
@@ -201,7 +202,7 @@ RunStats CholeskyAlgorithm::run(std::size_t count) {
     sparse::BcrsMatrix r_k;
     {
       util::ScopedPhase t(stats.timers, phase::kConstruct);
-      r_k = sim_->assemble().matrix;
+      r_k = sim_->engine().assemble_incremental(sim_->system()).matrix;
     }
 
     // One factorization serves the Brownian force and both solves.
@@ -239,7 +240,7 @@ RunStats CholeskyAlgorithm::run(std::size_t count) {
     sparse::BcrsMatrix r_half;
     {
       util::ScopedPhase t(stats.timers, phase::kConstruct);
-      r_half = sim_->assemble().matrix;
+      r_half = sim_->engine().assemble_incremental(sim_->system()).matrix;
     }
     solver::BcrsOperator op_half(r_half, config.threads);
     u_mid = u;
@@ -260,9 +261,11 @@ RunStats CholeskyAlgorithm::run(std::size_t count) {
   return stats;
 }
 
-BrownianDynamicsAlgorithm::BrownianDynamicsAlgorithm(
-    SdSimulation& sim, std::size_t bounds_refresh)
-    : sim_(&sim), bounds_refresh_(bounds_refresh == 0 ? 1 : bounds_refresh) {}
+BrownianDynamicsAlgorithm::BrownianDynamicsAlgorithm(SdSimulation& sim,
+                                                     AlgorithmConfig config)
+    : sim_(&sim),
+      bounds_refresh_(config.bounds_refresh == 0 ? 1 : config.bounds_refresh) {
+}
 
 AlgorithmState BrownianDynamicsAlgorithm::export_state() const {
   return {step_, bounds_, have_bounds_};
@@ -318,8 +321,8 @@ RunStats BrownianDynamicsAlgorithm::run(std::size_t count) {
   return stats;
 }
 
-MrhsAlgorithm::MrhsAlgorithm(SdSimulation& sim, std::size_t rhs)
-    : sim_(&sim), rhs_(rhs == 0 ? 1 : rhs) {}
+MrhsAlgorithm::MrhsAlgorithm(SdSimulation& sim, AlgorithmConfig config)
+    : sim_(&sim), rhs_(config.rhs == 0 ? 1 : config.rhs) {}
 
 void MrhsAlgorithm::set_horizon(std::size_t total_remaining) {
   horizon_set_ = true;
@@ -391,7 +394,7 @@ void MrhsAlgorithm::begin_chunk(RunStats& stats, std::size_t call_end) {
   sparse::BcrsMatrix r_0;
   {
     util::ScopedPhase t(stats.timers, phase::kConstruct);
-    r_0 = sim_->assemble().matrix;
+    r_0 = sim_->engine().assemble_incremental(sim_->system()).matrix;
   }
   solver::BcrsOperator base_op(r_0, config.threads);
   // Test seam: route block applications through the fault injector so
@@ -499,7 +502,7 @@ void MrhsAlgorithm::step_in_chunk(RunStats& stats) {
   sparse::BcrsMatrix r_k;
   {
     util::ScopedPhase t(stats.timers, phase::kConstruct);
-    r_k = sim_->assemble().matrix;
+    r_k = sim_->engine().assemble_incremental(sim_->system()).matrix;
   }
   solver::BcrsOperator op(r_k, config.threads);
 
@@ -554,7 +557,7 @@ void MrhsAlgorithm::midpoint_and_advance(RunStats& stats, StepRecord& rec,
   sparse::BcrsMatrix r_half;
   {
     util::ScopedPhase t(stats.timers, phase::kConstruct);
-    r_half = sim_->assemble().matrix;
+    r_half = sim_->engine().assemble_incremental(sim_->system()).matrix;
   }
   solver::BcrsOperator op_half(r_half, config.threads);
   std::vector<double> u_mid = u;

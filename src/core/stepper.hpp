@@ -91,6 +91,20 @@ inline constexpr const char* kFirstSolve = "1st solve";
 inline constexpr const char* kSecondSolve = "2nd solve";
 }  // namespace phase
 
+/// One bag of knobs shared by every stepping algorithm, replacing the
+/// previous ad-hoc positional constructor arguments. Each algorithm
+/// reads only the fields it understands; designated initializers keep
+/// call sites self-documenting: `MrhsAlgorithm alg(sim, {.rhs = 16})`.
+struct AlgorithmConfig {
+  /// m, the number of right-hand sides per MRHS chunk.
+  std::size_t rhs = 8;
+  /// Lanczos recalibration period in steps (single-vector paths).
+  std::size_t bounds_refresh = 16;
+  /// Size guard for the dense O(n^3) path: CholeskyAlgorithm refuses
+  /// systems above this many scalar degrees of freedom.
+  std::size_t max_dense_dof = 3600;
+};
+
 /// Checkpointable state of the single-vector algorithms: the step
 /// cursor plus the cached Lanczos interval (refreshed every
 /// `bounds_refresh` steps — resuming without it would recalibrate at
@@ -103,9 +117,7 @@ struct AlgorithmState {
 
 class OriginalAlgorithm {
  public:
-  /// `bounds_refresh`: Lanczos recalibration period in steps.
-  explicit OriginalAlgorithm(SdSimulation& sim,
-                             std::size_t bounds_refresh = 16);
+  explicit OriginalAlgorithm(SdSimulation& sim, AlgorithmConfig config = {});
 
   /// Advance `count` steps; appends to the simulation trajectory.
   RunStats run(std::size_t count);
@@ -131,7 +143,7 @@ class OriginalAlgorithm {
 /// O(n^3): refuses systems above `max_dof`.
 class CholeskyAlgorithm {
  public:
-  explicit CholeskyAlgorithm(SdSimulation& sim, std::size_t max_dof = 3600);
+  explicit CholeskyAlgorithm(SdSimulation& sim, AlgorithmConfig config = {});
 
   RunStats run(std::size_t count);
 
@@ -161,9 +173,8 @@ inline constexpr const char* kBrownian = "Brownian (L z)";
 /// is needed. O(n^2) per apply via the matrix-free mobility operator.
 class BrownianDynamicsAlgorithm {
  public:
-  /// `bounds_refresh`: Lanczos recalibration period in steps.
   explicit BrownianDynamicsAlgorithm(SdSimulation& sim,
-                                     std::size_t bounds_refresh = 16);
+                                     AlgorithmConfig config = {});
 
   RunStats run(std::size_t count);
 
@@ -203,8 +214,8 @@ struct MrhsState {
 
 class MrhsAlgorithm {
  public:
-  /// `rhs` is m, the number of right-hand sides per chunk.
-  MrhsAlgorithm(SdSimulation& sim, std::size_t rhs);
+  /// `config.rhs` is m, the number of right-hand sides per chunk.
+  explicit MrhsAlgorithm(SdSimulation& sim, AlgorithmConfig config = {});
 
   /// Advance `count` steps (processed in chunks of m; a final partial
   /// chunk uses fewer right-hand sides). Without a horizon, each call

@@ -1,5 +1,8 @@
 #include "core/workloads.hpp"
 
+#include <utility>
+
+#include "sd/assembly_engine.hpp"
 #include "sd/packing.hpp"
 #include "sd/radii.hpp"
 
@@ -16,7 +19,9 @@ sparse::BcrsMatrix make_sd_matrix(const MatrixSpec& spec,
 
   sd::ResistanceParams params;
   params.lubrication.max_gap_scaled = spec.cutoff;
-  return sd::assemble_resistance(system, params, stats);
+  auto result = sd::AssemblyEngine(params).assemble_full(system);
+  if (stats != nullptr) *stats = result.stats;
+  return std::move(result.matrix);
 }
 
 std::vector<MatrixSpec> paper_matrix_suite(std::size_t particles,
@@ -48,7 +53,9 @@ std::vector<SuiteMatrix> build_matrix_suite(std::size_t particles,
     params.lubrication.max_gap_scaled = spec.cutoff;
     SuiteMatrix sm;
     sm.spec = spec;
-    sm.matrix = sd::assemble_resistance(system, params, &sm.stats);
+    auto result = sd::AssemblyEngine(params).assemble_full(system);
+    sm.matrix = std::move(result.matrix);
+    sm.stats = result.stats;
     out.push_back(std::move(sm));
   }
   return out;

@@ -58,15 +58,27 @@ class CellList {
   template <class Fn>
   void for_each_interacting_pair(double max_gap_scaled, Fn&& fn) const;
 
+  /// Same activity criterion widened by an absolute `extra_reach`
+  /// (a Verlet skin): pairs within `touch * reach_factor + extra_reach`
+  /// are emitted. The assembly engine builds its reusable sparsity
+  /// pattern with this overload, so pairs can *become* active without
+  /// a pattern rebuild as long as no particle drifts more than
+  /// extra_reach/2. The CellList cutoff must cover the widened reach.
+  template <class Fn>
+  void for_each_interacting_pair(double max_gap_scaled, double extra_reach,
+                                 Fn&& fn) const;
+
   /// Materialized pair list (sorted by (i, j) for determinism).
   [[nodiscard]] std::vector<Pair> pairs() const;
 
  private:
   /// Walk candidate index pairs (i < j). `reach_factor` scales the
-  /// radii-sum reach used for cell-pair pruning; pass a negative value
-  /// to prune on the distance cutoff alone.
+  /// radii-sum reach used for cell-pair pruning (plus an absolute
+  /// `extra_reach` margin); pass a negative factor to prune on the
+  /// distance cutoff alone.
   template <class Fn>
-  void for_each_pair_impl(double reach_factor, Fn&& fn) const;
+  void for_each_pair_impl(double reach_factor, double extra_reach,
+                          Fn&& fn) const;
 
   template <class Fn>
   void emit(std::size_t i, std::size_t j, Fn&& fn) const;
@@ -88,7 +100,8 @@ class CellList {
 };
 
 template <class Fn>
-void CellList::for_each_pair_impl(double reach_factor, Fn&& fn) const {
+void CellList::for_each_pair_impl(double reach_factor, double extra_reach,
+                                  Fn&& fn) const {
   const std::size_t n = system_->size();
   if (cells_ == 1) {
     for (std::size_t i = 0; i < n; ++i) {
@@ -120,7 +133,8 @@ void CellList::for_each_pair_impl(double reach_factor, Fn&& fn) const {
           if (reach_factor > 0.0) {
             limit = std::min(
                 limit, (cell_max_radius_[home] + cell_max_radius_[other]) *
-                           reach_factor);
+                               reach_factor +
+                           extra_reach);
           }
           if (stencil_gap2_[o] >= limit * limit) continue;
           for (std::int32_t b = head_[other]; b >= 0; b = next_[b]) {
@@ -152,31 +166,38 @@ void CellList::emit(std::size_t i, std::size_t j, Fn&& fn) const {
 
 template <class Fn>
 void CellList::for_each_pair(Fn&& fn) const {
-  for_each_pair_impl(-1.0,
+  for_each_pair_impl(-1.0, 0.0,
                      [&](std::size_t i, std::size_t j) { emit(i, j, fn); });
 }
 
 template <class Fn>
 void CellList::for_each_interacting_pair(double max_gap_scaled,
                                          Fn&& fn) const {
+  for_each_interacting_pair(max_gap_scaled, 0.0, fn);
+}
+
+template <class Fn>
+void CellList::for_each_interacting_pair(double max_gap_scaled,
+                                         double extra_reach, Fn&& fn) const {
   const auto pos = system_->positions();
   const auto radii = system_->radii();
   const auto& box = system_->box();
   const double reach_factor = 1.0 + 0.5 * max_gap_scaled;
-  for_each_pair_impl(reach_factor, [&](std::size_t i, std::size_t j) {
-    const Vec3 d = box.min_image(pos[i], pos[j]);
-    const double dist2 = d.norm2();
-    const double touch = radii[i] + radii[j];
-    const double reach = touch * reach_factor;
-    if (dist2 >= reach * reach || dist2 == 0.0) return;
-    Pair p;
-    p.i = i;
-    p.j = j;
-    p.distance = std::sqrt(dist2);
-    p.unit = (1.0 / p.distance) * d;
-    p.gap = p.distance - touch;
-    fn(p);
-  });
+  for_each_pair_impl(
+      reach_factor, extra_reach, [&](std::size_t i, std::size_t j) {
+        const Vec3 d = box.min_image(pos[i], pos[j]);
+        const double dist2 = d.norm2();
+        const double touch = radii[i] + radii[j];
+        const double reach = touch * reach_factor + extra_reach;
+        if (dist2 >= reach * reach || dist2 == 0.0) return;
+        Pair p;
+        p.i = i;
+        p.j = j;
+        p.distance = std::sqrt(dist2);
+        p.unit = (1.0 / p.distance) * d;
+        p.gap = p.distance - touch;
+        fn(p);
+      });
 }
 
 template <class Fn>
@@ -184,7 +205,7 @@ void CellList::for_each_overlapping_pair(Fn&& fn) const {
   const auto pos = system_->positions();
   const auto radii = system_->radii();
   const auto& box = system_->box();
-  for_each_pair_impl(1.0, [&](std::size_t i, std::size_t j) {
+  for_each_pair_impl(1.0, 0.0, [&](std::size_t i, std::size_t j) {
     const Vec3 d = box.min_image(pos[i], pos[j]);
     const double dist2 = d.norm2();
     const double touch = radii[i] + radii[j];

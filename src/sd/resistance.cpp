@@ -8,8 +8,8 @@
 
 namespace mrhs::sd {
 
-sparse::BcrsMatrix ResistanceAssembler::assemble(const ParticleSystem& system,
-                                                 AssemblyStats* stats) {
+sparse::BcrsMatrix ResistanceAssembler::assemble_full(
+    const ParticleSystem& system, AssemblyStats* stats) {
   const std::size_t n = system.size();
   const auto radii = system.radii();
   const double phi = params_.phi_override >= 0.0 ? params_.phi_override
@@ -122,16 +122,15 @@ sparse::BcrsMatrix ResistanceAssembler::assemble(const ParticleSystem& system,
                 len * 9 * sizeof(double));
   }
 
+  // A full rebuild recomputes every active pair tensor and reuses
+  // nothing; epoch stamping is the engine's job.
+  local.pairs_dirty = local.pairs_active;
+  local.blocks_reused = 0;
+  local.pattern_rebuilt = true;
+
   if (stats != nullptr) *stats = local;
   return sparse::BcrsMatrix(n, n, std::move(row_ptr), std::move(col_idx),
                             std::move(values));
-}
-
-sparse::BcrsMatrix assemble_resistance(const ParticleSystem& system,
-                                       const ResistanceParams& params,
-                                       AssemblyStats* stats) {
-  ResistanceAssembler assembler(params);
-  return assembler.assemble(system, stats);
 }
 
 }  // namespace mrhs::sd

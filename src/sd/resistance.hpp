@@ -26,33 +26,45 @@ struct ResistanceParams {
   bool include_far_field = true;
 };
 
-/// Statistics of one assembly, reported by Table I.
+/// Statistics of one assembly, reported by Table I and the assembly.*
+/// observability counters.
 struct AssemblyStats {
-  std::size_t pairs_in_cutoff = 0;   // neighbor pairs under the cell cutoff
+  /// Candidate pairs examined: neighbor pairs under the cell cutoff
+  /// for a full assembly, pattern pairs for an incremental one.
+  std::size_t pairs_in_cutoff = 0;
   std::size_t pairs_active = 0;      // pairs contributing lubrication
   double min_scaled_gap = 0.0;       // smallest xi encountered (clamped)
+  /// Incremental accounting (sd::AssemblyEngine). A full rebuild
+  /// recomputes everything: pairs_dirty == pairs_active and no block
+  /// is reused. An incremental call recomputes only pairs whose
+  /// accumulated displacement exceeded the tolerance; every clean pair
+  /// keeps its two stored off-diagonal blocks (blocks_reused += 2).
+  std::size_t pairs_dirty = 0;
+  std::size_t blocks_reused = 0;
+  /// True when this call (re)built the sparsity pattern; the epoch
+  /// counts pattern builds over the engine's lifetime.
+  bool pattern_rebuilt = false;
+  std::uint64_t pattern_epoch = 0;
 };
 
-/// Build R at the system's current configuration. One block row/column
+/// Full-rebuild assembler, the tolerance = 0 reference: builds R from
+/// scratch at the system's current configuration. One block row/column
 /// per particle; diagonal blocks carry the far-field drag plus the sum
 /// of pair projections, off-diagonal blocks the negated pair tensors.
 /// The result is symmetric positive definite by construction.
-[[nodiscard]] sparse::BcrsMatrix assemble_resistance(
-    const ParticleSystem& system, const ResistanceParams& params,
-    AssemblyStats* stats = nullptr);
-
-/// Reusable assembler: identical output to assemble_resistance(), but
-/// the pair records, degree counters, and cursors persist across
-/// calls. SD assembles twice per time step, so this avoids repeated
-/// large allocations in the hot path.
+///
+/// The pair records, degree counters, and cursors persist across
+/// calls (SD assembles twice per time step). This class is an
+/// implementation detail of sd::AssemblyEngine — the engine is the
+/// only assembly entry point outside src/sd (lint-enforced).
 class ResistanceAssembler {
  public:
   explicit ResistanceAssembler(ResistanceParams params) : params_(params) {}
 
   [[nodiscard]] const ResistanceParams& params() const { return params_; }
 
-  [[nodiscard]] sparse::BcrsMatrix assemble(const ParticleSystem& system,
-                                            AssemblyStats* stats = nullptr);
+  [[nodiscard]] sparse::BcrsMatrix assemble_full(
+      const ParticleSystem& system, AssemblyStats* stats = nullptr);
 
  private:
   struct PairRecord {

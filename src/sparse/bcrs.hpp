@@ -8,6 +8,7 @@
 //   - `row_ptr` : offsets of each block row
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <span>
@@ -66,6 +67,20 @@ class BcrsMatrix {
   }
   [[nodiscard]] double* block(std::size_t p) {
     return values_.data() + p * kBlockSize;
+  }
+
+  /// Reset every stored value to zero while keeping the sparsity
+  /// pattern. The incremental assembly engine refills a pattern-stable
+  /// matrix in place instead of re-allocating it every call.
+  void zero_values() { std::fill(values_.begin(), values_.end(), 0.0); }
+
+  /// True when `other` stores exactly the same block sparsity pattern
+  /// (dimensions, row_ptr, col_idx); values are not compared. Pattern
+  /// reuse across assemblies is asserted with this in tests.
+  [[nodiscard]] bool same_pattern(const BcrsMatrix& other) const {
+    return block_rows_ == other.block_rows_ &&
+           block_cols_ == other.block_cols_ && row_ptr_ == other.row_ptr_ &&
+           col_idx_ == other.col_idx_;
   }
 
   /// Bytes touched when streaming the matrix once (values + indices);

@@ -1,0 +1,256 @@
+// Tests for sd::AssemblyEngine: the tolerance = 0 bitwise contract,
+// dirty-pair tracker invariants (monotone drift accumulation, reset on
+// recompute, Verlet pattern expiry), engine-state export/import, and
+// the end-to-end bitwise guarantees (checkpoint resume, resilience
+// rollback) with incremental assembly enabled.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/checkpoint.hpp"
+#include "core/resilience.hpp"
+#include "core/sd_simulation.hpp"
+#include "core/stepper.hpp"
+#include "sd/assembly_engine.hpp"
+#include "sd/particle_system.hpp"
+#include "sparse/bcrs.hpp"
+
+namespace {
+
+using namespace mrhs;
+using sd::Vec3;
+
+core::SdConfig small_config(std::uint64_t seed = 77) {
+  core::SdConfig config;
+  config.particles = 48;
+  config.phi = 0.3;
+  config.seed = seed;
+  return config;
+}
+
+void expect_bitwise_equal(const sparse::BcrsMatrix& a,
+                          const sparse::BcrsMatrix& b) {
+  ASSERT_TRUE(a.same_pattern(b));
+  const auto va = a.values();
+  const auto vb = b.values();
+  ASSERT_EQ(va.size(), vb.size());
+  for (std::size_t k = 0; k < va.size(); ++k) {
+    ASSERT_EQ(va[k], vb[k]) << "value " << k;
+  }
+}
+
+void expect_bitwise_equal_positions(const core::SdSimulation& a,
+                                    const core::SdSimulation& b) {
+  ASSERT_EQ(a.system().size(), b.system().size());
+  const auto pa = a.system().positions();
+  const auto pb = b.system().positions();
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    ASSERT_EQ(pa[i].x, pb[i].x) << "particle " << i;
+    ASSERT_EQ(pa[i].y, pb[i].y) << "particle " << i;
+    ASSERT_EQ(pa[i].z, pb[i].z) << "particle " << i;
+  }
+}
+
+/// Two spheres with a 0.05 surface gap (scaled gap 0.05 < the 0.1
+/// default cutoff): one active lubrication pair, easy to drift by hand.
+sd::ParticleSystem two_sphere_system() {
+  return sd::ParticleSystem({{5.0, 5.0, 5.0}, {7.05, 5.0, 5.0}},
+                            {1.0, 1.0}, sd::PeriodicBox(20.0));
+}
+
+// --- tolerance = 0: the bitwise reference contract ---------------------
+
+TEST(AssemblyEngine, ToleranceZeroIsBitwiseIdenticalToFull) {
+  // Drive a real trajectory and compare the incremental entry point
+  // (which must route to the full path at tolerance 0) against a fresh
+  // full assembly at every sampled configuration.
+  core::SdSimulation sim(small_config());
+  core::MrhsAlgorithm alg(sim, {.rhs = 4});
+  sd::AssemblyEngine incremental(sim.resistance_params());  // tol = 0
+  for (int leg = 0; leg < 3; ++leg) {
+    (void)alg.run(2);
+    const auto inc = incremental.assemble_incremental(sim.system());
+    const auto full =
+        sd::AssemblyEngine(sim.resistance_params()).assemble_full(sim.system());
+    expect_bitwise_equal(inc.matrix, full.matrix);
+    EXPECT_TRUE(inc.stats.pattern_rebuilt);
+    EXPECT_EQ(inc.stats.blocks_reused, 0u);
+    EXPECT_EQ(inc.stats.pairs_dirty, inc.stats.pairs_active);
+  }
+}
+
+// --- dirty-pair tracker invariants -------------------------------------
+
+TEST(AssemblyEngine, PatternAndBlocksReusedWhileStationary) {
+  const auto system = two_sphere_system();
+  sd::AssemblyEngine engine({}, {.tolerance = 0.05});
+  const auto first = engine.assemble_incremental(system);
+  EXPECT_TRUE(first.stats.pattern_rebuilt);
+  EXPECT_EQ(first.stats.pairs_active, 1u);
+  EXPECT_EQ(first.stats.pairs_dirty, 1u);
+  const auto epoch = engine.pattern_epoch();
+
+  const auto second = engine.assemble_incremental(system);
+  EXPECT_FALSE(second.stats.pattern_rebuilt);
+  EXPECT_EQ(second.stats.pairs_dirty, 0u);
+  EXPECT_EQ(second.stats.blocks_reused, 2u);
+  EXPECT_EQ(engine.pattern_epoch(), epoch);
+  expect_bitwise_equal(first.matrix, second.matrix);
+}
+
+TEST(AssemblyEngine, DriftAccumulatesMonotonicallyAndResetsOnRecompute) {
+  auto system = two_sphere_system();
+  sd::AssemblyEngine engine({}, {.tolerance = 0.05});
+  (void)engine.assemble_incremental(system);
+
+  // Per-call motion far below tolerance (0.02 < 0.05), perpendicular
+  // to the pair axis so the gap barely changes. The tracker must
+  // accumulate drift across calls — not compare against the previous
+  // call's positions — so the third sub-tolerance move (total 0.06)
+  // crosses the threshold.
+  std::size_t dirty_at = 0;
+  for (std::size_t call = 1; call <= 4 && dirty_at == 0; ++call) {
+    system.positions()[1].y += 0.02;
+    const auto r = engine.assemble_incremental(system);
+    EXPECT_FALSE(r.stats.pattern_rebuilt);
+    if (r.stats.pairs_dirty > 0) dirty_at = call;
+  }
+  EXPECT_EQ(dirty_at, 3u);
+
+  // The recompute reset the pair's references: the next small move
+  // starts a fresh accumulation and stays clean.
+  system.positions()[1].y += 0.02;
+  const auto after = engine.assemble_incremental(system);
+  EXPECT_EQ(after.stats.pairs_dirty, 0u);
+  EXPECT_EQ(after.stats.blocks_reused, 2u);
+}
+
+TEST(AssemblyEngine, MotionPastHalfSkinForcesPatternRebuild) {
+  auto system = two_sphere_system();
+  sd::AssemblyEngine engine({}, {.tolerance = 0.05});
+  (void)engine.assemble_incremental(system);
+  const auto epoch = engine.pattern_epoch();
+  ASSERT_GT(engine.skin(), 0.0);
+
+  // A particle outrunning skin/2 invalidates the Verlet neighbor
+  // pattern: a pair outside it could now be in reach.
+  system.positions()[1].y += 0.5 * engine.skin() + 0.01;
+  const auto r = engine.assemble_incremental(system);
+  EXPECT_TRUE(r.stats.pattern_rebuilt);
+  EXPECT_EQ(engine.pattern_epoch(), epoch + 1);
+  EXPECT_EQ(r.stats.blocks_reused, 0u);
+}
+
+// --- engine-state round-trip -------------------------------------------
+
+TEST(AssemblyEngine, ExportImportRoundTripIsBitwise) {
+  auto system = two_sphere_system();
+  sd::AssemblyEngine original({}, {.tolerance = 0.05});
+  (void)original.assemble_incremental(system);
+  system.positions()[1].y += 0.04;  // below tolerance: refs stay put
+  (void)original.assemble_incremental(system);
+
+  sd::AssemblyEngine restored({}, {.tolerance = 0.05});
+  restored.import_state(original.export_state(), system);
+  EXPECT_EQ(restored.pattern_epoch(), original.pattern_epoch());
+  EXPECT_TRUE(restored.has_pattern());
+
+  // Same subsequent motion -> same dirty decisions, same values, and
+  // the pattern survives in both (no spurious rebuild on the restored
+  // side).
+  system.positions()[1].y += 0.02;  // accumulated 0.06 > tolerance
+  const auto a = original.assemble_incremental(system);
+  const auto b = restored.assemble_incremental(system);
+  EXPECT_FALSE(a.stats.pattern_rebuilt);
+  EXPECT_FALSE(b.stats.pattern_rebuilt);
+  EXPECT_EQ(a.stats.pairs_dirty, b.stats.pairs_dirty);
+  EXPECT_EQ(a.stats.pairs_dirty, 1u);
+  expect_bitwise_equal(a.matrix, b.matrix);
+}
+
+TEST(AssemblyEngine, ImportOfForeignStateDegradesToNoPattern) {
+  auto system = two_sphere_system();
+  sd::AssemblyEngine engine({}, {.tolerance = 0.05});
+  (void)engine.assemble_incremental(system);
+  auto state = engine.export_state();
+  state.pattern_refs.pop_back();  // wrong particle count for `system`
+
+  sd::AssemblyEngine restored({}, {.tolerance = 0.05});
+  restored.import_state(state, system);
+  EXPECT_FALSE(restored.has_pattern());
+  // Recoverable: the next incremental call simply rebuilds.
+  const auto r = restored.assemble_incremental(system);
+  EXPECT_TRUE(r.stats.pattern_rebuilt);
+}
+
+// --- end-to-end bitwise guarantees with incremental assembly -----------
+
+TEST(AssemblyEngine, CheckpointResumeIsBitwiseWithToleranceEnabled) {
+  auto config = small_config();
+  config.assembly_tolerance = 0.05;  // fraction of the mean radius
+  constexpr std::size_t kTotal = 10;
+  constexpr std::size_t kStop = 6;
+
+  core::SdSimulation straight(config);
+  core::MrhsAlgorithm straight_alg(straight, {.rhs = 4});
+  straight_alg.set_horizon(kTotal);
+  (void)straight_alg.run(kTotal);
+
+  core::SdSimulation first(config);
+  core::MrhsAlgorithm first_alg(first, {.rhs = 4});
+  first_alg.set_horizon(kTotal);
+  (void)first_alg.run(kStop);
+  const std::string path = testing::TempDir() + "assembly_engine.ckpt";
+  const auto ck = core::capture_checkpoint(first, first_alg);
+  ASSERT_TRUE(core::save_checkpoint(ck, path).is_ok());
+
+  core::Checkpoint loaded;
+  ASSERT_TRUE(core::load_checkpoint(path, loaded).is_ok());
+  EXPECT_EQ(loaded.config.assembly_tolerance, 0.05);
+  std::optional<core::SdSimulation> resumed;
+  ASSERT_TRUE(core::restore_simulation(loaded, resumed).is_ok());
+  EXPECT_EQ(resumed->engine().pattern_epoch(),
+            first.engine().pattern_epoch());
+  core::MrhsAlgorithm resumed_alg(*resumed, {.rhs = loaded.mrhs_rhs});
+  resumed_alg.import_state(loaded.mrhs_state);
+  (void)resumed_alg.run(kTotal - kStop);
+
+  expect_bitwise_equal_positions(straight, *resumed);
+}
+
+TEST(AssemblyEngine, ChaosRollbackReplaysBitwiseWithToleranceEnabled) {
+  auto config = small_config();
+  config.assembly_tolerance = 0.05;
+
+  core::SdSimulation clean_sim(config);
+  core::MrhsAlgorithm clean_alg(clean_sim, {.rhs = 4});
+  core::ResilientRunner clean_runner(clean_sim, clean_alg);
+  (void)clean_runner.run(12);
+
+  core::SdSimulation sim(config);
+  core::MrhsAlgorithm alg(sim, {.rhs = 4});
+  core::ResilientRunner runner(sim, alg);
+  bool poisoned = false;
+  runner.set_post_step_hook([&](std::size_t step) {
+    if (step == 5 && !poisoned) {
+      poisoned = true;
+      sim.system().positions()[0].x =
+          std::numeric_limits<double>::quiet_NaN();
+    }
+  });
+  const auto stats = runner.run(12);
+
+  EXPECT_TRUE(poisoned);
+  EXPECT_EQ(stats.rollbacks, 1u);
+  EXPECT_FALSE(stats.resilience_gave_up);
+  // Rollback restored the engine's dirty-tracker state along with the
+  // kinematics, so the replay makes the same reuse decisions and the
+  // trajectory is bitwise the fault-free one.
+  expect_bitwise_equal_positions(sim, clean_sim);
+}
+
+}  // namespace

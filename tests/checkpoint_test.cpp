@@ -68,14 +68,14 @@ TEST(CheckpointResume, MrhsMidChunkResumeIsBitwise) {
 
   // Straight run: 10 steps in one go under a 10-step horizon.
   core::SdSimulation straight(config);
-  core::MrhsAlgorithm straight_alg(straight, kRhs);
+  core::MrhsAlgorithm straight_alg(straight, {.rhs = kRhs});
   straight_alg.set_horizon(kTotal);
   (void)straight_alg.run(kTotal);
 
   // Interrupted run: 6 steps, checkpoint to disk, fresh objects
   // restored from the file, 4 more steps.
   core::SdSimulation first(config);
-  core::MrhsAlgorithm first_alg(first, kRhs);
+  core::MrhsAlgorithm first_alg(first, {.rhs = kRhs});
   first_alg.set_horizon(kTotal);
   (void)first_alg.run(kStopAfter);
   const std::string path = temp_path("mrhs_midchunk.ckpt");
@@ -90,7 +90,7 @@ TEST(CheckpointResume, MrhsMidChunkResumeIsBitwise) {
 
   std::optional<core::SdSimulation> resumed;
   ASSERT_TRUE(core::restore_simulation(loaded, resumed).is_ok());
-  core::MrhsAlgorithm resumed_alg(*resumed, loaded.mrhs_rhs);
+  core::MrhsAlgorithm resumed_alg(*resumed, {.rhs = loaded.mrhs_rhs});
   resumed_alg.import_state(loaded.mrhs_state);
   EXPECT_EQ(resumed_alg.current_step(), kStopAfter);
   (void)resumed_alg.run(kTotal - kStopAfter);
@@ -137,12 +137,12 @@ TEST(CheckpointResume, HorizonMakesSplitRunsMatchStraightRuns) {
   // exactly like run(10) — the property the resume path relies on.
   const auto config = small_config(50, 7);
   core::SdSimulation a(config);
-  core::MrhsAlgorithm alg_a(a, 4);
+  core::MrhsAlgorithm alg_a(a, {.rhs = 4});
   alg_a.set_horizon(10);
   (void)alg_a.run(10);
 
   core::SdSimulation b(config);
-  core::MrhsAlgorithm alg_b(b, 4);
+  core::MrhsAlgorithm alg_b(b, {.rhs = 4});
   alg_b.set_horizon(10);
   (void)alg_b.run(3);
   (void)alg_b.run(7);
@@ -155,7 +155,7 @@ TEST(CheckpointResume, HorizonMakesSplitRunsMatchStraightRuns) {
 TEST(CheckpointFormat, RoundTripPreservesEveryField) {
   const auto config = small_config(40, 9);
   core::SdSimulation sim(config);
-  core::MrhsAlgorithm alg(sim, 3);
+  core::MrhsAlgorithm alg(sim, {.rhs = 3});
   alg.set_horizon(7);
   (void)alg.run(4);  // leaves a chunk in flight (chunk [3,6) pos 1)
 
@@ -200,7 +200,7 @@ TEST(CheckpointFormat, RoundTripPreservesEveryField) {
 TEST(CheckpointFormat, CorruptedPayloadIsRejected) {
   const auto config = small_config(30, 13);
   core::SdSimulation sim(config);
-  core::MrhsAlgorithm alg(sim, 2);
+  core::MrhsAlgorithm alg(sim, {.rhs = 2});
   const std::string path = temp_path("corrupt.ckpt");
   ASSERT_TRUE(
       core::save_checkpoint(core::capture_checkpoint(sim, alg), path)
@@ -220,7 +220,7 @@ TEST(CheckpointFormat, CorruptedPayloadIsRejected) {
 TEST(CheckpointFormat, TruncatedFileIsRejected) {
   const auto config = small_config(30, 13);
   core::SdSimulation sim(config);
-  core::MrhsAlgorithm alg(sim, 2);
+  core::MrhsAlgorithm alg(sim, {.rhs = 2});
   const std::string path = temp_path("truncated.ckpt");
   ASSERT_TRUE(
       core::save_checkpoint(core::capture_checkpoint(sim, alg), path)
@@ -239,7 +239,7 @@ TEST(CheckpointFormat, TruncatedFileIsRejected) {
 TEST(CheckpointFormat, WrongVersionIsRejected) {
   const auto config = small_config(30, 13);
   core::SdSimulation sim(config);
-  core::MrhsAlgorithm alg(sim, 2);
+  core::MrhsAlgorithm alg(sim, {.rhs = 2});
   const std::string path = temp_path("version.ckpt");
   ASSERT_TRUE(
       core::save_checkpoint(core::capture_checkpoint(sim, alg), path)

@@ -11,6 +11,7 @@
 #include "cluster/distributed_gspmv.hpp"
 #include "cluster/partitioner.hpp"
 #include "core/workloads.hpp"
+#include "sd/assembly_engine.hpp"
 #include "sd/packing.hpp"
 #include "sd/radii.hpp"
 #include "sd/resistance.hpp"
@@ -34,7 +35,7 @@ TestSystem make_system(std::size_t n = 400, double phi = 0.45,
   auto system = sd::pack_particles(std::move(radii), phi, packing);
   sd::ResistanceParams params;
   params.lubrication.max_gap_scaled = cutoff;
-  auto matrix = sd::assemble_resistance(system, params);
+  auto matrix = sd::AssemblyEngine(params).assemble_full(system).matrix;
   return {std::move(system), std::move(matrix)};
 }
 

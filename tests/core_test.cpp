@@ -78,7 +78,7 @@ TEST(Stepper, MrhsReducesFirstSolveIterations) {
   core::SdSimulation sim_orig(small_config(150, 0.45, 9));
   core::SdSimulation sim_mrhs(small_config(150, 0.45, 9));
   core::OriginalAlgorithm orig(sim_orig);
-  core::MrhsAlgorithm mrhs(sim_mrhs, /*rhs=*/8);
+  core::MrhsAlgorithm mrhs(sim_mrhs, {.rhs = 8});
   const auto s_orig = orig.run(8);
   const auto s_mrhs = mrhs.run(8);
 
@@ -94,7 +94,7 @@ TEST(Stepper, MrhsReducesFirstSolveIterations) {
 TEST(Stepper, MrhsGuessErrorGrowsLikeSquareRoot) {
   // Paper Fig 5: ||u_k - u'_k||/||u_k|| ~ c * sqrt(k).
   core::SdSimulation sim(small_config(150, 0.45, 13));
-  core::MrhsAlgorithm mrhs(sim, /*rhs=*/12);
+  core::MrhsAlgorithm mrhs(sim, {.rhs = 12});
   const auto stats = mrhs.run(12);
   std::vector<double> ks, errs;
   for (std::size_t k = 1; k < stats.steps.size(); ++k) {
@@ -109,7 +109,7 @@ TEST(Stepper, MrhsGuessErrorGrowsLikeSquareRoot) {
 
 TEST(Stepper, MrhsStepZeroIsFree) {
   core::SdSimulation sim(small_config());
-  core::MrhsAlgorithm mrhs(sim, 4);
+  core::MrhsAlgorithm mrhs(sim, {.rhs = 4});
   const auto stats = mrhs.run(4);
   EXPECT_EQ(stats.steps[0].iters_first_solve, 0u);
   EXPECT_DOUBLE_EQ(stats.steps[0].guess_rel_error, 0.0);
@@ -118,7 +118,7 @@ TEST(Stepper, MrhsStepZeroIsFree) {
 
 TEST(Stepper, MrhsHandlesPartialFinalChunk) {
   core::SdSimulation sim(small_config());
-  core::MrhsAlgorithm mrhs(sim, 4);
+  core::MrhsAlgorithm mrhs(sim, {.rhs = 4});
   const auto stats = mrhs.run(6);  // one full chunk + one of length 2
   EXPECT_EQ(stats.steps.size(), 6u);
   EXPECT_EQ(mrhs.current_step(), 6u);
@@ -130,7 +130,7 @@ TEST(Stepper, StepsDoNotCauseDeepOverlaps) {
   // Discrete Brownian steps can graze (the lubrication gap floor
   // handles contacts), but no deep interpenetration may occur.
   core::SdSimulation sim(small_config(120, 0.5, 17));
-  core::MrhsAlgorithm mrhs(sim, 6);
+  core::MrhsAlgorithm mrhs(sim, {.rhs = 6});
   mrhs.run(6);
   EXPECT_GT(sim.system().min_gap_bruteforce(),
             -0.01 * sim.mean_radius());
@@ -142,7 +142,7 @@ TEST(Stepper, TrajectoriesStatisticallyEquivalent) {
   const auto config = small_config(100, 0.35, 19);
   core::SdSimulation sim_a(config), sim_b(config);
   core::OriginalAlgorithm orig(sim_a);
-  core::MrhsAlgorithm mrhs(sim_b, 4);
+  core::MrhsAlgorithm mrhs(sim_b, {.rhs = 4});
   orig.run(4);
   mrhs.run(4);
   double worst = 0.0;

@@ -234,7 +234,7 @@ core::SdConfig stepper_config() {
 TEST_F(LadderTest, StepperSurvivesInjectedBlockBreakdown) {
   const auto config = stepper_config();
   core::SdSimulation sim(config);
-  core::MrhsAlgorithm alg(sim, 4);
+  core::MrhsAlgorithm alg(sim, {.rhs = 4});
   solver::FaultInjection plan;
   plan.mode = solver::FaultInjection::Mode::kNan;
   // The chunk prelude spends exactly chebyshev_order block applies on
@@ -261,7 +261,7 @@ TEST_F(LadderTest, StepperSurvivesInjectedBlockBreakdown) {
 TEST_F(LadderTest, StepperCompletesWhenEveryRungFails) {
   const auto config = stepper_config();
   core::SdSimulation sim(config);
-  core::MrhsAlgorithm alg(sim, 4);
+  core::MrhsAlgorithm alg(sim, {.rhs = 4});
   solver::FaultInjection plan;
   plan.mode = solver::FaultInjection::Mode::kNan;
   plan.clean_applications = static_cast<long>(config.chebyshev_order);

@@ -7,6 +7,7 @@
 
 #include "dense/matrix.hpp"
 #include "sd/analysis.hpp"
+#include "sd/assembly_engine.hpp"
 #include "sd/full_resistance.hpp"
 #include "sd/packing.hpp"
 #include "sd/radii.hpp"
@@ -62,7 +63,7 @@ TEST(FullResistance, FarFieldCouplesDistantPairs) {
   sd::ResistanceParams params;
   const auto full = sd::full_resistance_dense(system, params);
   const auto sparse_dense =
-      sd::assemble_resistance(system, params).to_dense();
+      sd::AssemblyEngine(params).assemble_full(system).matrix.to_dense();
   // Off-diagonal (0,1) block: nonzero in full, zero in sparse.
   double full_off = 0.0, sparse_off = 0.0;
   for (int r = 0; r < 3; ++r) {

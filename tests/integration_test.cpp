@@ -8,6 +8,7 @@
 #include "core/sd_simulation.hpp"
 #include "core/stepper.hpp"
 #include "sd/analysis.hpp"
+#include "sd/assembly_engine.hpp"
 #include "sd/effective_viscosity.hpp"
 #include "sd/packing.hpp"
 #include "sd/radii.hpp"
@@ -29,18 +30,19 @@ core::SdConfig tiny_config(std::size_t particles = 120, double phi = 0.4,
 
 TEST(Assembler, ReusedAssemblerMatchesOneShot) {
   core::SdSimulation sim(tiny_config());
-  sd::ResistanceAssembler assembler(sim.resistance_params());
-  const auto a1 = assembler.assemble(sim.system());
-  const auto a2 = sd::assemble_resistance(sim.system(),
-                                          sim.resistance_params());
+  sd::AssemblyEngine engine(sim.resistance_params());
+  const auto a1 = engine.assemble_full(sim.system()).matrix;
+  const auto a2 =
+      sd::AssemblyEngine(sim.resistance_params()).assemble_full(sim.system())
+          .matrix;
   ASSERT_EQ(a1.nnzb(), a2.nnzb());
   const auto v1 = a1.values();
   const auto v2 = a2.values();
   for (std::size_t k = 0; k < v1.size(); ++k) {
     ASSERT_DOUBLE_EQ(v1[k], v2[k]);
   }
-  // And a second call on the same (reused) assembler is identical.
-  const auto a3 = assembler.assemble(sim.system());
+  // And a second call on the same (reused) engine is identical.
+  const auto a3 = engine.assemble_full(sim.system()).matrix;
   const auto v3 = a3.values();
   for (std::size_t k = 0; k < v1.size(); ++k) {
     ASSERT_DOUBLE_EQ(v1[k], v3[k]);
@@ -83,7 +85,7 @@ TEST(CholeskyPath, RunsAndRefinementIsCheap) {
 
 TEST(CholeskyPath, RejectsLargeSystems) {
   core::SdSimulation sim(tiny_config(200));
-  EXPECT_THROW(core::CholeskyAlgorithm(sim, /*max_dof=*/300),
+  EXPECT_THROW(core::CholeskyAlgorithm(sim, {.max_dense_dof = 300}),
                std::invalid_argument);
 }
 
@@ -116,7 +118,7 @@ TEST(Physics, DiluteDiffusionApproachesStokesEinstein) {
   // the mean particle. Statistical test with a generous band.
   core::SdConfig config = tiny_config(150, 0.08, 21);
   core::SdSimulation sim(config);
-  core::MrhsAlgorithm stepper(sim, 8);
+  core::MrhsAlgorithm stepper(sim, {.rhs = 8});
   sd::MsdTracker tracker;
   const std::size_t chunks = 4;
   for (std::size_t c = 1; c <= chunks; ++c) {
@@ -144,7 +146,7 @@ TEST(Physics, CrowdingSuppressesDiffusion) {
   auto measure_d_over_d0 = [&](double phi) {
     core::SdConfig config = tiny_config(120, phi, 23);
     core::SdSimulation sim(config);
-    core::MrhsAlgorithm stepper(sim, 8);
+    core::MrhsAlgorithm stepper(sim, {.rhs = 8});
     stepper.run(16);
     const double t = sim.dt() * 16.0;
     const double d = sim.system().mean_squared_displacement() / (6.0 * t);
@@ -159,7 +161,7 @@ TEST(Physics, CrowdingSuppressesDiffusion) {
 TEST(Physics, TrajectoriesDeterministicInSeed) {
   const auto config = tiny_config(80, 0.4, 31);
   core::SdSimulation a(config), b(config);
-  core::MrhsAlgorithm stepper_a(a, 4), stepper_b(b, 4);
+  core::MrhsAlgorithm stepper_a(a, {.rhs = 4}), stepper_b(b, {.rhs = 4});
   stepper_a.run(4);
   stepper_b.run(4);
   for (std::size_t i = 0; i < a.system().size(); ++i) {

@@ -300,7 +300,7 @@ TEST_F(ObsTest, OriginalStepperEmitsExpectedSpans) {
 
 TEST_F(ObsTest, MrhsStepperEmitsChunkAndBlockSolveSpans) {
   core::SdSimulation sim(tiny_config());
-  core::MrhsAlgorithm stepper(sim, 2);
+  core::MrhsAlgorithm stepper(sim, {.rhs = 2});
   (void)stepper.run(2);
 
   std::set<std::string> names;

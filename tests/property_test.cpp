@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "dense/matrix.hpp"
+#include "sd/assembly_engine.hpp"
 #include "sd/cell_list.hpp"
 #include "sd/lubrication.hpp"
 #include "sd/packing.hpp"
@@ -176,7 +177,7 @@ TEST_P(ResistanceSweep, SymmetricWithFarFieldRowSums) {
   const auto system = sd::pack_equilibrated(std::move(radii), phi, packing);
   sd::ResistanceParams params;
   params.lubrication.max_gap_scaled = cutoff;
-  const auto r = sd::assemble_resistance(system, params);
+  const auto r = sd::AssemblyEngine(params).assemble_full(system).matrix;
   EXPECT_LT(r.asymmetry(), 1e-10);
   // Lubrication annihilates rigid translation: R * ones = drag diag.
   std::vector<double> ones(r.cols(), 1.0), out(r.rows());

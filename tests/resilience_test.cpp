@@ -17,6 +17,7 @@
 #include "core/health.hpp"
 #include "core/resilience.hpp"
 #include "core/stepper.hpp"
+#include "sd/assembly_engine.hpp"
 #include "sd/packing.hpp"
 #include "sd/radii.hpp"
 #include "sd/resistance.hpp"
@@ -232,11 +233,11 @@ TEST(HealthMonitor, GuessDivergenceVerdicts) {
 TEST(ResilientRunner, FaultFreeRunMatchesBareStepper) {
   const auto config = small_config();
   core::SdSimulation bare_sim(config);
-  core::MrhsAlgorithm bare_alg(bare_sim, 4);
+  core::MrhsAlgorithm bare_alg(bare_sim, {.rhs = 4});
   const auto bare_stats = bare_alg.run(12);
 
   core::SdSimulation sim(config);
-  core::MrhsAlgorithm alg(sim, 4);
+  core::MrhsAlgorithm alg(sim, {.rhs = 4});
   core::ResilientRunner runner(sim, alg);
   const auto stats = runner.run(12);
 
@@ -251,12 +252,12 @@ TEST(ResilientRunner, FaultFreeRunMatchesBareStepper) {
 TEST(ResilientRunner, TransientCorruptionRollsBackBitwise) {
   const auto config = small_config();
   core::SdSimulation clean_sim(config);
-  core::MrhsAlgorithm clean_alg(clean_sim, 4);
+  core::MrhsAlgorithm clean_alg(clean_sim, {.rhs = 4});
   core::ResilientRunner clean_runner(clean_sim, clean_alg);
   (void)clean_runner.run(12);
 
   core::SdSimulation sim(config);
-  core::MrhsAlgorithm alg(sim, 4);
+  core::MrhsAlgorithm alg(sim, {.rhs = 4});
   core::ResilientRunner runner(sim, alg);
   bool poisoned = false;
   runner.set_post_step_hook([&](std::size_t step) {
@@ -281,7 +282,7 @@ TEST(ResilientRunner, TransientCorruptionRollsBackBitwise) {
 
 TEST(ResilientRunner, RepeatedCorruptionEscalatesThenPromotes) {
   core::SdSimulation sim(small_config());
-  core::MrhsAlgorithm alg(sim, 4);
+  core::MrhsAlgorithm alg(sim, {.rhs = 4});
   core::ResilienceOptions options;
   options.snapshot_every = 4;
   options.recovery_steps = 3;
@@ -309,7 +310,7 @@ TEST(ResilientRunner, RepeatedCorruptionEscalatesThenPromotes) {
 
 TEST(ResilientRunner, PersistentCorruptionExhaustsBudgetAndParks) {
   core::SdSimulation sim(small_config());
-  core::MrhsAlgorithm alg(sim, 4);
+  core::MrhsAlgorithm alg(sim, {.rhs = 4});
   core::ResilienceOptions options;
   options.max_rollbacks = 3;
   core::ResilientRunner runner(sim, alg, options);
@@ -337,7 +338,7 @@ TEST(ResilientRunner, PersistentCorruptionExhaustsBudgetAndParks) {
 
 TEST(RunStatsSummary, RoundTripsThroughCheckpoint) {
   core::SdSimulation sim(small_config());
-  core::MrhsAlgorithm alg(sim, 4);
+  core::MrhsAlgorithm alg(sim, {.rhs = 4});
   auto ck = core::capture_checkpoint(sim, alg);
   ck.stats.solver_status = solver::SolveStatus::kRecovered;
   ck.stats.ladder_recoveries = 2;
@@ -462,7 +463,7 @@ TEST_F(FaultRegistryTest, GspmvSitePoisonsEngineOutput) {
   sd::PackingParams packing;
   packing.seed = 17;
   const auto system = sd::pack_particles(std::move(radii), 0.4, packing);
-  const auto matrix = sd::assemble_resistance(system, {});
+  const auto matrix = sd::AssemblyEngine({}).assemble_full(system).matrix;
 
   auto s = spec("gspmv.apply.nan");
   s.at_hit = 0;
@@ -488,7 +489,7 @@ TEST_F(FaultRegistryTest, HaloTransientCorruptionIsRetried) {
   sd::PackingParams packing;
   packing.seed = 23;
   const auto system = sd::pack_particles(std::move(radii), 0.45, packing);
-  const auto matrix = sd::assemble_resistance(system, {});
+  const auto matrix = sd::AssemblyEngine({}).assemble_full(system).matrix;
   const auto part = cluster::partition_coordinate_grid(system, matrix, 4);
   const cluster::DistributedGspmv dist(matrix, part);
 
@@ -521,7 +522,7 @@ TEST_F(FaultRegistryTest, HaloPersistentCorruptionSurfacesAsStatus) {
   sd::PackingParams packing;
   packing.seed = 29;
   const auto system = sd::pack_particles(std::move(radii), 0.45, packing);
-  const auto matrix = sd::assemble_resistance(system, {});
+  const auto matrix = sd::AssemblyEngine({}).assemble_full(system).matrix;
   const auto part = cluster::partition_coordinate_grid(system, matrix, 4);
 
   auto s = spec("cluster.halo.corrupt");
@@ -551,7 +552,7 @@ TEST_F(FaultRegistryTest, HaloPersistentCorruptionSurfacesAsStatus) {
 
 TEST_F(FaultRegistryTest, TruncatedCheckpointWriteIsCaughtOnLoad) {
   core::SdSimulation sim(small_config());
-  core::MrhsAlgorithm alg(sim, 4);
+  core::MrhsAlgorithm alg(sim, {.rhs = 4});
   const auto ck = core::capture_checkpoint(sim, alg);
 
   auto s = spec("checkpoint.write.truncate");
@@ -576,7 +577,7 @@ TEST_F(FaultRegistryTest, StepperNanSiteRecoversBitwise) {
   // trajectory bitwise identical to a fault-free run.
   const auto config = small_config(97);
   core::SdSimulation clean_sim(config);
-  core::MrhsAlgorithm clean_alg(clean_sim, 4);
+  core::MrhsAlgorithm clean_alg(clean_sim, {.rhs = 4});
   core::ResilientRunner clean_runner(clean_sim, clean_alg);
   (void)clean_runner.run(10);
 
@@ -585,7 +586,7 @@ TEST_F(FaultRegistryTest, StepperNanSiteRecoversBitwise) {
   ASSERT_TRUE(util::FaultRegistry::instance().arm(s).is_ok());
 
   core::SdSimulation sim(config);
-  core::MrhsAlgorithm alg(sim, 4);
+  core::MrhsAlgorithm alg(sim, {.rhs = 4});
   core::ResilientRunner runner(sim, alg);
   const auto stats = runner.run(10);
 
@@ -604,7 +605,7 @@ TEST_F(FaultRegistryTest, OverlapSiteIsCaughtByHealthMonitor) {
   ASSERT_TRUE(util::FaultRegistry::instance().arm(s).is_ok());
 
   core::SdSimulation sim(small_config(101));
-  core::MrhsAlgorithm alg(sim, 4);
+  core::MrhsAlgorithm alg(sim, {.rhs = 4});
   core::ResilientRunner runner(sim, alg);
   const auto stats = runner.run(8);
 

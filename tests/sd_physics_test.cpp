@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "dense/matrix.hpp"
+#include "sd/assembly_engine.hpp"
 #include "sd/effective_viscosity.hpp"
 #include "sd/lubrication.hpp"
 #include "sd/packing.hpp"
@@ -202,8 +203,9 @@ INSTANTIATE_TEST_SUITE_P(Occupancies, PackingParamTest,
 TEST(Resistance, AssembledMatrixSymmetric) {
   const auto system = small_packed_system(100, 0.4, 21);
   sd::ResistanceParams params;
-  sd::AssemblyStats stats;
-  const auto r = sd::assemble_resistance(system, params, &stats);
+  const auto result = sd::AssemblyEngine(params).assemble_full(system);
+  const auto& r = result.matrix;
+  const auto& stats = result.stats;
   EXPECT_EQ(r.block_rows(), 100u);
   EXPECT_LT(r.asymmetry(), 1e-12);
   EXPECT_GT(stats.pairs_in_cutoff, 0u);
@@ -213,7 +215,7 @@ TEST(Resistance, AssembledMatrixSymmetric) {
 TEST(Resistance, AssembledMatrixPositiveDefinite) {
   const auto system = small_packed_system(60, 0.45, 23);
   sd::ResistanceParams params;
-  const auto r = sd::assemble_resistance(system, params);
+  const auto r = sd::AssemblyEngine(params).assemble_full(system).matrix;
   const auto es = dense::eigen_symmetric(r.to_dense());
   EXPECT_GT(es.eigenvalues.front(), 0.0);
 }
@@ -223,7 +225,7 @@ TEST(Resistance, RowSumsEqualFarFieldDrag) {
   // motion projection), so R * (1,1,1,...) = mu_F_i per particle.
   const auto system = small_packed_system(80, 0.45, 25);
   sd::ResistanceParams params;
-  const auto r = sd::assemble_resistance(system, params);
+  const auto r = sd::AssemblyEngine(params).assemble_full(system).matrix;
   std::vector<double> ones(r.cols(), 1.0), out(r.rows());
   r.to_csr().multiply(ones, out);
   const double phi = system.volume_fraction();
@@ -263,7 +265,7 @@ TEST(Resistance, ConditioningWorsensWithOccupancy) {
     packing.seed = 27;
     const auto system = sd::pack_equilibrated(std::move(radii), phi, packing);
     sd::ResistanceParams params;
-    const auto r = sd::assemble_resistance(system, params);
+    const auto r = sd::AssemblyEngine(params).assemble_full(system).matrix;
     const auto es = dense::eigen_symmetric(r.to_dense());
     return es.eigenvalues.back() / es.eigenvalues.front();
   };
@@ -281,7 +283,7 @@ TEST(Resistance, CutoffControlsSparsity) {
   for (double cutoff : {0.1, 1.0, 3.0}) {
     sd::ResistanceParams params;
     params.lubrication.max_gap_scaled = cutoff;
-    const auto r = sd::assemble_resistance(system, params);
+    const auto r = sd::AssemblyEngine(params).assemble_full(system).matrix;
     EXPECT_GT(r.blocks_per_row(), prev);
     prev = r.blocks_per_row();
   }
@@ -290,7 +292,7 @@ TEST(Resistance, CutoffControlsSparsity) {
 TEST(Resistance, DiluteSystemIsNearlyDiagonal) {
   const auto system = small_packed_system(60, 0.05, 31);
   sd::ResistanceParams params;
-  const auto r = sd::assemble_resistance(system, params);
+  const auto r = sd::AssemblyEngine(params).assemble_full(system).matrix;
   // At 5% occupancy with a 0.1 gap cutoff almost no pairs touch.
   EXPECT_LT(r.blocks_per_row(), 2.0);
 }
