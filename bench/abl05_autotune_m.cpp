@@ -1,0 +1,150 @@
+// Ablation: the online m-autotuner (perf::MTuner) against an offline
+// exhaustive sweep of fixed chunk widths.
+//
+// The paper's headline result is that the best number of right-hand
+// sides sits at the bandwidth→compute crossover m_s of the GSPMV
+// model (eqs. 9-12, m_optimal ≈ m_s). The offline way to find it is
+// to run the full stepper once per candidate m and keep the fastest —
+// exact but unusable in production. The tuner instead seeds m from the
+// probed machine B/F and refines it online from achieved-bandwidth
+// counter deltas at chunk boundaries.
+//
+// This ablation runs both and reports the gap: the tuned m must land
+// within one grid step of the offline winner, at a per-step cost
+// within noise of it, having spent zero extra sweep runs.
+#include <algorithm>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/sd_simulation.hpp"
+#include "core/stepper.hpp"
+#include "perf/mtuner.hpp"
+
+namespace {
+
+using namespace mrhs;
+
+struct SweepPoint {
+  std::size_t m = 0;
+  double seconds_per_step = 0.0;
+};
+
+core::SdConfig make_config(std::size_t particles) {
+  core::SdConfig config;
+  config.particles = particles;
+  config.phi = 0.4;
+  config.seed = 2024;
+  config.assembly_tolerance = 0.05;
+  return config;
+}
+
+double run_fixed(std::size_t particles, std::size_t steps, std::size_t m) {
+  core::SdSimulation sim(make_config(particles));
+  core::MrhsAlgorithm alg(sim, {.rhs = m});
+  return alg.run(steps).avg_step_seconds();
+}
+
+std::size_t grid_index(std::size_t m) {
+  for (std::size_t i = 0; i < perf::kMGridSize; ++i) {
+    if (perf::kMGrid[i] == m) return i;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mrhs;
+  int particles = 1000;
+  int steps = 32;
+  int max_m = 16;
+  bench::BenchHarness harness("abl05_autotune_m");
+  util::ArgParser args("abl05_autotune_m",
+                       "Ablation: online m-autotuner vs offline fixed-m sweep");
+  args.add("particles", particles, "particles in the suspension");
+  args.add("steps", steps, "time steps per run");
+  args.add("max_m", max_m, "largest chunk width in the sweep grid");
+  harness.add_to(args);
+  args.parse(argc, argv);
+  harness.begin();
+
+  bench::print_header(
+      "Ablation — autotuned m vs offline-best fixed m",
+      "m_optimal ~= m_s, the model crossover (eqs. 9-12); the tuner must "
+      "find it online without the sweep");
+
+  const auto n = static_cast<std::size_t>(particles);
+  const auto s = static_cast<std::size_t>(steps);
+  const auto cap = static_cast<std::size_t>(std::max(max_m, 1));
+
+  // Offline: one full run per grid width (this sweep is the cost the
+  // tuner exists to avoid).
+  std::vector<SweepPoint> sweep;
+  for (std::size_t i = 0; i < perf::kMGridSize && perf::kMGrid[i] <= cap;
+       ++i) {
+    SweepPoint point;
+    point.m = perf::kMGrid[i];
+    point.seconds_per_step = run_fixed(n, s, point.m);
+    sweep.push_back(point);
+  }
+  const auto best = std::min_element(
+      sweep.begin(), sweep.end(), [](const SweepPoint& a, const SweepPoint& b) {
+        return a.seconds_per_step < b.seconds_per_step;
+      });
+
+  // Online: one run, tuner enabled. The first chunk uses the seed rhs
+  // (grid floor) and the tuner takes over from the second boundary.
+  // Warm the quick-probe cache first so the one-off ~100 ms B/F probe
+  // is not charged to the tuned run's step time.
+  harness.set_machine(perf::measure_machine_quick());
+  double tuned_seconds = 0.0;
+  std::size_t tuned_m = 0;
+  std::size_t retunes = 0;
+  {
+    core::SdSimulation sim(make_config(n));
+    core::MrhsAlgorithm alg(sim,
+                            {.rhs = 4, .autotune = true, .autotune_max_m = cap});
+    tuned_seconds = alg.run(s).avg_step_seconds();
+    if (alg.tuner().has_value()) {
+      tuned_m = alg.tuner()->current_m();
+      retunes = alg.tuner()->retunes();
+    }
+  }
+
+  util::Table table({"m", "s/step", "vs best"});
+  for (const SweepPoint& p : sweep) {
+    table.add_row({std::to_string(p.m),
+                   util::Table::fmt(p.seconds_per_step, 3),
+                   util::Table::fmt_fixed(
+                       p.seconds_per_step / best->seconds_per_step, 3)});
+    harness.report().set_value("sweep.s_per_step.m=" + std::to_string(p.m),
+                               p.seconds_per_step);
+  }
+  table.print("offline fixed-m sweep:");
+
+  const std::size_t step_gap =
+      grid_index(tuned_m) > grid_index(best->m)
+          ? grid_index(tuned_m) - grid_index(best->m)
+          : grid_index(best->m) - grid_index(tuned_m);
+  std::printf("\noffline best: m = %zu (%.4g s/step, %zu sweep runs)\n",
+              best->m, best->seconds_per_step, sweep.size());
+  std::printf("autotuned:    m = %zu (%.4g s/step, %zu retunes, 0 sweep "
+              "runs), %zu grid step(s) from the offline best\n",
+              tuned_m, tuned_seconds, retunes, step_gap);
+
+  harness.report().set_value("best_fixed_m", static_cast<double>(best->m));
+  harness.report().set_value("best_fixed_s_per_step", best->seconds_per_step);
+  harness.report().set_value("tuned_m", static_cast<double>(tuned_m));
+  harness.report().set_value("tuned_s_per_step", tuned_seconds);
+  harness.report().set_value("tuned_grid_gap", static_cast<double>(step_gap));
+  harness.report().set_value("retunes", static_cast<double>(retunes));
+
+  bench::print_note(
+      "the tuner seeds from the probed B/F crossover and moves at most "
+      "one grid step per chunk boundary; a gap of 0-1 steps means the "
+      "model (plus online refinement) replaced the whole offline sweep.");
+  harness.finish("Ablation — online m-autotuner");
+  return 0;
+}

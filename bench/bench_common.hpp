@@ -18,6 +18,7 @@
 #include "obs/metrics.hpp"
 #include "obs/perf_ledger.hpp"
 #include "perf/machine.hpp"
+#include "sparse/kernel_dispatch.hpp"
 #include "util/cli.hpp"
 #include "util/parallel.hpp"
 #include "util/table.hpp"
@@ -143,6 +144,11 @@ class BenchHarness {
 #else
     report_.set_info("build", "debug");
 #endif
+    // Which ISA the dispatcher would pick and what was compiled in —
+    // without this a BENCH_*.json regression across machines/builds
+    // cannot tell an algorithmic slowdown from a kernel downgrade.
+    report_.set_info("kernel_dispatch",
+                     sparse::kernels::Dispatch::instance().describe());
     if (!ledger_.has_machine() && machine_probe_ != "off") {
       ledger_.set_machine(machine_probe_ == "full"
                               ? perf::measure_machine()

@@ -26,6 +26,7 @@
 
 #include "core/checkpoint.hpp"
 #include "core/resilience.hpp"
+#include "perf/machine.hpp"
 #include "core/sd_simulation.hpp"
 #include "core/status.hpp"
 #include "core/stepper.hpp"
@@ -67,6 +68,7 @@ int main(int argc, char** argv) {
   int max_rollbacks = 8;
   int snapshot_every = 16;
   double assembly_tolerance = 0.0;
+  bool autotune = false;
   util::ArgParser args("quickstart",
                        "Minimal MRHS Stokesian dynamics simulation");
   args.add("particles", particles, "number of particles");
@@ -90,6 +92,9 @@ int main(int argc, char** argv) {
   args.add("assembly-tolerance", assembly_tolerance,
            "incremental-assembly displacement tolerance as a fraction of "
            "the mean radius (0: rebuild every lubrication block per step)");
+  args.add("autotune", autotune,
+           "let the online tuner pick the chunk width m from the machine's "
+           "measured B/F (--rhs sizes only the first chunk)");
   util::ObsCli obs_cli;
   obs_cli.add_to(args);
   util::FaultCli fault_cli;
@@ -128,14 +133,27 @@ int main(int argc, char** argv) {
                    s.to_string().c_str());
       return 1;
     }
-    stepper.emplace(*sim, core::AlgorithmConfig{.rhs = ck.mrhs_rhs});
+    // Reuse the original run's probed machine B/F (sidecar) so the
+    // autotuner re-seeds identically instead of re-probing; a missing
+    // or pre-dispatch sidecar just falls back to a fresh probe.
+    if (perf::MachineParams machine;
+        core::load_machine_sidecar(resume_path, machine).is_ok()) {
+      perf::set_machine_quick(machine);
+      std::printf("resume: reusing probed machine params "
+                  "(B = %.3g GB/s, F = %.3g GF/s)\n",
+                  machine.bandwidth / 1e9, machine.flops / 1e9);
+    }
+    stepper.emplace(*sim, core::AlgorithmConfig{.rhs = ck.mrhs_rhs,
+                                                .autotune = autotune});
     stepper->import_state(ck.mrhs_state);
     prior_stats = ck.stats;
     std::printf("resumed from %s at step %zu\n", resume_path.c_str(),
                 stepper->current_step());
   } else {
     sim.emplace(config);
-    stepper.emplace(*sim, core::AlgorithmConfig{.rhs = static_cast<std::size_t>(rhs)});
+    stepper.emplace(*sim,
+                    core::AlgorithmConfig{.rhs = static_cast<std::size_t>(rhs),
+                                          .autotune = autotune});
   }
   std::printf("system: %zu particles, phi = %.2f, box = %.1f radii, "
               "dt = %.3g\n",
@@ -217,6 +235,11 @@ int main(int argc, char** argv) {
               " (level: %s)\n",
               stats.rollbacks, stats.degradations, stats.recovery_promotions,
               core::to_string(runner.level()));
+  if (stepper->autotuning() && stepper->tuner().has_value()) {
+    std::printf("autotune: m = %zu (retunes: %zu, smoothed B = %.3g GB/s)\n",
+                stepper->tuner()->current_m(), stepper->tuner()->retunes(),
+                stepper->tuner()->smoothed_bandwidth() / 1e9);
+  }
   double mean_iters = 0.0;
   std::size_t guessed_steps = 0;
   for (const auto& rec : stats.steps) {

@@ -52,6 +52,9 @@ CURATED = {
     "fig07_tmrhs_vs_m": ["--particles", "800", "--steps", "4"],
     "tab06_timings_size": ["--sizes", "300,600,1200", "--steps", "4"],
     "abl04_incremental_assembly": ["--particles", "600", "--steps", "6"],
+    "tab08_moptimal": ["--scale", "100"],
+    "abl05_autotune_m": ["--particles", "500", "--steps", "24",
+                         "--max_m", "12"],
 }
 
 

@@ -72,6 +72,16 @@ assembly-via-engine
     incremental state and none of the assembly.* counters fire.
     Construct an AssemblyEngine and use assemble_full() /
     assemble_incremental() instead.
+
+kernel-via-dispatch
+    The block-row microkernels (kernels::block_row_*) are internal to
+    src/sparse: they are `static inline`, compiled per-TU under
+    different -m flags, and only safe to run on the ISA their TU was
+    compiled for. A direct call outside src/sparse would bypass the
+    runtime cpuid check in kernels::Dispatch and could execute AVX-512
+    instructions on a machine without them (SIGILL), and it would skip
+    the --kernel / MRHS_KERNEL override. Go through GspmvEngine::apply
+    or kernels::Dispatch::select/variant instead.
 """
 
 from __future__ import annotations
@@ -325,6 +335,22 @@ class Linter:
                     "sd::AssemblyEngine (dirty-pair tracking, pattern cache, "
                     "assembly.* counters); route through the engine")
 
+    def check_kernel_via_dispatch(self, path: Path,
+                                  raw_lines: list[str]) -> None:
+        rel = str(path.relative_to(self.repo))
+        if rel.startswith("src/sparse/"):
+            return  # the kernels, their TUs, and the dispatcher live here
+        for lineno, line in enumerate(raw_lines, 1):
+            code = strip_comments_and_strings(line.split("//")[0])
+            if re.search(r"\bblock_row_\w+\s*\(|\bkernels::block_row_\w+\b",
+                         code):
+                self.report(
+                    path, lineno, "kernel-via-dispatch",
+                    "direct block_row_* kernel call outside src/sparse "
+                    "bypasses the runtime cpuid dispatch (kernels::Dispatch) "
+                    "and the --kernel override; call GspmvEngine::apply or "
+                    "Dispatch::select instead")
+
     def check_bench_report(self, path: Path, text: str) -> None:
         rel = str(path.relative_to(self.repo))
         if not (rel.startswith("bench/") and path.suffix == ".cpp"):
@@ -360,6 +386,7 @@ class Linter:
             self.check_no_raw_omp(path, raw_lines)
             self.check_fault_sites(path, raw_lines)
             self.check_assembly_via_engine(path, raw_lines)
+            self.check_kernel_via_dispatch(path, raw_lines)
             self.check_bench_report(path, text)
         self.check_nodiscard_decls()
 

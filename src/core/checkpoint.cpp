@@ -2,11 +2,14 @@
 
 #include <array>
 #include <bit>
+#include <cmath>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 
 #include "obs/obs.hpp"
+#include "perf/machine.hpp"
 #include "util/checksum.hpp"
 #include "util/fault_injection.hpp"
 
@@ -346,8 +349,19 @@ void write_sidecar(const Checkpoint& ck, const std::string& path,
       << "  \"assembly_pattern_epoch\": " << ck.assembly.pattern_epoch
       << ",\n"
       << "  \"assembly_has_pattern\": "
-      << (ck.assembly.has_pattern ? "true" : "false") << ",\n"
-      << "  \"payload_bytes\": " << payload_bytes << ",\n"
+      << (ck.assembly.has_pattern ? "true" : "false") << ",\n";
+  // Machine B/F, if this process probed them: a resume re-installs the
+  // values (set_machine_quick) so the autotuner re-seeds from the SAME
+  // crossover the original run used, keeping tuned-m trajectories
+  // reproducible across restarts. Full precision — these round-trip.
+  if (const auto machine = perf::machine_quick_if_probed();
+      machine.has_value()) {
+    const auto prev = out.precision(17);
+    out << "  \"machine_bandwidth\": " << machine->bandwidth << ",\n"
+        << "  \"machine_flops\": " << machine->flops << ",\n";
+    out.precision(prev);
+  }
+  out << "  \"payload_bytes\": " << payload_bytes << ",\n"
       << "  \"crc32\": " << crc << "\n"
       << "}\n";
 }
@@ -496,6 +510,40 @@ Status load_checkpoint(const std::string& path, Checkpoint& out) {
   }
   OBS_COUNTER_ADD("checkpoint.loads", 1);
   out = std::move(ck);
+  return Status::ok();
+}
+
+Status load_machine_sidecar(const std::string& path,
+                            perf::MachineParams& out) {
+  std::ifstream in(path + ".json");
+  if (!in) {
+    return Status::io_error("cannot open sidecar: " + path + ".json");
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  // The sidecar is our own flat JSON (write_sidecar above): one
+  // "key": value pair per line, no nesting — a key scan is exact
+  // for this grammar and avoids dragging in a JSON parser.
+  const auto parse_key = [&text](const char* key, double& value) {
+    const std::string needle = std::string("\"") + key + "\":";
+    const std::size_t pos = text.find(needle);
+    if (pos == std::string::npos) return false;
+    const char* start = text.c_str() + pos + needle.size();
+    char* end = nullptr;
+    const double parsed = std::strtod(start, &end);
+    if (end == start || !std::isfinite(parsed) || parsed <= 0.0) return false;
+    value = parsed;
+    return true;
+  };
+  perf::MachineParams params;
+  if (!parse_key("machine_bandwidth", params.bandwidth) ||
+      !parse_key("machine_flops", params.flops)) {
+    return Status::corrupt_data(
+        "sidecar has no machine_bandwidth/machine_flops (pre-dispatch "
+        "checkpoint, or the saving process never probed)");
+  }
+  out = params;
   return Status::ok();
 }
 

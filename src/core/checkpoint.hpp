@@ -30,6 +30,7 @@
 #include "core/sd_simulation.hpp"
 #include "core/status.hpp"
 #include "core/stepper.hpp"
+#include "perf/machine.hpp"
 #include "sd/vec3.hpp"
 
 namespace mrhs::core {
@@ -143,6 +144,16 @@ Status save_checkpoint(const Checkpoint& ck, const std::string& path);
 /// untouched and the Status says why (kIoError / kCorruptData /
 /// kVersionMismatch).
 Status load_checkpoint(const std::string& path, Checkpoint& out);
+
+/// Read the machine B/F the saving process recorded in the JSON
+/// sidecar next to checkpoint `path`. A resume feeds the result to
+/// perf::set_machine_quick() BEFORE the first chunk, so the autotuner
+/// re-seeds from the same crossover m as the original run instead of
+/// re-probing a possibly differently-loaded machine. Advisory: the
+/// sidecar is not covered by the binary's CRC, so failure (missing
+/// file, pre-dispatch checkpoint) just means "probe afresh".
+Status load_machine_sidecar(const std::string& path,
+                            perf::MachineParams& out);
 
 /// Rebuild the simulation a checkpoint was taken from. Uses the
 /// restore constructor — no re-packing, no re-sampling — so the

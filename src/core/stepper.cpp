@@ -322,7 +322,54 @@ RunStats BrownianDynamicsAlgorithm::run(std::size_t count) {
 }
 
 MrhsAlgorithm::MrhsAlgorithm(SdSimulation& sim, AlgorithmConfig config)
-    : sim_(&sim), rhs_(config.rhs == 0 ? 1 : config.rhs) {}
+    : sim_(&sim),
+      rhs_(config.rhs == 0 ? 1 : config.rhs),
+      autotune_(config.autotune),
+      autotune_max_m_(config.autotune_max_m == 0 ? 1 : config.autotune_max_m) {}
+
+void MrhsAlgorithm::maybe_retune() {
+  if (!autotune_) return;
+  if (!tuner_.has_value()) {
+    // No matrix shape before the first chunk's assembly: the first
+    // chunk runs at config.rhs, then the tuner takes over with the
+    // model's static pick (crossover_m of the probed B/F).
+    if (tuner_nnzb_ == 0) return;
+    const perf::MachineParams machine = perf::measure_machine_quick();
+    perf::GspmvModel model;
+    model.block_rows = static_cast<double>(tuner_block_rows_);
+    model.nonzero_blocks = static_cast<double>(tuner_nnzb_);
+    model.bandwidth = machine.bandwidth;
+    model.flops = machine.flops;
+    perf::MTunerOptions topts;
+    topts.max_m = autotune_max_m_;
+    tuner_.emplace(model, topts);
+    rhs_ = tuner_->current_m();
+    OBS_GAUGE_SET("mrhs.autotuned_m", static_cast<double>(rhs_));
+    return;
+  }
+  // Online refinement: fold the achieved GB/s since the last boundary
+  // into the tuner. Counter deltas only exist when metrics are armed
+  // (bench harness, --metrics-out); without them the tuner simply
+  // keeps its static model pick.
+  if (obs::metrics_enabled()) {
+    auto& registry = obs::MetricsRegistry::instance();
+    const double bytes = registry.counter("gspmv.bytes")->value();
+    const double seconds = registry.counter("gspmv.seconds")->value();
+    tuner_->observe_bandwidth(bytes - tuner_bytes_seen_,
+                              seconds - tuner_seconds_seen_);
+    tuner_bytes_seen_ = bytes;
+    tuner_seconds_seen_ = seconds;
+  }
+  const std::size_t previous = rhs_;
+  // Bypass set_rhs: the tuner proposed this value, so it must not be
+  // treated as an external imposition (force_current would erase the
+  // tracking state the proposal came from).
+  rhs_ = tuner_->reselect();
+  OBS_GAUGE_SET("mrhs.autotuned_m", static_cast<double>(rhs_));
+  if (rhs_ != previous) {
+    OBS_COUNTER_ADD("mrhs.retunes", 1);
+  }
+}
 
 void MrhsAlgorithm::set_horizon(std::size_t total_remaining) {
   horizon_set_ = true;
@@ -373,6 +420,7 @@ RunStats MrhsAlgorithm::run(std::size_t count) {
 }
 
 void MrhsAlgorithm::begin_chunk(RunStats& stats, std::size_t call_end) {
+  maybe_retune();
   const SdConfig& config = sim_->config();
   const std::size_t n = sim_->dof();
   chunk_start_ = step_;
@@ -395,6 +443,13 @@ void MrhsAlgorithm::begin_chunk(RunStats& stats, std::size_t call_end) {
   {
     util::ScopedPhase t(stats.timers, phase::kConstruct);
     r_0 = sim_->engine().assemble_incremental(sim_->system()).matrix;
+  }
+  if (autotune_) {
+    // Shape for the tuner's GSPMV model; the tuner itself is built
+    // lazily at the next boundary so the machine probe never delays
+    // the first chunk.
+    tuner_block_rows_ = r_0.block_rows();
+    tuner_nnzb_ = r_0.nnzb();
   }
   solver::BcrsOperator base_op(r_0, config.threads);
   // Test seam: route block applications through the fault injector so

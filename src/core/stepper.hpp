@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "core/sd_simulation.hpp"
+#include "perf/mtuner.hpp"
 #include "solver/fault_tolerance.hpp"
 #include "solver/lanczos.hpp"
 #include "solver/solve_controls.hpp"
@@ -103,6 +104,14 @@ struct AlgorithmConfig {
   /// Size guard for the dense O(n^3) path: CholeskyAlgorithm refuses
   /// systems above this many scalar degrees of freedom.
   std::size_t max_dense_dof = 3600;
+  /// MRHS only: let perf::MTuner pick and adapt m online. `rhs` still
+  /// sizes the first chunk (the matrix shape is unknown before the
+  /// first assembly); from the second chunk on the tuner re-selects m
+  /// at every chunk boundary, seeded from the quick machine probe's
+  /// B/F through the paper's crossover model.
+  bool autotune = false;
+  /// Upper bound the tuner may select (grid-clamped).
+  std::size_t autotune_max_m = 64;
 };
 
 /// Checkpointable state of the single-vector algorithms: the step
@@ -236,7 +245,19 @@ class MrhsAlgorithm {
 
   /// Change m; takes effect at the next chunk (a chunk in flight keeps
   /// its width). The resilience ladder uses this to degrade/recover.
-  void set_rhs(std::size_t rhs) { rhs_ = rhs == 0 ? 1 : rhs; }
+  /// Under autotuning the tuner rebases on the imposed value instead
+  /// of fighting it (a ladder degradation sticks until the tuner sees
+  /// fresh bandwidth evidence).
+  void set_rhs(std::size_t rhs) {
+    rhs_ = rhs == 0 ? 1 : rhs;
+    if (tuner_.has_value()) tuner_->force_current(rhs_);
+  }
+
+  /// Autotuner introspection (monostate until the second chunk).
+  [[nodiscard]] bool autotuning() const { return autotune_; }
+  [[nodiscard]] const std::optional<perf::MTuner>& tuner() const {
+    return tuner_;
+  }
 
   /// Chebyshev interval of the current/most recent chunk (lambda_min
   /// is 0 until the first chunk calibrates one).
@@ -257,6 +278,10 @@ class MrhsAlgorithm {
  private:
   void begin_chunk(RunStats& stats, std::size_t call_end);
   void step_in_chunk(RunStats& stats);
+  /// Chunk-boundary hook: construct the tuner once the matrix shape is
+  /// known, feed it the achieved-bandwidth counter deltas, and adopt
+  /// its (at most one grid step) re-selection of m.
+  void maybe_retune();
   /// Shared tail of every step: midpoint half-step, second solve
   /// seeded with u, full step from the step-start snapshot.
   void midpoint_and_advance(RunStats& stats, StepRecord& rec,
@@ -276,6 +301,15 @@ class MrhsAlgorithm {
   solver::EigBounds chunk_bounds_{};
   sparse::MultiVector chunk_guesses_;
   std::optional<solver::FaultInjection> fault_plan_;
+  // Online m-autotuning (config.autotune). The tuner is constructed
+  // lazily at the first chunk boundary after a matrix shape exists.
+  bool autotune_ = false;
+  std::size_t autotune_max_m_ = 64;
+  std::optional<perf::MTuner> tuner_;
+  std::size_t tuner_block_rows_ = 0;
+  std::size_t tuner_nnzb_ = 0;
+  double tuner_bytes_seen_ = 0.0;
+  double tuner_seconds_seen_ = 0.0;
 };
 
 }  // namespace mrhs::core

@@ -1,6 +1,7 @@
 #include "perf/machine.hpp"
 
 #include <algorithm>
+#include <mutex>
 #include <vector>
 
 #include "sparse/bcrs.hpp"
@@ -79,25 +80,63 @@ MachineParams measure_machine(const StreamOptions& stream,
   return params;
 }
 
+namespace {
+
+// Mutex-guarded (not a magic static) so set_machine_quick() can seed
+// or replace the cache: a resumed run installs the sidecar's B/F
+// before anything probes, keeping autotuned m reproducible.
+std::mutex g_quick_mutex;
+bool g_quick_set = false;
+MachineParams g_quick;
+
+MachineParams probe_quick() {
+  StreamOptions stream;
+  stream.elements = 4u << 20;  // 3 x 32 MiB arrays
+  stream.repetitions = 3;
+  KernelFlopsOptions kern;
+  kern.min_seconds = 0.02;
+  MachineParams params;
+  params.bandwidth = measure_stream_bandwidth(stream);
+  double sum = 0.0;
+  int count = 0;
+  for (std::size_t m : {4, 8, 16, 32}) {
+    sum += measure_kernel_flops(m, kern);
+    ++count;
+  }
+  params.flops = sum / count;
+  return params;
+}
+
+}  // namespace
+
 MachineParams measure_machine_quick() {
-  static const MachineParams cached = [] {
-    StreamOptions stream;
-    stream.elements = 4u << 20;  // 3 x 32 MiB arrays
-    stream.repetitions = 3;
-    KernelFlopsOptions kern;
-    kern.min_seconds = 0.02;
-    MachineParams params;
-    params.bandwidth = measure_stream_bandwidth(stream);
-    double sum = 0.0;
-    int count = 0;
-    for (std::size_t m : {4, 8, 16, 32}) {
-      sum += measure_kernel_flops(m, kern);
-      ++count;
-    }
-    params.flops = sum / count;
-    return params;
-  }();
-  return cached;
+  // The probe itself runs outside the lock on purpose: it spawns
+  // parallel regions and takes ~100 ms. Two racing first callers may
+  // both probe; the first store wins and the duplicate is discarded,
+  // which is benign (thread_safety_test races this).
+  {
+    std::lock_guard<std::mutex> lock(g_quick_mutex);
+    if (g_quick_set) return g_quick;
+  }
+  const MachineParams probed = probe_quick();
+  std::lock_guard<std::mutex> lock(g_quick_mutex);
+  if (!g_quick_set) {
+    g_quick = probed;
+    g_quick_set = true;
+  }
+  return g_quick;
+}
+
+void set_machine_quick(const MachineParams& params) {
+  std::lock_guard<std::mutex> lock(g_quick_mutex);
+  g_quick = params;
+  g_quick_set = true;
+}
+
+std::optional<MachineParams> machine_quick_if_probed() {
+  std::lock_guard<std::mutex> lock(g_quick_mutex);
+  if (!g_quick_set) return std::nullopt;
+  return g_quick;
 }
 
 }  // namespace mrhs::perf

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstddef>
+#include <optional>
 #include <vector>
 
 namespace mrhs::perf {
@@ -57,6 +58,20 @@ struct KernelFlopsOptions {
 /// the full [2, 64] average. Noisier than measure_machine() — use it
 /// where a second-long probe per bench would dominate the bench — and
 /// cached per process, so every report of a run shares one probe.
+/// set_machine_quick() pre-seeds the cache without measuring.
 [[nodiscard]] MachineParams measure_machine_quick();
+
+/// Install the quick-probe result without measuring — used on
+/// checkpoint --resume, where the probed B/F of the original run is
+/// persisted in the JSON sidecar, so the autotuned m is reproducible
+/// across resume instead of depending on a re-probe under whatever
+/// load the resuming machine happens to have. A probe already cached
+/// this process is replaced.
+void set_machine_quick(const MachineParams& params);
+
+/// The quick-probe result if one was measured or installed this
+/// process; nullopt when measure_machine_quick() has never run. Lets
+/// the checkpoint writer persist B/F without forcing a probe.
+[[nodiscard]] std::optional<MachineParams> machine_quick_if_probed();
 
 }  // namespace mrhs::perf

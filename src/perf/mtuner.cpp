@@ -1,0 +1,107 @@
+#include "perf/mtuner.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mrhs::perf {
+
+namespace {
+
+/// Index of the largest grid value <= v among the entries inside
+/// [lo, hi]; the smallest in-range entry when none is <= v, and the
+/// first grid entry if the range excludes the whole grid.
+std::size_t grid_index_at_most(std::size_t v, std::size_t lo, std::size_t hi) {
+  std::size_t idx = kMGridSize;
+  for (std::size_t i = 0; i < kMGridSize; ++i) {
+    if (kMGrid[i] < lo || kMGrid[i] > hi) continue;
+    if (idx == kMGridSize || kMGrid[i] <= v) idx = i;
+  }
+  return idx == kMGridSize ? 0 : idx;
+}
+
+std::size_t index_of(std::size_t grid_value) {
+  for (std::size_t i = 0; i < kMGridSize; ++i) {
+    if (kMGrid[i] == grid_value) return i;
+  }
+  return 0;
+}
+
+}  // namespace
+
+MTuner::MTuner(GspmvModel model, MTunerOptions options)
+    : model_(std::move(model)),
+      options_(options),
+      bandwidth_(model_.bandwidth),
+      seed_bandwidth_(model_.bandwidth) {
+  options_.min_m = std::max<std::size_t>(1, options_.min_m);
+  options_.max_m = std::max(options_.min_m, options_.max_m);
+  current_m_ = model_target();
+}
+
+std::size_t MTuner::grid_clamp(std::size_t v) const {
+  const std::size_t idx =
+      grid_index_at_most(std::max(v, options_.min_m), options_.min_m,
+                         options_.max_m);
+  return std::clamp(kMGrid[idx], options_.min_m, options_.max_m);
+}
+
+std::size_t MTuner::model_target() const {
+  GspmvModel refreshed = model_;
+  refreshed.bandwidth = bandwidth_;
+  // crossover_m returns max_m + 1 when the kernel never turns
+  // compute-bound within the scan; grid_clamp pins that to max_m.
+  return grid_clamp(refreshed.crossover_m(options_.max_m));
+}
+
+void MTuner::observe_bandwidth(double bytes, double seconds) {
+  if (!(bytes > 0.0) || !(seconds > 0.0)) return;
+  const double achieved = bytes / seconds;
+  if (!std::isfinite(achieved)) return;
+  bandwidth_ = options_.ewma * achieved + (1.0 - options_.ewma) * bandwidth_;
+  tracking_ = true;
+}
+
+std::size_t MTuner::reselect() {
+  const std::size_t target = model_target();
+  if (target == current_m_) return current_m_;
+  // Hysteresis: once tracking live bandwidth, require the smoothed
+  // estimate to have moved a meaningful fraction from the seed before
+  // chasing the model's new target. The very first reselect (static
+  // seeding, no observations) always applies the model pick.
+  if (tracking_) {
+    const double rel =
+        seed_bandwidth_ > 0.0
+            ? std::abs(bandwidth_ - seed_bandwidth_) / seed_bandwidth_
+            : 1.0;
+    if (rel < options_.hysteresis) return current_m_;
+  }
+  // Move at most one grid step toward the target so a noisy
+  // observation cannot teleport the chunk width.
+  const std::size_t cur_idx = index_of(current_m_);
+  const std::size_t tgt_idx = index_of(target);
+  std::size_t next_idx = cur_idx;
+  if (tgt_idx > cur_idx) {
+    next_idx = cur_idx + 1;
+  } else if (tgt_idx < cur_idx) {
+    next_idx = cur_idx - 1;
+  }
+  const std::size_t next =
+      std::clamp(kMGrid[next_idx], options_.min_m, options_.max_m);
+  if (next != current_m_) {
+    current_m_ = next;
+    ++retunes_;
+    // The step consumed the observed drift: rebase the hysteresis
+    // reference so a persistent shift keeps stepping chunk by chunk
+    // while a one-off spike stops after one step.
+    seed_bandwidth_ = bandwidth_;
+  }
+  return current_m_;
+}
+
+void MTuner::force_current(std::size_t m) {
+  current_m_ = grid_clamp(m);
+  seed_bandwidth_ = bandwidth_;
+  tracking_ = false;
+}
+
+}  // namespace mrhs::perf

@@ -1,0 +1,101 @@
+// Online autotuner for m, the number of right-hand sides per chunk.
+//
+// The paper's result is that the optimal block width sits at the
+// bandwidth→compute crossover m_s of the GSPMV model (eqs. 9-12,
+// m_optimal ≈ m_s). The model needs the machine's B and F, which the
+// quick probe estimates once — but the *achieved* bandwidth drifts
+// with occupancy, incremental-assembly dirty fractions, and co-running
+// processes. MTuner therefore:
+//
+//   1. seeds m from GspmvModel::crossover_m using the probed B/F,
+//      clamped to a curated grid (the same widths the kernels have
+//      fast windows for);
+//   2. folds achieved GB/s observations (the gspmv.bytes/gspmv.seconds
+//      counter deltas) into an EWMA of effective bandwidth;
+//   3. at every chunk boundary, re-derives the crossover from the
+//      refreshed bandwidth and moves AT MOST ONE grid step toward it,
+//      with hysteresis so measurement noise cannot oscillate m.
+//
+// Re-selection happens only at chunk boundaries (MrhsAlgorithm re-
+// chunks against an absolute horizon), so changing m mid-run stays
+// checkpoint- and rollback-safe: a chunk in flight never changes
+// shape.
+//
+// State machine:  kSeeded --first reselect()--> kTracking
+//   force_current() (the resilience ladder shrinking the block, or an
+//   external set_rhs) rebases the tuner on the imposed m and returns
+//   it to kSeeded so the next reselect() moves from there.
+#pragma once
+
+#include <cstddef>
+
+#include "perf/machine.hpp"
+#include "perf/model.hpp"
+
+namespace mrhs::perf {
+
+struct MTunerOptions {
+  std::size_t min_m = 1;
+  std::size_t max_m = 64;
+  /// Relative bandwidth change below which reselect() holds still
+  /// (|target - current| must also cross a grid step).
+  double hysteresis = 0.05;
+  /// EWMA weight of the newest bandwidth observation.
+  double ewma = 0.3;
+};
+
+class MTuner {
+ public:
+  /// `model` carries the matrix shape (nb, nnzb) and the probed B/F.
+  MTuner(GspmvModel model, MTunerOptions options = {});
+
+  /// The currently selected m (always a grid value in [min_m, max_m]).
+  [[nodiscard]] std::size_t current_m() const { return current_m_; }
+
+  /// Fold one achieved-bandwidth observation (counter deltas from the
+  /// metrics registry: bytes moved and seconds spent in gspmv since
+  /// the last call). Ignored if non-positive.
+  void observe_bandwidth(double bytes, double seconds);
+
+  /// Chunk-boundary re-selection: returns the m to use for the next
+  /// chunk, at most one grid step away from current_m(). Without any
+  /// observations this is the pure model pick (static seeding).
+  std::size_t reselect();
+
+  /// Rebase on an externally imposed m (resilience-ladder degradation
+  /// or a user set_rhs): the tuner adopts it as current and clears the
+  /// tracking state so it does not immediately fight the imposition.
+  void force_current(std::size_t m);
+
+  /// Number of reselect() calls that actually changed m.
+  [[nodiscard]] std::size_t retunes() const { return retunes_; }
+
+  /// Smoothed achieved bandwidth (bytes/s); the probe's B before any
+  /// observation arrives.
+  [[nodiscard]] double smoothed_bandwidth() const { return bandwidth_; }
+
+  /// The model target for the smoothed bandwidth: crossover_m clamped
+  /// to the grid (what reselect() steps toward).
+  [[nodiscard]] std::size_t model_target() const;
+
+  /// Nearest grid value <= v (or min_m); exposed for tests and the
+  /// abl05 bench, which sweeps exactly this grid.
+  [[nodiscard]] std::size_t grid_clamp(std::size_t v) const;
+
+ private:
+  GspmvModel model_;
+  MTunerOptions options_;
+  double bandwidth_;       // EWMA of achieved B
+  double seed_bandwidth_;  // probed B (hysteresis reference)
+  std::size_t current_m_;
+  std::size_t retunes_ = 0;
+  bool tracking_ = false;  // an observation arrived since last rebase
+};
+
+/// The curated m grid: 1..4 for degraded/small runs, then the widths
+/// the AVX2/AVX-512 kernels unroll best (multiples of 4 and 8 up to
+/// 64). Shared by the tuner, its tests, and the abl05 sweep.
+inline constexpr std::size_t kMGrid[] = {1, 2, 4, 6, 8, 12, 16, 24, 32, 48, 64};
+inline constexpr std::size_t kMGridSize = sizeof(kMGrid) / sizeof(kMGrid[0]);
+
+}  // namespace mrhs::perf

@@ -10,6 +10,7 @@
 #include "sd/effective_viscosity.hpp"
 #include "sd/lubrication.hpp"
 #include "util/contracts.hpp"
+#include "util/parallel.hpp"
 
 namespace mrhs::sd {
 
@@ -217,9 +218,10 @@ void AssemblyEngine::rebuild_pattern(const ParticleSystem& system,
   }
 
   pattern_refs_.assign(pos.begin(), pos.end());
-  cached_ = sparse::BcrsMatrix(
-      n, n, std::move(row_ptr), std::move(col_idx),
-      util::AlignedVector<double>(nnzb * sparse::kBlockSize, 0.0));
+  util::NoInitAlignedVector<double> fresh_values(nnzb * sparse::kBlockSize);
+  util::first_touch_zero(fresh_values.data(), fresh_values.size());
+  cached_ = sparse::BcrsMatrix(n, n, std::move(row_ptr), std::move(col_idx),
+                               std::move(fresh_values));
   has_pattern_ = true;
   ++epoch_;
   ++rebuilds_total_;

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "sd/effective_viscosity.hpp"
+#include "util/parallel.hpp"
 
 namespace mrhs::sd {
 
@@ -55,7 +56,11 @@ sparse::BcrsMatrix ResistanceAssembler::assemble_full(
 
   const std::size_t nnzb = static_cast<std::size_t>(row_ptr[n]);
   std::vector<std::int32_t> col_idx(nnzb);
-  util::AlignedVector<double> values(nnzb * sparse::kBlockSize, 0.0);
+  // No-init storage + first-touch zero: the assembly passes below only
+  // write the stored entries, so zero pages must exist, and placing
+  // them here puts them where the GSPMV workers will stream them.
+  util::NoInitAlignedVector<double> values(nnzb * sparse::kBlockSize);
+  util::first_touch_zero(values.data(), values.size());
 
   // Pass 2: place the diagonal blocks (far-field drag) at each row's
   // first slot, then append pair blocks via per-row cursors.

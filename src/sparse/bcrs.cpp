@@ -11,14 +11,35 @@
 #include "dense/matrix.hpp"
 #include "sparse/csr.hpp"
 #include "util/contracts.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 
 namespace mrhs::sparse {
+
+namespace {
+
+/// Re-place plain aligned storage into no-init storage with a
+/// first-touch copy (the copy itself is the placing first write).
+util::NoInitAlignedVector<double> replace_values(
+    const util::AlignedVector<double>& values) {
+  util::NoInitAlignedVector<double> out(values.size());
+  util::first_touch_copy(out.data(), values.data(), values.size());
+  return out;
+}
+
+}  // namespace
 
 BcrsMatrix::BcrsMatrix(std::size_t block_rows, std::size_t block_cols,
                        std::vector<std::int64_t> row_ptr,
                        std::vector<std::int32_t> col_idx,
                        util::AlignedVector<double> values)
+    : BcrsMatrix(block_rows, block_cols, std::move(row_ptr),
+                 std::move(col_idx), replace_values(values)) {}
+
+BcrsMatrix::BcrsMatrix(std::size_t block_rows, std::size_t block_cols,
+                       std::vector<std::int64_t> row_ptr,
+                       std::vector<std::int32_t> col_idx,
+                       util::NoInitAlignedVector<double> values)
     : block_rows_(block_rows),
       block_cols_(block_cols),
       row_ptr_(std::move(row_ptr)),
@@ -169,12 +190,21 @@ BcrsMatrix BcrsBuilder::build() const {
               return keyed[a] != keyed[b] ? keyed[a] < keyed[b] : a < b;
             });
 
+  // Count unique (brow, bcol) keys first so the value storage can be
+  // sized up front and its pages placed by the first-touch pass before
+  // the serial merge below overwrites them.
+  std::size_t unique = 0;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    if (i == 0 || keyed[order[i]] != keyed[order[i - 1]]) ++unique;
+  }
+
   std::vector<std::int64_t> row_ptr(block_rows_ + 1, 0);
   std::vector<std::int32_t> col_idx;
-  util::AlignedVector<double> values;
-  col_idx.reserve(entries_.size());
-  values.reserve(entries_.size() * kBlockSize);
+  util::NoInitAlignedVector<double> values(unique * kBlockSize);
+  util::first_touch_zero(values.data(), values.size());
+  col_idx.reserve(unique);
 
+  std::size_t out = 0;
   for (std::size_t i = 0; i < order.size();) {
     const std::uint64_t key = keyed[order[i]];
     const Entry& first = entries_[order[i]];
@@ -186,7 +216,9 @@ BcrsMatrix BcrsBuilder::build() const {
       ++j;
     }
     col_idx.push_back(first.bcol);
-    values.insert(values.end(), acc, acc + kBlockSize);
+    std::memcpy(values.data() + out * kBlockSize, acc,
+                kBlockSize * sizeof(double));
+    ++out;
     row_ptr[first.brow + 1] += 1;
     i = j;
   }

@@ -30,6 +30,14 @@ inline constexpr std::size_t kBlockSize = kBlockDim * kBlockDim;
 class BcrsMatrix {
  public:
   BcrsMatrix() = default;
+  /// Primary constructor: takes ownership of no-init storage whose
+  /// pages the producer already placed (util::first_touch_zero/copy).
+  BcrsMatrix(std::size_t block_rows, std::size_t block_cols,
+             std::vector<std::int64_t> row_ptr,
+             std::vector<std::int32_t> col_idx,
+             util::NoInitAlignedVector<double> values);
+  /// Convenience overload for producers holding plain aligned storage;
+  /// re-places the values via a first-touch copy (one extra pass).
   BcrsMatrix(std::size_t block_rows, std::size_t block_cols,
              std::vector<std::int64_t> row_ptr,
              std::vector<std::int32_t> col_idx,
@@ -109,7 +117,7 @@ class BcrsMatrix {
   std::size_t block_cols_ = 0;
   std::vector<std::int64_t> row_ptr_;
   std::vector<std::int32_t> col_idx_;
-  util::AlignedVector<double> values_;
+  util::NoInitAlignedVector<double> values_;
 };
 
 /// Accumulating 3x3-block coordinate builder; duplicate blocks are

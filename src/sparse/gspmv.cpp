@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "obs/obs.hpp"
+#include "sparse/kernel_dispatch.hpp"
 #include "sparse/simd_kernels.hpp"
 #include "util/contracts.hpp"
 #include "util/fault_injection.hpp"
@@ -21,47 +22,58 @@ void check_shapes(const BcrsMatrix& a, const MultiVector& x,
   }
 }
 
-/// Run the selected kernel over one range of block rows.
+/// Map the public kernel request onto a dispatch-table entry. nullptr
+/// selects the inline reference loop below (the verification path,
+/// kept out of the table on purpose so it cannot be picked by auto).
+const kernels::KernelVariant* resolve_variant(GspmvKernel kernel,
+                                              std::size_t m) {
+  using kernels::Dispatch;
+  using kernels::Isa;
+  const Dispatch& d = Dispatch::instance();
+  switch (kernel) {
+    case GspmvKernel::kReference:
+      return nullptr;
+    case GspmvKernel::kForceScalar:
+      return &d.variant(Isa::kScalar);
+    case GspmvKernel::kSimd256:
+    case GspmvKernel::kForceAvx2:
+      return &d.variant(Isa::kAvx2);
+    case GspmvKernel::kForceAvx512:
+      return &d.variant(Isa::kAvx512);
+    case GspmvKernel::kSimd:
+    case GspmvKernel::kAuto:
+      break;
+  }
+  return &d.select(m);
+}
+
+/// Run one range of block rows through a resolved variant (nullptr =
+/// inline reference loop).
 void run_rows(const BcrsMatrix& a, const double* x, double* y, std::size_t m,
-              RowRange range, GspmvKernel kernel) {
+              RowRange range, const kernels::KernelVariant* variant) {
   const auto row_ptr = a.row_ptr();
   const auto col_idx = a.col_idx();
   const double* values = a.values().data();
 
-  const bool use_simd = kernel != GspmvKernel::kReference;
-
   if (m == 1) {
+    // Every ISA (forced or auto) shares this one specialized SPMV
+    // instance: a --kernel override cannot perturb single-vector
+    // results, and the m = 1 path keeps its pre-dispatch code exactly.
     for (std::size_t bi = range.begin; bi < range.end; ++bi) {
       kernels::block_row_spmv(values, col_idx.data(), row_ptr[bi],
                               row_ptr[bi + 1], x, y + bi * 3);
     }
     return;
   }
-#if MRHS_HAVE_AVX512_KERNELS
-  // 8-wide lanes pay off once a window fills; below that the AVX2
-  // 4-wide windows waste fewer lanes.
-  if (use_simd && m >= 8 && kernel != GspmvKernel::kSimd256) {
+  if (variant == nullptr) {
     for (std::size_t bi = range.begin; bi < range.end; ++bi) {
-      kernels::block_row_avx512(values, col_idx.data(), row_ptr[bi],
-                                row_ptr[bi + 1], x, m, y + bi * 3 * m);
+      kernels::block_row_generic(values, col_idx.data(), row_ptr[bi],
+                                 row_ptr[bi + 1], x, m, y + bi * 3 * m);
     }
     return;
   }
-#endif
-#if MRHS_HAVE_AVX2_KERNELS
-  if (use_simd) {
-    for (std::size_t bi = range.begin; bi < range.end; ++bi) {
-      kernels::block_row_avx2(values, col_idx.data(), row_ptr[bi],
-                              row_ptr[bi + 1], x, m, y + bi * 3 * m);
-    }
-    return;
-  }
-#endif
-  (void)use_simd;
-  for (std::size_t bi = range.begin; bi < range.end; ++bi) {
-    kernels::block_row_generic(values, col_idx.data(), row_ptr[bi],
-                               row_ptr[bi + 1], x, m, y + bi * 3 * m);
-  }
+  variant->block_rows(values, col_idx.data(), row_ptr.data(), range.begin,
+                      range.end, x, m, y);
 }
 
 }  // namespace
@@ -70,7 +82,7 @@ void gspmv_reference(const BcrsMatrix& a, const MultiVector& x,
                      MultiVector& y) {
   check_shapes(a, x, y);
   run_rows(a, x.data(), y.data(), x.cols(), RowRange{0, a.block_rows()},
-           GspmvKernel::kReference);
+           /*variant=*/nullptr);
 }
 
 void spmv_reference(const BcrsMatrix& a, std::span<const double> x,
@@ -79,7 +91,7 @@ void spmv_reference(const BcrsMatrix& a, std::span<const double> x,
     throw std::invalid_argument("spmv: shape mismatch");
   }
   run_rows(a, x.data(), y.data(), 1, RowRange{0, a.block_rows()},
-           GspmvKernel::kReference);
+           /*variant=*/nullptr);
 }
 
 void gspmv_colmajor(const BcrsMatrix& a, const double* x, double* y,
@@ -130,17 +142,22 @@ void GspmvEngine::apply(const MultiVector& x, MultiVector& y,
   span.arg("m", static_cast<double>(m));
   using Clock = std::chrono::steady_clock;
   const bool metrics = obs::metrics_enabled();
+  // Resolve ISA once per apply (not per thread / per block row): the
+  // workers share one table entry, so the override and cpuid logic
+  // stay off the hot path entirely.
+  const kernels::KernelVariant* variant =
+      m == 1 ? nullptr : resolve_variant(kernel, m);
   const Clock::time_point t0 = metrics ? Clock::now() : Clock::time_point{};
 
   if (threads_ == 1) {
-    run_rows(*a_, xp, yp, m, RowRange{0, a_->block_rows()}, kernel);
+    run_rows(*a_, xp, yp, m, RowRange{0, a_->block_rows()}, variant);
   } else {
     // Workers write disjoint block-row ranges of y (parts_ is a
     // partition), so the region body is race-free by construction;
     // thread_safety_test pins this down under TSan.
     util::parallel_regions(threads_, [&](int tid) {
       if (tid < static_cast<int>(parts_.size())) {
-        run_rows(*a_, xp, yp, m, parts_[tid], kernel);
+        run_rows(*a_, xp, yp, m, parts_[tid], variant);
       }
     });
   }
@@ -149,7 +166,8 @@ void GspmvEngine::apply(const MultiVector& x, MultiVector& y,
   MRHS_FAULT_POINT("gspmv.apply.nan", yp, a_->rows() * m);
 
   if (metrics) {
-    record_metrics(m, std::chrono::duration<double>(Clock::now() - t0).count());
+    record_metrics(m, std::chrono::duration<double>(Clock::now() - t0).count(),
+                   variant);
   }
 }
 
@@ -165,21 +183,24 @@ void GspmvEngine::apply(std::span<const double> x, std::span<double> y) const {
 
   if (threads_ == 1) {
     run_rows(*a_, x.data(), y.data(), 1, RowRange{0, a_->block_rows()},
-             GspmvKernel::kAuto);
+             /*variant=*/nullptr);
   } else {
     util::parallel_regions(threads_, [&](int tid) {
       if (tid < static_cast<int>(parts_.size())) {
-        run_rows(*a_, x.data(), y.data(), 1, parts_[tid], GspmvKernel::kAuto);
+        run_rows(*a_, x.data(), y.data(), 1, parts_[tid],
+                 /*variant=*/nullptr);
       }
     });
   }
 
   if (metrics) {
-    record_metrics(1, std::chrono::duration<double>(Clock::now() - t0).count());
+    record_metrics(1, std::chrono::duration<double>(Clock::now() - t0).count(),
+                   nullptr);
   }
 }
 
-void GspmvEngine::record_metrics(std::size_t m, double seconds) const {
+void GspmvEngine::record_metrics(std::size_t m, double seconds,
+                                 const kernels::KernelVariant* variant) const {
   const double bytes = min_bytes(m);
   OBS_COUNTER_ADD("gspmv.calls", 1);
   OBS_COUNTER_ADD("gspmv.vector_products", m);
@@ -191,6 +212,25 @@ void GspmvEngine::record_metrics(std::size_t m, double seconds) const {
     // traffic Mtr (eq. 8): how close the kernel runs to the roofline.
     OBS_GAUGE_SET("gspmv.effective_bandwidth_gbps",
                   bytes / seconds * 1e-9);
+  }
+  if (variant != nullptr) {
+    // Which dispatched ISA ran (0 = scalar, 1 = avx2, 2 = avx512) and
+    // a per-ISA apply count, so bench sidecars and --metrics-out can
+    // attribute throughput to the kernel that produced it. The m = 1
+    // path reports nothing here: it bypasses the dispatch table.
+    OBS_GAUGE_SET("gspmv.kernel_isa",
+                  static_cast<double>(static_cast<std::uint8_t>(variant->isa)));
+    switch (variant->isa) {
+      case kernels::Isa::kScalar:
+        OBS_COUNTER_ADD("gspmv.kernel.scalar_applies", 1);
+        break;
+      case kernels::Isa::kAvx2:
+        OBS_COUNTER_ADD("gspmv.kernel.avx2_applies", 1);
+        break;
+      case kernels::Isa::kAvx512:
+        OBS_COUNTER_ADD("gspmv.kernel.avx512_applies", 1);
+        break;
+    }
   }
 }
 

@@ -12,11 +12,19 @@
 
 namespace mrhs::sparse {
 
+namespace kernels {
+struct KernelVariant;
+}  // namespace kernels
+
 enum class GspmvKernel {
-  kReference,  // portable loops
-  kSimd,       // best vector microkernel compiled in (AVX-512 > AVX2)
-  kSimd256,    // force the AVX2/FMA variant (kernel ablations)
-  kAuto,       // same as kSimd
+  kReference,    // portable loops inline in gspmv.cpp (verification path)
+  kSimd,         // best ISA the CPU + binary support (runtime dispatch;
+                 // honors the --kernel/MRHS_KERNEL override)
+  kSimd256,      // legacy alias for kForceAvx2 (kernel ablations)
+  kAuto,         // same as kSimd
+  kForceScalar,  // pin the dispatched scalar variant
+  kForceAvx2,    // pin the AVX2/FMA variant (falls back if unavailable)
+  kForceAvx512,  // pin the AVX-512 variant (falls back if unavailable)
 };
 
 /// Single-threaded reference implementations (used for verification).
@@ -61,9 +69,12 @@ class GspmvEngine {
   [[nodiscard]] double min_bytes(std::size_t m) const;
 
  private:
-  /// Feed the gspmv.* counters and the effective-bandwidth gauge after
-  /// one timed apply (only called when metrics are enabled).
-  void record_metrics(std::size_t m, double seconds) const;
+  /// Feed the gspmv.* counters, the effective-bandwidth gauge, and the
+  /// dispatched-ISA attribution after one timed apply (only called when
+  /// metrics are enabled; variant == nullptr for the m = 1 / reference
+  /// paths, which bypass the dispatch table).
+  void record_metrics(std::size_t m, double seconds,
+                      const kernels::KernelVariant* variant) const;
 
   const BcrsMatrix* a_;
   int threads_;

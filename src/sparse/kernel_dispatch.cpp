@@ -1,0 +1,123 @@
+#include "sparse/kernel_dispatch.hpp"
+
+#include <cstdio>
+#include <mutex>
+
+#include "util/kernel_override.hpp"
+
+namespace mrhs::sparse::kernels {
+
+namespace {
+
+bool probe_cpu_avx2() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+bool probe_cpu_avx512() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx512f");
+#else
+  return false;
+#endif
+}
+
+Isa isa_from_override(util::KernelIsaOverride ov) {
+  switch (ov) {
+    case util::KernelIsaOverride::kScalar: return Isa::kScalar;
+    case util::KernelIsaOverride::kAvx2: return Isa::kAvx2;
+    case util::KernelIsaOverride::kAvx512: return Isa::kAvx512;
+    case util::KernelIsaOverride::kAuto: break;
+  }
+  return Isa::kScalar;  // unreachable for kAuto callers
+}
+
+void warn_fallback_once(Isa requested, Isa used) {
+  static std::once_flag flag;
+  std::call_once(flag, [requested, used] {
+    std::fprintf(stderr,
+                 "mrhs: kernel ISA %s is not available on this "
+                 "machine/binary; running %s instead\n",
+                 to_string(requested), to_string(used));
+  });
+}
+
+}  // namespace
+
+Dispatch::Dispatch() : table_{}, cpu_{} {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_cpu_init();
+#endif
+  cpu_[static_cast<std::size_t>(Isa::kScalar)] = true;
+  cpu_[static_cast<std::size_t>(Isa::kAvx2)] = probe_cpu_avx2();
+  cpu_[static_cast<std::size_t>(Isa::kAvx512)] = probe_cpu_avx512();
+
+  table_[static_cast<std::size_t>(Isa::kScalar)] =
+      KernelVariant{Isa::kScalar, to_string(Isa::kScalar), &block_rows_scalar};
+#if defined(MRHS_DISPATCH_AVX2)
+  table_[static_cast<std::size_t>(Isa::kAvx2)] =
+      KernelVariant{Isa::kAvx2, to_string(Isa::kAvx2), &block_rows_avx2};
+#endif
+#if defined(MRHS_DISPATCH_AVX512)
+  table_[static_cast<std::size_t>(Isa::kAvx512)] = KernelVariant{
+      Isa::kAvx512, to_string(Isa::kAvx512), &block_rows_avx512};
+#endif
+}
+
+const Dispatch& Dispatch::instance() {
+  static const Dispatch dispatch;
+  return dispatch;
+}
+
+Isa Dispatch::best(std::size_t m) const {
+  // 8-wide lanes pay off once a window fills; below that the AVX2
+  // 4-wide windows waste fewer lanes (same heuristic the pre-dispatch
+  // compile-time selection used).
+  if (m >= 8 && available(Isa::kAvx512)) return Isa::kAvx512;
+  if (available(Isa::kAvx2)) return Isa::kAvx2;
+  if (available(Isa::kAvx512)) return Isa::kAvx512;
+  return Isa::kScalar;
+}
+
+const KernelVariant& Dispatch::variant(Isa isa) const {
+  Isa used = isa;
+  while (used != Isa::kScalar && !available(used)) {
+    used = static_cast<Isa>(static_cast<std::uint8_t>(used) - 1);
+  }
+  if (used != isa) warn_fallback_once(isa, used);
+  return table_[static_cast<std::size_t>(used)];
+}
+
+const KernelVariant& Dispatch::select(std::size_t m) const {
+  const util::KernelIsaOverride ov = util::kernel_override();
+  if (ov != util::KernelIsaOverride::kAuto) {
+    return variant(isa_from_override(ov));
+  }
+  return table_[static_cast<std::size_t>(best(m))];
+}
+
+std::string Dispatch::describe() const {
+  const auto list = [this](bool (Dispatch::*pred)(Isa) const) {
+    std::string out = "[";
+    for (std::size_t i = 0; i < kIsaCount; ++i) {
+      if (!(this->*pred)(static_cast<Isa>(i))) continue;
+      if (out.size() > 1) out += ',';
+      out += to_string(static_cast<Isa>(i));
+    }
+    return out + "]";
+  };
+  std::string out = "best=";
+  out += to_string(best(/*m=*/64));
+  out += " compiled=";
+  out += list(&Dispatch::compiled);
+  out += " cpu=";
+  out += list(&Dispatch::cpu_supports);
+  out += " override=";
+  out += util::to_string(util::kernel_override());
+  return out;
+}
+
+}  // namespace mrhs::sparse::kernels

@@ -1,0 +1,27 @@
+// AVX2/FMA dispatch variant. CMake appends -mavx2 -mfma to this TU
+// only; never call block_rows_avx2 without Dispatch::available
+// clearance — on a CPU without AVX2 it is an illegal-instruction
+// fault, not a graceful error.
+#include <cstddef>
+#include <cstdint>
+
+#include "sparse/kernel_dispatch.hpp"
+#include "sparse/simd_kernels.hpp"
+
+#if !MRHS_HAVE_AVX2_KERNELS
+#error "kernels_avx2.cpp must be compiled with -mavx2 -mfma"
+#endif
+
+namespace mrhs::sparse::kernels {
+
+void block_rows_avx2(const double* values, const std::int32_t* col_idx,
+                     const std::int64_t* row_ptr, std::size_t row_begin,
+                     std::size_t row_end, const double* x, std::size_t m,
+                     double* y) {
+  for (std::size_t bi = row_begin; bi < row_end; ++bi) {
+    block_row_avx2(values, col_idx, row_ptr[bi], row_ptr[bi + 1], x, m,
+                   y + bi * 3 * m);
+  }
+}
+
+}  // namespace mrhs::sparse::kernels

@@ -1,0 +1,26 @@
+// AVX-512F dispatch variant. CMake appends -mavx512f (plus -mavx2
+// -mfma, which every AVX-512F CPU implies) to this TU only; call only
+// through the dispatch table after a cpuid check.
+#include <cstddef>
+#include <cstdint>
+
+#include "sparse/kernel_dispatch.hpp"
+#include "sparse/simd_kernels.hpp"
+
+#if !MRHS_HAVE_AVX512_KERNELS
+#error "kernels_avx512.cpp must be compiled with -mavx512f"
+#endif
+
+namespace mrhs::sparse::kernels {
+
+void block_rows_avx512(const double* values, const std::int32_t* col_idx,
+                       const std::int64_t* row_ptr, std::size_t row_begin,
+                       std::size_t row_end, const double* x, std::size_t m,
+                       double* y) {
+  for (std::size_t bi = row_begin; bi < row_end; ++bi) {
+    block_row_avx512(values, col_idx, row_ptr[bi], row_ptr[bi + 1], x, m,
+                     y + bi * 3 * m);
+  }
+}
+
+}  // namespace mrhs::sparse::kernels

@@ -1,0 +1,24 @@
+// Scalar (portable C++) dispatch variant. Compiled with the base
+// toolchain flags only — no per-TU -m options — so this TU is the one
+// guaranteed to run on any x86-64 (or non-x86) machine. Thanks to the
+// explicit std::fma accumulation in block_row_generic it still
+// produces bit-identical results to the intrinsic variants.
+#include <cstddef>
+#include <cstdint>
+
+#include "sparse/kernel_dispatch.hpp"
+#include "sparse/simd_kernels.hpp"
+
+namespace mrhs::sparse::kernels {
+
+void block_rows_scalar(const double* values, const std::int32_t* col_idx,
+                       const std::int64_t* row_ptr, std::size_t row_begin,
+                       std::size_t row_end, const double* x, std::size_t m,
+                       double* y) {
+  for (std::size_t bi = row_begin; bi < row_end; ++bi) {
+    block_row_generic(values, col_idx, row_ptr[bi], row_ptr[bi + 1], x, m,
+                      y + bi * 3 * m);
+  }
+}
+
+}  // namespace mrhs::sparse::kernels

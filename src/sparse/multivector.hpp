@@ -9,6 +9,7 @@
 #include <span>
 
 #include "util/aligned.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 
 namespace mrhs::dense {
@@ -20,8 +21,14 @@ namespace mrhs::sparse {
 class MultiVector {
  public:
   MultiVector() = default;
+  /// Storage is sized uninitialized, then zeroed by the NUMA
+  /// first-touch pass: the zero pages land with the workers that will
+  /// stream them in GSPMV (util::Placement::kPartitioned matches the
+  /// engine's static row chunking).
   MultiVector(std::size_t rows, std::size_t cols)
-      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+      : rows_(rows), cols_(cols), data_(rows * cols) {
+    util::first_touch_zero(data_.data(), data_.size());
+  }
 
   [[nodiscard]] std::size_t rows() const { return rows_; }
   [[nodiscard]] std::size_t cols() const { return cols_; }
@@ -68,7 +75,7 @@ class MultiVector {
  private:
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
-  util::AlignedVector<double> data_;
+  util::NoInitAlignedVector<double> data_;
 };
 
 /// Gram matrix G = A^T B (m-by-m) of two equal-shaped multivectors.

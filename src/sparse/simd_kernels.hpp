@@ -8,6 +8,7 @@
 // row stay in L1 while the matrix streams through once.
 #pragma once
 
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
 
@@ -28,7 +29,15 @@ namespace mrhs::sparse::kernels {
 
 /// Y(3 rows x m) = sum over blocks of A_block(3x3) * X(3 rows x m).
 /// Portable version; the inner loops vectorize under -O3.
-inline void block_row_generic(const double* __restrict values,
+///
+/// Accumulation contract (the bitwise-parity invariant the dispatch
+/// tests pin down): each y element accumulates via fused
+/// multiply-adds in (p, c) order — one fma per stored block column.
+/// std::fma is used explicitly, not left to -ffp-contract, so the
+/// generic kernel produces the exact same doubles as the AVX2/AVX-512
+/// intrinsic kernels (which fma by construction) on every build,
+/// including portable builds without hardware FMA codegen flags.
+static inline void block_row_generic(const double* __restrict values,
                               const std::int32_t* __restrict col_idx,
                               std::int64_t begin, std::int64_t end,
                               const double* __restrict x, std::size_t m,
@@ -46,16 +55,16 @@ inline void block_row_generic(const double* __restrict values,
 #pragma omp simd
       for (std::size_t j = 0; j < m; ++j) {
         const double xv = xc[j];
-        y_row[0 * m + j] += a0c * xv;
-        y_row[1 * m + j] += a1c * xv;
-        y_row[2 * m + j] += a2c * xv;
+        y_row[0 * m + j] = std::fma(a0c, xv, y_row[0 * m + j]);
+        y_row[1 * m + j] = std::fma(a1c, xv, y_row[1 * m + j]);
+        y_row[2 * m + j] = std::fma(a2c, xv, y_row[2 * m + j]);
       }
     }
   }
 }
 
 /// Scalar m == 1 specialization (classic SPMV with 3x3 blocks).
-inline void block_row_spmv(const double* __restrict values,
+static inline void block_row_spmv(const double* __restrict values,
                            const std::int32_t* __restrict col_idx,
                            std::int64_t begin, std::int64_t end,
                            const double* __restrict x,
@@ -83,7 +92,7 @@ inline void block_row_spmv(const double* __restrict values,
 /// mirrors the paper's fully-unrolled generated kernels: NC is the
 /// compile-time unroll-over-m factor.
 template <int NC>
-inline void block_row_window_avx2(const double* __restrict values,
+static inline void block_row_window_avx2(const double* __restrict values,
                                   const std::int32_t* __restrict col_idx,
                                   std::int64_t begin, std::int64_t end,
                                   const double* __restrict x, std::size_t m,
@@ -126,7 +135,7 @@ inline void block_row_window_avx2(const double* __restrict values,
 /// windows of 16/8/4 with a scalar tail. Within one window the matrix
 /// row's blocks come from L1/L2 (a row is ~2 KB), so DRAM still sees
 /// the matrix exactly once per GSPMV.
-inline void block_row_avx2(const double* __restrict values,
+static inline void block_row_avx2(const double* __restrict values,
                            const std::int32_t* __restrict col_idx,
                            std::int64_t begin, std::int64_t end,
                            const double* __restrict x, std::size_t m,
@@ -182,7 +191,7 @@ inline void block_row_avx2(const double* __restrict values,
 /// accumulation as the AVX2 variant at twice the lane count. The final
 /// partial window (< 8 columns) uses the lane mask.
 template <int NC>
-inline void block_row_window_avx512(const double* __restrict values,
+static inline void block_row_window_avx512(const double* __restrict values,
                                     const std::int32_t* __restrict col_idx,
                                     std::int64_t begin, std::int64_t end,
                                     const double* __restrict x,
@@ -236,7 +245,7 @@ inline void block_row_window_avx512(const double* __restrict values,
 
 /// AVX-512 block-row kernel: 16-wide windows, then an 8-or-fewer
 /// masked window.
-inline void block_row_avx512(const double* __restrict values,
+static inline void block_row_avx512(const double* __restrict values,
                              const std::int32_t* __restrict col_idx,
                              std::int64_t begin, std::int64_t end,
                              const double* __restrict x, std::size_t m,

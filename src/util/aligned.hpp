@@ -51,6 +51,49 @@ class AlignedAllocator {
 template <class T>
 using AlignedVector = std::vector<T, AlignedAllocator<T>>;
 
+/// AlignedAllocator whose value-less construct() default-initializes
+/// instead of value-initializing: vector(n) then leaves a trivially
+/// constructible payload untouched. That is what lets the NUMA
+/// first-touch pass (util/parallel.hpp) place the pages — with the
+/// plain allocator, vector's serial zero-fill has already touched
+/// every page on the calling thread's node before any kernel runs.
+/// Explicit-value construction (copies, fill, push_back) is unchanged.
+template <class T, std::size_t Alignment = kCacheLineBytes>
+class AlignedNoInitAllocator : public AlignedAllocator<T, Alignment> {
+ public:
+  using value_type = T;
+
+  AlignedNoInitAllocator() noexcept = default;
+  template <class U>
+  explicit AlignedNoInitAllocator(
+      const AlignedNoInitAllocator<U, Alignment>&) noexcept {}
+
+  template <class U>
+  struct rebind {
+    using other = AlignedNoInitAllocator<U, Alignment>;
+  };
+
+  template <class U>
+  void construct(U* p) noexcept(noexcept(::new (static_cast<void*>(p)) U)) {
+    ::new (static_cast<void*>(p)) U;
+  }
+  template <class U, class... Args>
+  void construct(U* p, Args&&... args) {
+    ::new (static_cast<void*>(p)) U(std::forward<Args>(args)...);
+  }
+
+  friend bool operator==(const AlignedNoInitAllocator&,
+                         const AlignedNoInitAllocator&) {
+    return true;
+  }
+};
+
+/// Aligned vector whose size-only resizes leave the payload
+/// uninitialized; pair every sizing with util::first_touch_zero (or a
+/// full overwrite) before reading.
+template <class T>
+using NoInitAlignedVector = std::vector<T, AlignedNoInitAllocator<T>>;
+
 /// Round `n` up to the next multiple of `multiple` (multiple > 0).
 constexpr std::size_t round_up(std::size_t n, std::size_t multiple) {
   return ((n + multiple - 1) / multiple) * multiple;

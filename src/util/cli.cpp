@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "obs/obs.hpp"
+#include "util/kernel_override.hpp"
 
 namespace mrhs::util {
 
@@ -134,10 +135,21 @@ void ObsCli::add_to(ArgParser& args) {
            "write the trace events as flat JSONL to this file");
   args.add("metrics-out", metrics_out_,
            "write the metrics snapshot JSON to this file");
+  args.add("kernel", kernel_,
+           "GSPMV kernel ISA: auto|scalar|avx2|avx512 "
+           "(unset: MRHS_KERNEL env, else auto = runtime cpuid pick)");
 }
 
 void ObsCli::apply() const {
   obs::arm_outputs(trace_out_, trace_jsonl_, metrics_out_);
+  if (kernel_.empty()) return;
+  if (!set_kernel_override(kernel_)) {
+    std::fprintf(stderr,
+                 "bad value '%s' for flag --kernel "
+                 "(expected auto|scalar|avx2|avx512)\n",
+                 kernel_.c_str());
+    std::exit(2);
+  }
 }
 
 void ObsCli::finish() const {

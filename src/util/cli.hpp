@@ -62,6 +62,8 @@ class ArgParser {
 /// --trace-out FILE    Chrome-trace JSON (chrome://tracing, perfetto)
 /// --trace-jsonl FILE  same events as flat JSONL
 /// --metrics-out FILE  metrics snapshot JSON
+/// --kernel NAME       GSPMV kernel ISA: auto|scalar|avx2|avx512
+///                     (beats MRHS_KERNEL; "auto" = runtime cpuid pick)
 ///
 /// Outputs are written at process exit; call finish() to flush early
 /// and print where the artifacts went.
@@ -79,11 +81,13 @@ class ObsCli {
   [[nodiscard]] const std::string& metrics_out() const {
     return metrics_out_;
   }
+  [[nodiscard]] const std::string& kernel() const { return kernel_; }
 
  private:
   std::string trace_out_;
   std::string trace_jsonl_;
   std::string metrics_out_;
+  std::string kernel_;  // empty = not given: MRHS_KERNEL (or auto) applies
 };
 
 }  // namespace mrhs::util

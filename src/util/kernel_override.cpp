@@ -1,0 +1,54 @@
+#include "util/kernel_override.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+
+namespace mrhs::util {
+
+namespace {
+
+std::optional<KernelIsaOverride> parse(std::string_view name) {
+  if (name == "auto") return KernelIsaOverride::kAuto;
+  if (name == "scalar") return KernelIsaOverride::kScalar;
+  if (name == "avx2") return KernelIsaOverride::kAvx2;
+  if (name == "avx512") return KernelIsaOverride::kAvx512;
+  return std::nullopt;
+}
+
+int initial_from_env() {
+  const char* env = std::getenv("MRHS_KERNEL");
+  if (env == nullptr || *env == '\0') {
+    return static_cast<int>(KernelIsaOverride::kAuto);
+  }
+  if (const auto parsed = parse(env)) return static_cast<int>(*parsed);
+  std::fprintf(stderr,
+               "warning: MRHS_KERNEL=%s is not one of "
+               "auto|scalar|avx2|avx512; using auto\n",
+               env);
+  return static_cast<int>(KernelIsaOverride::kAuto);
+}
+
+/// Magic static keeps the env latch one-time and thread-safe; the
+/// atomic makes subsequent reads/writes race-free under TSan.
+std::atomic<int>& slot() {
+  static std::atomic<int> value{initial_from_env()};
+  return value;
+}
+
+}  // namespace
+
+bool set_kernel_override(std::string_view name) {
+  const auto parsed = parse(name);
+  if (!parsed.has_value()) return false;
+  slot().store(static_cast<int>(*parsed), std::memory_order_relaxed);
+  return true;
+}
+
+KernelIsaOverride kernel_override() {
+  return static_cast<KernelIsaOverride>(
+      slot().load(std::memory_order_relaxed));
+}
+
+}  // namespace mrhs::util

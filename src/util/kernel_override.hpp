@@ -1,0 +1,46 @@
+// Process-wide GSPMV kernel ISA override.
+//
+// The --kernel CLI flag (util::ObsCli) and the MRHS_KERNEL environment
+// variable both land here; sparse::kernels::Dispatch consults the
+// setting when resolving GspmvKernel::kAuto. The storage lives in util
+// — not in src/sparse — so the CLI layer can set it without depending
+// on the sparse library (the dependency edges flow obs -> util ->
+// sparse, never backwards).
+//
+// Precedence: an explicit set_kernel_override() call (the CLI) beats
+// MRHS_KERNEL, which beats the built-in "auto".
+#pragma once
+
+#include <string_view>
+
+namespace mrhs::util {
+
+/// The four user-facing --kernel values. kAuto means "best ISA the CPU
+/// and the binary both support" (the dispatch table decides).
+enum class KernelIsaOverride : int {
+  kAuto = 0,
+  kScalar = 1,
+  kAvx2 = 2,
+  kAvx512 = 3,
+};
+
+[[nodiscard]] constexpr const char* to_string(KernelIsaOverride k) {
+  switch (k) {
+    case KernelIsaOverride::kAuto: return "auto";
+    case KernelIsaOverride::kScalar: return "scalar";
+    case KernelIsaOverride::kAvx2: return "avx2";
+    case KernelIsaOverride::kAvx512: return "avx512";
+  }
+  return "auto";
+}
+
+/// Parse and install an override; returns false (and changes nothing)
+/// on a name outside {auto, scalar, avx2, avx512}. Thread-safe.
+bool set_kernel_override(std::string_view name);
+
+/// Current override. First call latches MRHS_KERNEL from the
+/// environment (unparsable values fall back to kAuto with a stderr
+/// warning); set_kernel_override replaces it. Thread-safe.
+[[nodiscard]] KernelIsaOverride kernel_override();
+
+}  // namespace mrhs::util

@@ -25,7 +25,11 @@
 //     the process under both backends.
 #pragma once
 
+#include <algorithm>
+#include <atomic>
 #include <cstddef>
+#include <cstdlib>
+#include <cstring>
 #include <utility>
 
 #if defined(MRHS_USE_OPENMP)
@@ -112,6 +116,129 @@ void parallel_for(int n_threads, std::ptrdiff_t begin, std::ptrdiff_t end,
     const std::ptrdiff_t hi = lo + chunk < end ? lo + chunk : end;
     for (std::ptrdiff_t i = lo; i < hi; ++i) body(i);
   });
+}
+
+// ---- NUMA first-touch placement ------------------------------------
+//
+// On a first-touch kernel (Linux default), a page lands on the NUMA
+// node of the first thread that writes it. The hot-path buffers
+// (BcrsMatrix values, MultiVector payloads) are streamed by the GSPMV
+// row partition — one contiguous slab per worker — so their *first*
+// write must use the same static chunking, or a multi-socket run
+// streams the whole matrix cross-socket forever. These helpers are
+// that first write; util::NoInitAlignedVector keeps std::vector's
+// constructor from touching the pages first.
+
+/// Placement policy for the first-touch pass.
+enum class Placement {
+  /// Touch on the calling thread (the pre-dispatch legacy behavior;
+  /// also what a serial context gets regardless of policy).
+  kSerial,
+  /// One contiguous slab per worker, matching parallel_for's static
+  /// chunking and hence the GSPMV row partition. The default.
+  kPartitioned,
+  /// Round-robin pages across workers: the libnuma-free analogue of
+  /// node-interleaved allocation, for buffers with no stable owner
+  /// (shared scratch read by every worker).
+  kInterleave,
+};
+
+namespace detail {
+inline int placement_from_env() {
+  const char* env = std::getenv("MRHS_PLACEMENT");
+  if (env == nullptr || *env == '\0') {
+    return static_cast<int>(Placement::kPartitioned);
+  }
+  if (std::strcmp(env, "serial") == 0) {
+    return static_cast<int>(Placement::kSerial);
+  }
+  if (std::strcmp(env, "interleave") == 0) {
+    return static_cast<int>(Placement::kInterleave);
+  }
+  return static_cast<int>(Placement::kPartitioned);
+}
+
+inline std::atomic<int>& placement_slot() {
+  static std::atomic<int> value{placement_from_env()};
+  return value;
+}
+
+/// Buffers below this many doubles are zeroed serially: a region spawn
+/// costs more than touching a few pages, and sub-page buffers cannot
+/// be placed anyway. 1 MiB.
+inline constexpr std::size_t kFirstTouchMinDoubles = 128u * 1024u;
+
+/// Page granule of the interleave pattern (4 KiB = 512 doubles).
+inline constexpr std::size_t kInterleaveDoubles = 512;
+}  // namespace detail
+
+/// Active placement policy (MRHS_PLACEMENT=partitioned|interleave|
+/// serial, latched on first use; set_placement overrides).
+inline Placement placement() {
+  return static_cast<Placement>(
+      detail::placement_slot().load(std::memory_order_relaxed));
+}
+
+inline void set_placement(Placement p) {
+  detail::placement_slot().store(static_cast<int>(p),
+                                 std::memory_order_relaxed);
+}
+
+/// First-touch zero-fill: data[0..n) <- 0.0, pages touched according
+/// to the active (or given) policy. Semantically identical to a plain
+/// zero-fill — only the NUMA home of the pages differs — so callers
+/// may treat it as `std::fill(data, data + n, 0.0)`.
+inline void first_touch_zero(double* data, std::size_t n,
+                             int n_threads = 0, Placement policy = placement()) {
+  const int threads = n_threads > 0 ? n_threads : max_threads();
+  if (threads <= 1 || n < detail::kFirstTouchMinDoubles ||
+      policy == Placement::kSerial) {
+    std::fill(data, data + n, 0.0);
+    return;
+  }
+  if (policy == Placement::kInterleave) {
+    parallel_regions(threads, [&](int tid) {
+      const std::size_t stride = detail::kInterleaveDoubles;
+      for (std::size_t page = static_cast<std::size_t>(tid) * stride;
+           page < n; page += stride * static_cast<std::size_t>(threads)) {
+        std::fill(data + page, data + std::min(page + stride, n), 0.0);
+      }
+    });
+    return;
+  }
+  parallel_for(threads, 0, static_cast<std::ptrdiff_t>(n),
+               [&](std::ptrdiff_t i) {
+                 data[static_cast<std::size_t>(i)] = 0.0;
+               });
+}
+
+/// First-touch copy: data[0..n) <- src[0..n), the copy itself doing
+/// the placement (one pass, no separate zero). Same chunking contract
+/// as first_touch_zero.
+inline void first_touch_copy(double* data, const double* src, std::size_t n,
+                             int n_threads = 0, Placement policy = placement()) {
+  const int threads = n_threads > 0 ? n_threads : max_threads();
+  if (threads <= 1 || n < detail::kFirstTouchMinDoubles ||
+      policy == Placement::kSerial) {
+    std::copy(src, src + n, data);
+    return;
+  }
+  if (policy == Placement::kInterleave) {
+    parallel_regions(threads, [&](int tid) {
+      const std::size_t stride = detail::kInterleaveDoubles;
+      for (std::size_t page = static_cast<std::size_t>(tid) * stride;
+           page < n; page += stride * static_cast<std::size_t>(threads)) {
+        const std::size_t hi = std::min(page + stride, n);
+        std::copy(src + page, src + hi, data + page);
+      }
+    });
+    return;
+  }
+  parallel_for(threads, 0, static_cast<std::ptrdiff_t>(n),
+               [&](std::ptrdiff_t i) {
+                 data[static_cast<std::size_t>(i)] =
+                     src[static_cast<std::size_t>(i)];
+               });
 }
 
 }  // namespace mrhs::util

@@ -1,0 +1,151 @@
+// Online m-autotuner: model seeding, grid clamping, one-step-at-a-time
+// reselect with hysteresis, and external force_current rebasing.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+
+#include "perf/model.hpp"
+#include "perf/mtuner.hpp"
+
+namespace {
+
+using namespace mrhs;
+using perf::kMGrid;
+using perf::kMGridSize;
+using perf::MTuner;
+using perf::MTunerOptions;
+
+/// A shape + machine whose crossover lands mid-grid: the model of
+/// eq. 9-12 with s_x = s_a = 8, f_a = 2 on 3x3 blocks. Raising
+/// `bandwidth` pushes the crossover (and thus the tuned m) up.
+perf::GspmvModel make_model(double bandwidth, double flops) {
+  perf::GspmvModel model;
+  model.block_rows = 4000;
+  model.nonzero_blocks = 28000;
+  model.bandwidth = bandwidth;
+  model.flops = flops;
+  return model;
+}
+
+bool on_grid(std::size_t m) {
+  for (std::size_t i = 0; i < kMGridSize; ++i) {
+    if (kMGrid[i] == m) return true;
+  }
+  return false;
+}
+
+std::size_t grid_distance(std::size_t a, std::size_t b) {
+  std::size_t ia = 0, ib = 0;
+  for (std::size_t i = 0; i < kMGridSize; ++i) {
+    if (kMGrid[i] == a) ia = i;
+    if (kMGrid[i] == b) ib = i;
+  }
+  return ia > ib ? ia - ib : ib - ia;
+}
+
+TEST(MTuner, SeedsOnGridWithinBounds) {
+  MTuner tuner(make_model(30e9, 40e9));
+  EXPECT_TRUE(on_grid(tuner.current_m()));
+  EXPECT_GE(tuner.current_m(), std::size_t{1});
+  EXPECT_LE(tuner.current_m(), std::size_t{64});
+  EXPECT_EQ(tuner.retunes(), std::size_t{0});
+}
+
+TEST(MTuner, SlowerMemorySeedsWiderChunks) {
+  // Low bandwidth keeps GSPMV memory-bound longer (eq. 9-12): more
+  // right-hand sides are needed to amortize the matrix stream, so the
+  // crossover m_s — and the seeded m — grows as B shrinks.
+  MTuner slow_memory(make_model(5e9, 50e9));
+  MTuner fast_memory(make_model(80e9, 50e9));
+  EXPECT_GE(slow_memory.current_m(), fast_memory.current_m());
+}
+
+TEST(MTuner, MaxMClampsSeed) {
+  MTunerOptions opts;
+  opts.max_m = 8;
+  MTuner tuner(make_model(100e9, 20e9), opts);
+  EXPECT_LE(tuner.current_m(), std::size_t{8});
+  EXPECT_TRUE(on_grid(tuner.current_m()));
+}
+
+TEST(MTuner, GridClampPicksLargestAtMost) {
+  MTuner tuner(make_model(30e9, 40e9));
+  EXPECT_EQ(tuner.grid_clamp(1), std::size_t{1});
+  EXPECT_EQ(tuner.grid_clamp(5), std::size_t{4});
+  EXPECT_EQ(tuner.grid_clamp(11), std::size_t{8});
+  EXPECT_EQ(tuner.grid_clamp(64), std::size_t{64});
+  EXPECT_EQ(tuner.grid_clamp(1000), std::size_t{64});
+}
+
+TEST(MTuner, ReselectMovesAtMostOneStep) {
+  MTuner tuner(make_model(30e9, 40e9));
+  const std::size_t before = tuner.current_m();
+  // A huge sustained bandwidth jump: target teleports, selection must
+  // still crawl one grid step per boundary.
+  for (int i = 0; i < 4; ++i) tuner.observe_bandwidth(400e9, 1.0);
+  const std::size_t after = tuner.reselect();
+  EXPECT_LE(grid_distance(before, after), std::size_t{1});
+}
+
+TEST(MTuner, HysteresisHoldsSmallDrift) {
+  MTuner tuner(make_model(30e9, 40e9));
+  const std::size_t seeded = tuner.current_m();
+  // 1% bandwidth wiggle (EWMA-smoothed even smaller): below the 5%
+  // hysteresis, so reselect must hold still.
+  tuner.observe_bandwidth(30.3e9, 1.0);
+  EXPECT_EQ(tuner.reselect(), seeded);
+  EXPECT_EQ(tuner.retunes(), std::size_t{0});
+}
+
+TEST(MTuner, SustainedDriftRetunesStepByStep) {
+  MTuner tuner(make_model(30e9, 40e9));
+  const std::size_t seeded = tuner.current_m();
+  ASSERT_GT(seeded, std::size_t{1});
+  std::size_t current = seeded;
+  std::size_t steps_moved = 0;
+  for (int boundary = 0; boundary < 12; ++boundary) {
+    // Persistent 4x effective-bandwidth improvement (vectors held in
+    // cache): the crossover drops, so m walks DOWN the grid, one step
+    // per boundary.
+    tuner.observe_bandwidth(120e9, 1.0);
+    const std::size_t next = tuner.reselect();
+    EXPECT_LE(grid_distance(current, next), std::size_t{1});
+    if (next != current) ++steps_moved;
+    current = next;
+  }
+  EXPECT_GT(steps_moved, std::size_t{0});
+  EXPECT_LT(current, seeded);
+  EXPECT_EQ(tuner.retunes(), steps_moved);
+}
+
+TEST(MTuner, ObserveIgnoresGarbage) {
+  MTuner tuner(make_model(30e9, 40e9));
+  const double before = tuner.smoothed_bandwidth();
+  tuner.observe_bandwidth(0.0, 1.0);
+  tuner.observe_bandwidth(-5.0, 1.0);
+  tuner.observe_bandwidth(1e9, 0.0);
+  EXPECT_EQ(tuner.smoothed_bandwidth(), before);
+  EXPECT_EQ(tuner.reselect(), tuner.current_m());
+}
+
+TEST(MTuner, ForceCurrentRebasesAndClamps) {
+  MTuner tuner(make_model(30e9, 40e9));
+  tuner.observe_bandwidth(90e9, 1.0);
+  tuner.force_current(5);  // resilience ladder shrinks the block
+  EXPECT_EQ(tuner.current_m(), std::size_t{4});  // clamped to the grid
+  // The imposition cleared tracking: the next reselect applies the
+  // model pick (one step toward it) rather than fighting hysteresis.
+  const std::size_t next = tuner.reselect();
+  EXPECT_LE(grid_distance(std::size_t{4}, next), std::size_t{1});
+}
+
+TEST(MTuner, ModelTargetTracksSmoothedBandwidth) {
+  MTuner tuner(make_model(10e9, 50e9));
+  const std::size_t cold = tuner.model_target();
+  // Achieved bandwidth far above the probe drags the EWMA up, which
+  // pulls the crossover — and thus the target — down.
+  for (int i = 0; i < 20; ++i) tuner.observe_bandwidth(200e9, 1.0);
+  EXPECT_LE(tuner.model_target(), cold);
+}
+
+}  // namespace

@@ -39,6 +39,7 @@
 #include "solver/operator.hpp"
 #include "sparse/bcrs.hpp"
 #include "sparse/gspmv.hpp"
+#include "sparse/kernel_dispatch.hpp"
 #include "sparse/multivector.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
@@ -176,6 +177,51 @@ TEST(ThreadSafety, MachineProbesConcurrent) {
       EXPECT_GT(perf::measure_kernel_flops(8, kern), 0.0);
     }
   });
+}
+
+TEST(ThreadSafety, DispatchInitAndSelectConcurrent) {
+  // The dispatch table is a magic static whose constructor runs
+  // __builtin_cpu_init(); racing first-callers (and concurrent
+  // applies through select()) must be clean under TSan. The quick
+  // machine-params cache races its first probe the same way.
+  const auto a = sparse::make_random_bcrs(48, 4.0, /*seed=*/23);
+  sparse::MultiVector x(a.cols(), 8);
+  util::StreamRng rng(5);
+  x.fill_normal(rng);
+  run_workers(4, [&](int w) {
+    const auto& d = sparse::kernels::Dispatch::instance();
+    EXPECT_TRUE(d.available(sparse::kernels::Isa::kScalar));
+    EXPECT_TRUE(d.available(d.select(8).isa));
+    const sparse::GspmvEngine engine(a, /*threads=*/1);
+    sparse::MultiVector y(a.rows(), 8);
+    engine.apply(x, y, sparse::GspmvKernel::kAuto);
+    if (w == 0) {
+      EXPECT_FALSE(d.describe().empty());
+    }
+  });
+}
+
+TEST(ThreadSafety, MachineQuickCacheConcurrent) {
+  // set_machine_quick vs concurrent readers: the mutex-guarded cache
+  // must serialize the writes and every reader must see a coherent
+  // (bandwidth, flops) pair.
+  run_workers(3, [&](int w) {
+    if (w == 0) {
+      perf::MachineParams params;
+      params.bandwidth = 30e9;
+      params.flops = 40e9;
+      perf::set_machine_quick(params);
+    } else {
+      const auto seen = perf::machine_quick_if_probed();
+      if (seen.has_value()) {
+        EXPECT_GT(seen->bandwidth, 0.0);
+        EXPECT_GT(seen->flops, 0.0);
+      }
+    }
+  });
+  const auto final_params = perf::machine_quick_if_probed();
+  ASSERT_TRUE(final_params.has_value());
+  EXPECT_GT(final_params->bandwidth, 0.0);
 }
 
 TEST(ThreadSafety, ObsLayerConcurrentWritersAndReaders) {
