@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Shared compile_commands.json access for the repo's analysis tools.
+
+Both scripts/run_tidy.py (clang-tidy driver) and scripts/mrhs_analyze.py
+(the semantic analyzer) are driven by the same compilation database —
+every CMake preset exports one (CMAKE_EXPORT_COMPILE_COMMANDS is ON both
+in the top-level CMakeLists and, belt-and-braces, in each preset's cache
+variables). Centralizing the loading/TU-selection logic here keeps the
+two tools agreeing on exactly which translation units "the build"
+consists of.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from pathlib import Path
+
+
+def find_compile_db(build_dir: Path) -> Path | None:
+    """Return the compile_commands.json under build_dir, if present."""
+    db = build_dir / "compile_commands.json"
+    return db if db.exists() else None
+
+
+def load_entries(db_path: Path) -> list[dict]:
+    """Load the raw database entries (file/directory/command dicts)."""
+    return json.loads(db_path.read_text())
+
+
+def select_sources(build_dir: Path, source_dir: Path,
+                   subdirs: list[str]) -> list[str]:
+    """Translation units from the database that live under the given
+    source subtrees, as sorted absolute paths. Exits(2) with a message
+    when the database is missing — callers want a hard error, not an
+    empty list, because an absent database means CMake was never run."""
+    db_path = find_compile_db(build_dir)
+    if db_path is None:
+        print(f"{Path(sys.argv[0]).name}: {build_dir}/compile_commands.json "
+              f"not found; configure with CMake first", file=sys.stderr)
+        sys.exit(2)
+    wanted = [str((source_dir / d).resolve()) + os.sep for d in subdirs]
+    entries = load_entries(db_path)
+    return sorted({
+        str(Path(e["file"]).resolve())
+        for e in entries
+        if any(str(Path(e["file"]).resolve()).startswith(w) for w in wanted)
+    })
+
+
+def compile_args(db_path: Path, file: str) -> list[str]:
+    """Compiler arguments for one TU (for libclang parsing): the entry's
+    command minus the compiler itself, the -o/-c output plumbing, and
+    GCC-only flags libclang chokes on."""
+    import shlex
+
+    for e in load_entries(db_path):
+        if str(Path(e["file"]).resolve()) != str(Path(file).resolve()):
+            continue
+        argv = e.get("arguments") or shlex.split(e.get("command", ""))
+        out: list[str] = []
+        skip_next = False
+        for a in argv[1:]:
+            if skip_next:
+                skip_next = False
+                continue
+            if a in ("-o", "-c"):
+                skip_next = a == "-o"
+                continue
+            if a == str(Path(e["file"])) or a.endswith(Path(e["file"]).name):
+                continue
+            if a.startswith("-f") and "sanitize" in a:
+                continue
+            out.append(a)
+        # Relative -I paths are resolved against the entry's directory.
+        directory = e.get("directory")
+        if directory:
+            out = ["-working-directory", directory] + out
+        return out
+    return []
+
+
+__all__ = ["find_compile_db", "load_entries", "select_sources",
+           "compile_args"]

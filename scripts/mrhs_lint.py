@@ -118,6 +118,41 @@ ALIGNED_LOAD_RE = re.compile(
 
 DOUBLE_KERNEL_DIRS = ("src/sparse", "src/solver", "src/dense")
 
+# One-line summaries for --list-rules; full rationale lives in the
+# module docstring above. The table format is shared with
+# scripts/mrhs_analyze.py --list-rules so the two tools read as one
+# lint surface.
+RULE_SUMMARIES = {
+    "obs-literal-name": "OBS_* macro names must be string literals "
+                        "(handle cached per call site)",
+    "solve-status-discarded": "regex fallback: solver entry-point result "
+                              "must not be a bare statement",
+    "solve-status-nodiscard": "solver entry-point declarations stay "
+                              "[[nodiscard]]",
+    "aligned-alloc-outside-util": "raw aligned allocation only in "
+                                  "util/aligned.hpp",
+    "aligned-load-contract": "aligned SIMD loads need an "
+                             "MRHS_ASSUME_ALIGNED contract in-file",
+    "no-float-in-double-kernels": "no float in the double-precision "
+                                  "numerical core",
+    "no-raw-omp-parallel": "regex fallback: no raw `#pragma omp parallel` "
+                           "outside util/parallel.hpp",
+    "fault-site-registry": "MRHS_FAULT_* sites are literals from the "
+                           "documented kFaultSites table",
+    "bench-report": "every bench binary emits a BenchReport sidecar",
+    "assembly-via-engine": "resistance assembly goes through "
+                           "sd::AssemblyEngine outside src/sd",
+    "kernel-via-dispatch": "block_row_* kernels called only via "
+                           "kernels::Dispatch inside src/sparse",
+}
+
+
+def print_rules() -> None:
+    print(f"{'rule':<28} {'engine':<12} summary")
+    print(f"{'-' * 28} {'-' * 12} {'-' * 40}")
+    for name in sorted(RULE_SUMMARIES):
+        print(f"{name:<28} {'mrhs_lint':<12} {RULE_SUMMARIES[name]}")
+
 
 def strip_comments_and_strings(text: str) -> str:
     """Blank out comments and string/char literals, preserving line
@@ -128,9 +163,13 @@ def strip_comments_and_strings(text: str) -> str:
     while i < n:
         c = text[i]
         if c == "/" and i + 1 < n and text[i + 1] == "/":
+            # Skip to (but keep) the newline so line numbers survive.
+            # Without the continue the old code appended a stray '/'
+            # and swallowed the newline, shifting every later line.
             j = text.find("\n", i)
             j = n if j == -1 else j
             i = j
+            continue
         elif c == "/" and i + 1 < n and text[i + 1] == "*":
             j = text.find("*/", i + 2)
             j = n if j == -1 else j + 2
@@ -288,7 +327,8 @@ class Linter:
         if path.name == "parallel.hpp":
             return
         for lineno, line in enumerate(raw_lines, 1):
-            if re.search(r"#\s*pragma\s+omp\s+parallel\b", line):
+            if re.search(r"#\s*pragma\s+omp\s+parallel\b",
+                         line.split("//")[0]):
                 self.report(
                     path, lineno, "no-raw-omp-parallel",
                     "raw `#pragma omp parallel` bypasses util/parallel.hpp; "
@@ -371,7 +411,11 @@ class Linter:
         roots = [self.repo / d for d in ("src", "bench", "examples", "tests")]
         files = sorted(
             f for root in roots if root.exists()
-            for f in root.rglob("*") if f.suffix in (".hpp", ".cpp", ".h"))
+            for f in root.rglob("*") if f.suffix in (".hpp", ".cpp", ".h")
+            # analyze_fixtures are intentionally-bad TUs for
+            # scripts/mrhs_analyze.py --self-test; they violate rules on
+            # purpose and are checked there, not here.
+            and "tests/analyze_fixtures" not in f.as_posix())
         for path in files:
             text = path.read_text()
             raw_lines = text.splitlines()
@@ -404,9 +448,15 @@ def main() -> int:
     parser.add_argument("--repo", type=Path, default=Path(__file__).parent.parent,
                         help="repository root (default: script's parent dir)")
     parser.add_argument("--list-rules", action="store_true",
-                        help="print the rule documentation and exit")
+                        help="print the rule table and exit (same format "
+                             "as mrhs_analyze.py --list-rules)")
+    parser.add_argument("--doc", action="store_true",
+                        help="print the full rule documentation and exit")
     args = parser.parse_args()
     if args.list_rules:
+        print_rules()
+        return 0
+    if args.doc:
         print(__doc__)
         return 0
     return Linter(args.repo.resolve()).run()

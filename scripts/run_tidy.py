@@ -7,19 +7,23 @@ container) the target reports SKIPPED instead of failing, so the suite
 stays green while CI images that do ship clang-tidy get the full gate.
 
 Requires a compile_commands.json (the top-level CMakeLists sets
-CMAKE_EXPORT_COMPILE_COMMANDS ON unconditionally).
+CMAKE_EXPORT_COMPILE_COMMANDS ON unconditionally, and every preset
+exports it too); TU selection is shared with scripts/mrhs_analyze.py
+via mrhs_compiledb so both tools agree on what "the build" is.
 """
 
 from __future__ import annotations
 
 import argparse
 import concurrent.futures
-import json
 import os
 import shutil
 import subprocess
 import sys
 from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from mrhs_compiledb import select_sources  # noqa: E402
 
 SKIP = 77  # must match SKIP_RETURN_CODE in the ctest registration
 
@@ -32,23 +36,6 @@ def find_clang_tidy() -> str | None:
         if path:
             return path
     return None
-
-
-def select_sources(build_dir: Path, source_dir: Path,
-                   subdirs: list[str]) -> list[str]:
-    db_path = build_dir / "compile_commands.json"
-    if not db_path.exists():
-        print(f"run_tidy: {db_path} not found; configure with CMake first",
-              file=sys.stderr)
-        sys.exit(2)
-    wanted = [str((source_dir / d).resolve()) + os.sep for d in subdirs]
-    entries = json.loads(db_path.read_text())
-    files = sorted({
-        str(Path(e["file"]).resolve())
-        for e in entries
-        if any(str(Path(e["file"]).resolve()).startswith(w) for w in wanted)
-    })
-    return files
 
 
 def main() -> int:

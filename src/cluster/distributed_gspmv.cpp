@@ -68,6 +68,10 @@ util::Status DistributedGspmv::apply(const sparse::MultiVector& x,
   span.arg("m", static_cast<double>(m));
   span.arg("nodes", static_cast<double>(locals_.size()));
   OBS_COUNTER_ADD("dgspmv.applies", 1);
+  // Metrics-gated telemetry clock: the timestamps feed obs counters
+  // and roofline attribution only and never touch the numerics, so
+  // replay/rollback stays bitwise.
+  // mrhs-analyze-ok(determinism): telemetry-only wall clock
   using Clock = std::chrono::steady_clock;
   const bool metrics = obs::metrics_enabled();
   double comm_seconds = 0.0;

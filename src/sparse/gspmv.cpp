@@ -140,6 +140,10 @@ void GspmvEngine::apply(const MultiVector& x, MultiVector& y,
   double* yp = MRHS_ASSUME_ALIGNED(y.data(), util::kCacheLineBytes);
   OBS_SPAN_VAR(span, "gspmv.apply");
   span.arg("m", static_cast<double>(m));
+  // Metrics-gated telemetry clock: the timestamps feed obs counters
+  // and roofline attribution only and never touch the numerics, so
+  // replay/rollback stays bitwise.
+  // mrhs-analyze-ok(determinism): telemetry-only wall clock
   using Clock = std::chrono::steady_clock;
   const bool metrics = obs::metrics_enabled();
   // Resolve ISA once per apply (not per thread / per block row): the
@@ -177,6 +181,10 @@ void GspmvEngine::apply(std::span<const double> x, std::span<double> y) const {
   }
   OBS_SPAN_VAR(span, "gspmv.apply");
   span.arg("m", 1.0);
+  // Metrics-gated telemetry clock: the timestamps feed obs counters
+  // and roofline attribution only and never touch the numerics, so
+  // replay/rollback stays bitwise.
+  // mrhs-analyze-ok(determinism): telemetry-only wall clock
   using Clock = std::chrono::steady_clock;
   const bool metrics = obs::metrics_enabled();
   const Clock::time_point t0 = metrics ? Clock::now() : Clock::time_point{};

@@ -1,0 +1,21 @@
+// mrhs-analyze-fixture: as=src/sd/fx_ptr_order.cpp
+// expect: determinism:1
+//
+// Known-bad: an ordered container keyed on a pointer. Iteration order
+// tracks the numeric values of addresses — which vary run to run with
+// ASLR and allocator state — so the FP reduction below is ordered
+// differently on every execution even though the set is "sorted".
+// Good twin: good_determinism_ptr_order.cpp.
+#include <set>
+
+struct Particle {
+    double x;
+};
+
+double sum_coords(const std::set<Particle*>& live) {
+    double sum = 0.0;
+    for (const Particle* p : live) {
+        sum += p->x;
+    }
+    return sum;
+}

@@ -1,0 +1,19 @@
+// mrhs-analyze-fixture: as=src/core/fx_unordered.cpp
+// expect: determinism:1
+//
+// Known-bad: iterating an unordered container while accumulating into a
+// double. The visit order follows the hash-table bucket layout, which
+// depends on insertion history and rehashing — two runs of the same
+// trajectory can sum in different orders and diverge bitwise.
+// Good twin: good_determinism_unordered.cpp.
+#include <cstddef>
+#include <unordered_map>
+
+double total_mass(const std::unordered_map<std::size_t, double>& masses) {
+    std::unordered_map<std::size_t, double> local = masses;
+    double sum = 0.0;
+    for (const auto& kv : local) {
+        sum += kv.second;  // order-dependent FP accumulation
+    }
+    return sum;
+}

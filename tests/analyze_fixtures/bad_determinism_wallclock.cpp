@@ -1,0 +1,18 @@
+// mrhs-analyze-fixture: as=src/solver/fx_wallclock.cpp
+// expect: determinism:3
+//
+// Known-bad: ambient nondeterminism sources in numeric code. Noise must
+// come from the counter-keyed util::StreamRng(seed, stream) so that
+// rollback/replay and checkpoint resume stay bitwise identical.
+// Good twin: good_determinism_wallclock.cpp.
+#include <chrono>
+#include <cstdlib>
+#include <random>
+
+double jitter_scale() {
+    std::random_device rd;  // hardware entropy: never replayable
+    const double r = static_cast<double>(rand());  // global hidden state
+    const auto t0 = std::chrono::steady_clock::now();  // wall clock
+    return r + static_cast<double>(rd()) +
+           static_cast<double>(t0.time_since_epoch().count());
+}

@@ -1,0 +1,22 @@
+// mrhs-analyze-fixture: as=src/sparse/fx_obs.cpp
+// expect: obs-placement:2
+//
+// Known-bad: (a) an OBS_* macro with a computed name — the metric
+// handle is cached per call site, so every later call records under
+// whatever name the first execution passed; (b) an OBS_* macro inside
+// a per-row kernel inner loop (depth 2 in src/sparse), putting a
+// branch + potential handle lookup in the streaming path.
+// Good twin: good_obs_placement.cpp. (Fixtures are analyzed, never
+// compiled, so the OBS_* macros need no definition here.)
+#include <cstddef>
+
+void gspmv_block(const double* a, double* y, std::size_t rows,
+                 std::size_t m, const char* counter_name) {
+    OBS_COUNTER_ADD(counter_name, 1);  // computed name
+    for (std::size_t r = 0; r < rows; ++r) {
+        for (std::size_t j = 0; j < m; ++j) {
+            OBS_SPAN("gspmv.row.col");  // inner-loop placement
+            y[r * m + j] += a[r] * 2.0;
+        }
+    }
+}

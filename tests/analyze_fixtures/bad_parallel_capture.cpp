@@ -1,0 +1,27 @@
+// mrhs-analyze-fixture: as=src/sparse/fx_parallel_capture.cpp
+// expect: parallel-capture:2
+//
+// Known-bad: a parallel_for lambda that writes through by-reference
+// captures of shared variables with no atomic, no lock, and no
+// induction-variable indexing. Every worker races on `sum` and `hits`;
+// TSan only catches this on the interleavings a test happens to run.
+// The induction-indexed write to y[i] is fine and must NOT be flagged.
+// Good twin: good_parallel_capture.cpp.
+#include <cstddef>
+
+namespace util {
+template <class Fn>
+void parallel_for(int n_threads, std::ptrdiff_t begin, std::ptrdiff_t end,
+                  Fn&& body);
+}  // namespace util
+
+double row_scale_racy(double* y, std::ptrdiff_t n) {
+    double sum = 0.0;
+    std::size_t hits = 0;
+    util::parallel_for(4, 0, n, [&](std::ptrdiff_t i) {
+        sum += y[i];  // racy shared accumulation
+        ++hits;       // racy shared counter
+        y[i] *= 2.0;  // disjoint slab: indexed by the induction variable
+    });
+    return sum + static_cast<double>(hits);
+}

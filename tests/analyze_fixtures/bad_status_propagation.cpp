@@ -1,0 +1,24 @@
+// mrhs-analyze-fixture: as=src/solver/fx_status.cpp
+// expect: status-propagation:2
+//
+// Known-bad: calls to solver entry points whose Result (carrying
+// SolveStatus) is discarded as a bare expression statement — breakdown
+// or stagnation would go unnoticed. Uses the solver entry-point names
+// so the regex fallback (mrhs_lint solve-status-discarded) reports the
+// exact same lines; --self-test cross-checks the two reports.
+// Good twin: good_status_propagation.cpp.
+
+struct CgResult {
+    int status;
+};
+struct LadderResult {
+    int status;
+};
+
+CgResult conjugate_gradient(const double* b, double* x, int n);
+LadderResult block_solve_with_ladder(const double* b, double* x, int n);
+
+void advance(const double* b, double* x, int n) {
+    conjugate_gradient(b, x, n);       // result discarded
+    block_solve_with_ladder(b, x, n);  // result discarded
+}

@@ -1,0 +1,18 @@
+// mrhs-analyze-fixture: as=src/sd/fx_ptr_order_ok.cpp
+// expect: none
+//
+// Known-good twin of bad_determinism_ptr_order.cpp: the set is keyed on
+// a stable particle index instead of an address, so iteration order —
+// and therefore the FP reduction order — is identical on every run.
+#include <cstddef>
+#include <set>
+#include <vector>
+
+double sum_coords_by_index(const std::set<std::size_t>& live,
+                           const std::vector<double>& x) {
+    double sum = 0.0;
+    for (std::size_t i : live) {
+        sum += x[i];
+    }
+    return sum;
+}

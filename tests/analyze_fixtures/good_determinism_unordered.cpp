@@ -1,0 +1,26 @@
+// mrhs-analyze-fixture: as=src/core/fx_unordered_ok.cpp
+// expect: none
+//
+// Known-good twin of bad_determinism_unordered.cpp: the unordered
+// container is only used to *collect* keys (no FP accumulation in the
+// iteration), and the reduction runs over a sorted view, so the sum
+// order is reproducible.
+#include <algorithm>
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+double total_mass_sorted(
+        const std::unordered_map<std::size_t, double>& masses) {
+    std::unordered_map<std::size_t, double> local = masses;
+    std::vector<std::size_t> keys;
+    for (const auto& kv : local) {
+        keys.push_back(kv.first);  // collection only: order-insensitive
+    }
+    std::sort(keys.begin(), keys.end());
+    double sum = 0.0;
+    for (std::size_t k : keys) {
+        sum += local.at(k);  // deterministic order
+    }
+    return sum;
+}

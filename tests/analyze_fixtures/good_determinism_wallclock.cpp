@@ -1,0 +1,16 @@
+// mrhs-analyze-fixture: as=src/solver/fx_wallclock_ok.cpp
+// expect: none
+//
+// Known-good twin of bad_determinism_wallclock.cpp: all randomness is
+// derived from a (seed, stream) counter-keyed generator, so the same
+// step index always reproduces the same draw.
+struct StreamRng {
+    StreamRng(unsigned long long seed, unsigned long long stream);
+    double normal();
+};
+
+double jitter_scale_deterministic(unsigned long long seed,
+                                  unsigned long long step) {
+    StreamRng rng(seed, step);
+    return rng.normal();
+}

@@ -1,0 +1,17 @@
+// mrhs-analyze-fixture: as=src/sparse/fx_omp_ok.cpp
+// expect: none
+//
+// Known-good twin of bad_no_raw_omp.cpp: the same loop routed through
+// the util::parallel backend, which runs (and is TSan-checked) on both
+// the OpenMP and std::thread backends.
+#include <cstddef>
+
+namespace util {
+template <class Fn>
+void parallel_for(int n_threads, std::ptrdiff_t begin, std::ptrdiff_t end,
+                  Fn&& body);
+}  // namespace util
+
+void scale_via_backend(double* y, std::ptrdiff_t n) {
+    util::parallel_for(4, 0, n, [y](std::ptrdiff_t i) { y[i] *= 2.0; });
+}

@@ -1,0 +1,18 @@
+// mrhs-analyze-fixture: as=src/sparse/fx_obs_ok.cpp
+// expect: none
+//
+// Known-good twin of bad_obs_placement.cpp: literal names, and every
+// OBS_* site sits at the per-apply level (outside the row/column
+// loops), preserving the zero-overhead-when-disabled claim.
+#include <cstddef>
+
+void gspmv_block_ok(const double* a, double* y, std::size_t rows,
+                    std::size_t m) {
+    OBS_SPAN("gspmv.apply");
+    for (std::size_t r = 0; r < rows; ++r) {
+        for (std::size_t j = 0; j < m; ++j) {
+            y[r * m + j] += a[r] * 2.0;
+        }
+    }
+    OBS_COUNTER_ADD("gspmv.rows", rows);
+}

@@ -1,0 +1,34 @@
+// mrhs-analyze-fixture: as=src/sparse/fx_parallel_capture_ok.cpp
+// expect: none
+//
+// Known-good twin of bad_parallel_capture.cpp: every shared write is
+// either indexed by the region tid / an induction-derived local,
+// std::atomic, behind a lock_guard, or goes to a lambda-local.
+#include <atomic>
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+namespace util {
+template <class Fn>
+void parallel_regions(int n_threads, Fn&& fn);
+}  // namespace util
+
+double row_scale_safe(double* y, std::ptrdiff_t n,
+                      std::vector<double>& partial) {
+    std::atomic<std::size_t> hits{0};
+    std::mutex m;
+    double total = 0.0;
+    util::parallel_regions(4, [&](int tid) {
+        double local = 0.0;
+        for (std::ptrdiff_t i = tid; i < n; i += 4) {
+            local += y[i];  // lambda-local accumulator
+            y[i] *= 2.0;    // disjoint: induction-derived index
+        }
+        partial[static_cast<std::size_t>(tid)] = local;  // tid-indexed slot
+        ++hits;  // std::atomic
+        std::lock_guard<std::mutex> lock(m);
+        total += local;  // mutex-guarded reduction
+    });
+    return total + static_cast<double>(hits.load());
+}
