@@ -263,10 +263,8 @@ def tokenize(text: str) -> tuple[list[Tok], list[tuple[int, str]]]:
             continue
         if c.isdigit() or (c == "." and i + 1 < n and text[i + 1].isdigit()):
             j = i + 1
-            while j < n and (text[j].isalnum() or text[j] in "._+-"
-                             and text[j - 1] in "eEpP"):
-                if text[j] in "+-" and text[j - 1] not in "eEpP":
-                    break
+            while j < n and (text[j].isalnum() or text[j] in "._" or
+                             (text[j] in "+-" and text[j - 1] in "eEpP")):
                 j += 1
             toks.append(Tok("num", text[i:j], line))
             i = j
@@ -402,7 +400,15 @@ class TokenFrontend:
             if not m:
                 continue
             rules = {r.strip() for r in m.group(1).split(",") if r.strip()}
-            target = line if line in code_lines else line + 1
+            if line in code_lines:
+                target = line
+            else:
+                # Standalone comment: bind to the next code-bearing
+                # line within a short window, so a blank line or a
+                # continuation comment between the suppression and the
+                # flagged statement does not orphan it silently.
+                target = next((ln for ln in range(line + 1, line + 4)
+                               if ln in code_lines), line + 1)
             facts.suppressions.setdefault(target, set()).update(rules)
 
     def _collect_omp(self, facts: FileFacts) -> None:
@@ -1045,6 +1051,29 @@ class ClangFrontend(TokenFrontend):
         def returns_status(result_type) -> bool:
             return bool(self.STATUS_RE.search(result_type.spelling))
 
+        cast_kinds = {ck.CSTYLE_CAST_EXPR}
+        for attr in ("CXX_STATIC_CAST_EXPR", "CXX_FUNCTIONAL_CAST_EXPR"):
+            if hasattr(ck, attr):  # pragma: no branch - version dependent
+                cast_kinds.add(getattr(ck, attr))
+
+        def unwrap_call(cursor, void_cast, depth=0):
+            """Looks through statement-level wrappers — (void)/static_cast
+            casts, UNEXPOSED_EXPR (ExprWithCleanups, implicit casts) — to
+            the underlying CALL_EXPR. An expression statement's value is
+            discarded whatever wraps it; a cast whose result type is void
+            additionally marks the discard as explicit."""
+            if cursor.kind == ck.CALL_EXPR:
+                return cursor, void_cast
+            if depth < 8 and (cursor.kind in cast_kinds or
+                              cursor.kind == ck.UNEXPOSED_EXPR):
+                if cursor.kind in cast_kinds and \
+                        cursor.type.spelling == "void":
+                    void_cast = True
+                kids = list(cursor.get_children())
+                if kids:
+                    return unwrap_call(kids[-1], void_cast, depth + 1)
+            return None, void_cast
+
         def walk(cursor, parent_kind):
             for child in cursor.get_children():
                 kind = child.kind
@@ -1052,13 +1081,14 @@ class ClangFrontend(TokenFrontend):
                             ck.FUNCTION_TEMPLATE):
                     rt = child.result_type.spelling.split("::")[-1]
                     decls.append((child.spelling, rt.split("<")[0].strip()))
-                if kind == ck.CALL_EXPR and in_main_file(child) and \
-                        parent_kind == ck.COMPOUND_STMT:
-                    ref = child.referenced
-                    if ref is not None and \
-                            returns_status(ref.result_type):
-                        discards.append((child.spelling,
-                                         child.location.line, False))
+                if parent_kind == ck.COMPOUND_STMT and in_main_file(child):
+                    call, void_cast = unwrap_call(child, False)
+                    if call is not None:
+                        ref = call.referenced
+                        if ref is not None and \
+                                returns_status(ref.result_type):
+                            discards.append((call.spelling,
+                                             call.location.line, void_cast))
                 if kind == ck.CXX_FOR_RANGE_STMT and in_main_file(child):
                     kids = list(child.get_children())
                     if len(kids) >= 2:
@@ -1074,9 +1104,20 @@ class ClangFrontend(TokenFrontend):
         walk(tu.cursor, None)
         if decls:
             facts.fn_decls = decls
-        if discards or decls:
-            facts.discard_calls = [
-                d for d in discards] or facts.discard_calls
+        # Union with the token-layer discards rather than replacing
+        # them: clang contributes type-exact hits the lexer cannot
+        # classify, but its statement-shape coverage is narrower, so
+        # dropping token hits would make the clang frontend check
+        # *less* than a token-only run. Deduplicate per (callee, line)
+        # and keep the void_cast flag from whichever layer saw it.
+        merged: dict[tuple[str, int], bool] = {}
+        for callee, line, vc in facts.discard_calls + discards:
+            key = (callee, line)
+            merged[key] = merged.get(key, False) or vc
+        facts.discard_calls = [
+            (callee, line, vc)
+            for (callee, line), vc in sorted(merged.items(),
+                                             key=lambda kv: kv[0][1])]
         if unordered:
             facts.unordered_iters = unordered
 

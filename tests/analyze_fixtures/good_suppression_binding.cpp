@@ -1,0 +1,27 @@
+// mrhs-analyze-fixture: as=src/core/fx_suppression_binding.cpp
+// expect: none
+//
+// Suppression-binding regression fixture: a standalone
+// `mrhs-analyze-ok` comment must reach the flagged statement even
+// when a blank line or a continuation comment sits between them
+// (bounded forward walk), and an end-of-line suppression binds to
+// its own line.
+
+struct Status {
+    static Status ok();
+    bool is_ok() const;
+};
+
+Status save_state(const double* x, int n);
+
+void shutdown_suppressed(const double* x, int n) {
+    // mrhs-analyze-ok(status-propagation): best-effort flush at exit
+
+    save_state(x, n);  // blank line above does not orphan the waiver
+
+    // mrhs-analyze-ok(status-propagation): best-effort flush at exit
+    // (continuation comment explaining the waiver in more detail)
+    save_state(x, n);
+
+    save_state(x, n);  // mrhs-analyze-ok(status-propagation): same-line form
+}
