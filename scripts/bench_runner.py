@@ -55,6 +55,8 @@ CURATED = {
     "tab08_moptimal": ["--scale", "100"],
     "abl05_autotune_m": ["--particles", "500", "--steps", "24",
                          "--max_m", "12"],
+    "abl06_ensemble": ["--particles", "500", "--steps", "6",
+                       "--kmax", "8"],
 }
 
 

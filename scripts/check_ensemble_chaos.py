@@ -1,0 +1,216 @@
+#!/usr/bin/env python3
+"""End-to-end chaos drills through the ensemble_serve daemon.
+
+Requires an ensemble_serve binary with fault injection compiled in
+(Debug, a sanitizer preset, or -DMRHS_FAULTS=ON); registered as the
+`check_ensemble_chaos` ctest only in such builds. Five drills, all
+cross-validated against one fault-free baseline:
+
+  * baseline:   4 jobs served at K=4, per-job positions_crc captured;
+  * contained:  --faults ensemble.member.rhs.nan@2 poisons the third
+    member's packed RHS columns in the first round. The pack-stage
+    firewall must catch it before the shared kernel: exactly that job
+    reports one rollback, every job completes, and every positions_crc
+    is EXACTLY the baseline's — the fault leaves no trace in any
+    trajectory, including the victim's (bitwise replay);
+  * evicted:    three strikes (@2,@3,@4) exhaust the containment
+    ladder (replay, halve-dt, evict) with --max-attempts 1: the victim
+    is evicted, the batch keeps going, and the three survivors still
+    finish bitwise identical to baseline;
+  * resumed:    --kill-after 1 hard-kills the daemon mid-batch
+    (_Exit(9)); rerunning with the same journal must yield exactly one
+    final per job id, no lost and no duplicated completions, resumed
+    flags on the journaled finals, and baseline CRCs on every job even
+    though the resumed run repacks at a different K;
+  * overflow:   --faults ensemble.queue.overflow@0 forces backpressure
+    on the first submission: an explicit rejected result, with the
+    other jobs unaffected.
+
+Usage: check_ensemble_chaos.py /path/to/ensemble_serve
+Exit code 0 on success; prints the first failure otherwise.
+"""
+
+import json
+import re
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+PARTICLES = "120"
+STEPS = "6"
+RHS = "4"
+JOBS = "4"
+
+
+def fail(msg):
+    print(f"FAIL: {msg}")
+    sys.exit(1)
+
+
+def run(binary, *flags, expect_exit=0):
+    cmd = [str(binary), "--particles", PARTICLES, "--phi", "0.3",
+           "--steps", STEPS, "--rhs", RHS, "--jobs", JOBS, *flags]
+    proc = subprocess.run(cmd, capture_output=True, text=True, timeout=480)
+    if expect_exit is not None and proc.returncode != expect_exit:
+        fail(f"{' '.join(cmd)} exited {proc.returncode} "
+             f"(expected {expect_exit}):\n{proc.stdout}\n{proc.stderr}")
+    return proc
+
+
+def read_results(path):
+    rows = [json.loads(line) for line in
+            Path(path).read_text().strip().splitlines()]
+    return {row["id"]: row for row in rows}
+
+
+def summary_counts(stdout):
+    m = re.search(r"ensemble: served (\d+) jobs \(completed (\d+), "
+                  r"evicted (\d+), rejected (\d+), timeout (\d+)\)", stdout)
+    if m is None:
+        fail(f"no ensemble summary line in:\n{stdout}")
+    return tuple(int(g) for g in m.groups())
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail("usage: check_ensemble_chaos.py /path/to/ensemble_serve")
+    binary = Path(sys.argv[1])
+    tmp = Path(tempfile.mkdtemp(prefix="mrhs_ensemble_chaos_"))
+
+    # --- baseline ----------------------------------------------------
+    base_path = tmp / "baseline.jsonl"
+    run(binary, "--batch", "4", "--results", str(base_path))
+    baseline = read_results(base_path)
+    if len(baseline) != int(JOBS):
+        fail(f"baseline served {len(baseline)} jobs, expected {JOBS}")
+    for job_id, row in baseline.items():
+        if row["state"] != "completed" or row["rollbacks"] != 0:
+            fail(f"baseline job {job_id} not a clean completion: {row}")
+    print(f"ok: baseline, {len(baseline)} clean completions")
+
+    # --- transient member fault: contained and bitwise ---------------
+    chaos_path = tmp / "contained.jsonl"
+    proc = run(binary, "--batch", "4", "--results", str(chaos_path),
+               "--faults", "ensemble.member.rhs.nan@2")
+    chaos = read_results(chaos_path)
+    victims = [i for i, row in chaos.items() if row["rollbacks"] > 0]
+    if victims != [3]:
+        fail(f"expected exactly job 3 to roll back, got {victims}:\n"
+             f"{proc.stdout}")
+    if chaos[3]["rollbacks"] != 1:
+        fail(f"victim should need exactly one rollback: {chaos[3]}")
+    for job_id, row in chaos.items():
+        if row["state"] != "completed":
+            fail(f"job {job_id} did not complete under the transient "
+                 f"fault: {row}")
+        if row["positions_crc"] != baseline[job_id]["positions_crc"]:
+            fail(f"job {job_id} trajectory diverged from baseline "
+                 f"(crc {row['positions_crc']} vs "
+                 f"{baseline[job_id]['positions_crc']}): containment "
+                 f"must be bitwise")
+    print("ok: transient fault contained to job 3, all CRCs bitwise "
+          "baseline")
+
+    # --- persistent member fault: ladder exhausts, batch survives ----
+    evict_path = tmp / "evicted.jsonl"
+    proc = run(binary, "--batch", "4", "--max-attempts", "1",
+               "--results", str(evict_path), "--faults",
+               "ensemble.member.rhs.nan@2,ensemble.member.rhs.nan@3,"
+               "ensemble.member.rhs.nan@4")
+    evicted = read_results(evict_path)
+    if evicted[3]["state"] != "evicted":
+        fail(f"job 3 should be evicted after three strikes: {evicted[3]}")
+    if evicted[3]["rollbacks"] != 3:
+        fail(f"eviction should cost the full ladder (3 rollbacks): "
+             f"{evicted[3]}")
+    for job_id in (1, 2, 4):
+        row = evicted[job_id]
+        if row["state"] != "completed":
+            fail(f"survivor {job_id} did not complete: {row}")
+        if row["positions_crc"] != baseline[job_id]["positions_crc"]:
+            fail(f"survivor {job_id} perturbed by neighbor eviction "
+                 f"(crc {row['positions_crc']} vs "
+                 f"{baseline[job_id]['positions_crc']})")
+    served, completed, evicted_n, _, _ = summary_counts(proc.stdout)
+    if (served, completed, evicted_n) != (4, 3, 1):
+        fail(f"eviction summary off: {proc.stdout}")
+    print("ok: ladder exhausted, job 3 evicted, 3 survivors bitwise "
+          "baseline")
+
+    # --- kill mid-batch, resume: nothing lost, nothing duplicated ----
+    journal = tmp / "resume.jrnl"
+    proc = run(binary, "--batch", "2", "--journal", str(journal),
+               "--kill-after", "1", expect_exit=9)
+    if "simulated crash" not in proc.stdout:
+        fail(f"kill run did not report the simulated crash:\n{proc.stdout}")
+    resume_path = tmp / "resumed.jsonl"
+    proc = run(binary, "--batch", "2", "--journal", str(journal),
+               "--results", str(resume_path))
+    if "resuming journal" not in proc.stdout:
+        fail(f"second run did not resume the journal:\n{proc.stdout}")
+    resumed = read_results(resume_path)
+    if sorted(resumed) != [1, 2, 3, 4]:
+        fail(f"resume lost or duplicated jobs: ids {sorted(resumed)}")
+    lines = Path(resume_path).read_text().strip().splitlines()
+    if len(lines) != 4:
+        fail(f"expected exactly one final per job, got {len(lines)} lines")
+    n_resumed = sum(1 for row in resumed.values() if row["resumed"])
+    if n_resumed != 2:
+        fail(f"expected 2 journal-resumed finals (one killed batch), "
+             f"got {n_resumed}")
+    for job_id, row in resumed.items():
+        if row["state"] != "completed":
+            fail(f"resumed job {job_id} not completed: {row}")
+        if row["positions_crc"] != baseline[job_id]["positions_crc"]:
+            fail(f"resumed job {job_id} diverged from baseline "
+                 f"(crc {row['positions_crc']} vs "
+                 f"{baseline[job_id]['positions_crc']})")
+    print("ok: kill-and-resume, one final per job, all CRCs bitwise "
+          "baseline")
+
+    # --- forced queue overflow: explicit rejection -------------------
+    overflow_path = tmp / "overflow.jsonl"
+    proc = run(binary, "--batch", "4", "--results", str(overflow_path),
+               "--faults", "ensemble.queue.overflow@0")
+    if "rejected:" not in proc.stdout:
+        fail(f"forced overflow produced no rejection notice:\n{proc.stdout}")
+    overflow = read_results(overflow_path)
+    rejected = [i for i, row in overflow.items() if row["state"] == "rejected"]
+    if rejected != [1]:
+        fail(f"expected job 1 rejected under forced overflow: {overflow}")
+    completed = [i for i, row in overflow.items()
+                 if row["state"] == "completed"]
+    if sorted(completed) != [2, 3, 4]:
+        fail(f"overflow must not disturb admitted jobs: {overflow}")
+    print("ok: forced overflow rejected explicitly, admitted jobs served")
+
+    # --- torn journal append: crash surfaced, replay discards tail ---
+    torn_journal = tmp / "torn.jrnl"
+    proc = run(binary, "--batch", "4", "--journal", str(torn_journal),
+               "--faults", "ensemble.journal.torn@0", expect_exit=1)
+    if "torn" not in (proc.stdout + proc.stderr):
+        fail(f"torn append not surfaced as an error:\n{proc.stderr}")
+    torn_path = tmp / "torn.jsonl"
+    proc = run(binary, "--batch", "4", "--journal", str(torn_journal),
+               "--results", str(torn_path))
+    torn = read_results(torn_path)
+    if len(torn) != 4 or any(r["state"] != "completed"
+                             for r in torn.values()):
+        fail(f"rerun over the torn journal did not serve cleanly: {torn}")
+    print("ok: torn journal append fatal, rerun discards tail and serves")
+
+    # --- unknown fault site must be refused --------------------------
+    proc = run(binary, "--faults", "ensemble.nonexistent.site@0",
+               expect_exit=None)
+    if proc.returncode == 0:
+        fail("unknown fault site accepted; chaos drills could pass "
+             "vacuously")
+    print("ok: unknown fault site refused")
+
+    print("PASS: ensemble chaos drills (containment bitwise, eviction "
+          "non-fatal, resume exact)")
+
+
+if __name__ == "__main__":
+    main()

@@ -54,6 +54,36 @@ void full_step_from(sd::ParticleSystem& system,
   }
 }
 
+/// Midpoint half-step, second solve seeded with u, full step from the
+/// step-start snapshot — the shared tail of every MRHS-family step.
+void midpoint_and_advance(SdSimulation& sim, RunStats& stats, StepRecord& rec,
+                          const std::vector<double>& f,
+                          const std::vector<double>& u) {
+  const SdConfig& config = sim.config();
+  const double dt = sim.dt();
+  const double max_step = sim.max_step_length();
+
+  const auto start = sim.system().snapshot();
+  sim.system().advance(u, 0.5 * dt, max_step);
+  sparse::BcrsMatrix r_half;
+  {
+    util::ScopedPhase t(stats.timers, phase::kConstruct);
+    r_half = sim.engine().assemble_incremental(sim.system()).matrix;
+  }
+  solver::BcrsOperator op_half(r_half, config.threads);
+  std::vector<double> u_mid = u;
+  {
+    util::ScopedPhase t(stats.timers, phase::kSecondSolve);
+    const auto result = solver::conjugate_gradient(op_half, f, u_mid,
+                                                   cg_options(config));
+    rec.iters_second_solve = result.iterations;
+    stats.solver_status =
+        solver::worse_status(stats.solver_status, result.status);
+  }
+  full_step_from(sim.system(), start, u_mid, dt, max_step);
+  stats.steps.push_back(rec);
+}
+
 }  // namespace
 
 void RunStats::merge(const RunStats& other) {
@@ -535,48 +565,61 @@ void MrhsAlgorithm::begin_chunk(RunStats& stats, std::size_t call_end) {
     stats.solver_status =
         solver::worse_status(stats.solver_status, result.status);
   }
-  midpoint_and_advance(stats, rec, f, u);
+  midpoint_and_advance(*sim_, stats, rec, f, u);
   ++step_;
   chunk_pos_ = 1;
   chunk_active_ = chunk_pos_ < chunk_len_;
 }
 
 void MrhsAlgorithm::step_in_chunk(RunStats& stats) {
-  const SdConfig& config = sim_->config();
-  const std::size_t n = sim_->dof();
-  const std::size_t k = chunk_pos_;
-  const double dt = sim_->dt();
+  std::vector<double> guess;
+  if (chunk_guesses_ok_) {
+    guess.resize(sim_->dof());
+    chunk_guesses_.copy_col_out(chunk_pos_, guess);
+  }
+  mrhs_guided_step(*sim_, step_, chunk_bounds_, guess, stats);
+  ++step_;
+  ++chunk_pos_;
+  if (chunk_pos_ >= chunk_len_) chunk_active_ = false;
+}
+
+StepRecord mrhs_guided_step(SdSimulation& sim, std::size_t step,
+                            const solver::EigBounds& bounds,
+                            std::span<const double> guess, RunStats& stats) {
+  const SdConfig& config = sim.config();
+  const std::size_t n = sim.dof();
+  const double dt = sim.dt();
   const double amplitude = std::sqrt(2.0 * config.kT / dt);
 
   OBS_SPAN_VAR(step_span, "step.mrhs");
-  step_span.arg("step", static_cast<double>(step_));
+  step_span.arg("step", static_cast<double>(step));
   OBS_COUNTER_ADD("stepper.steps", 1);
   StepRecord rec;
-  rec.step = step_;
+  rec.step = step;
 
   sparse::BcrsMatrix r_k;
   {
     util::ScopedPhase t(stats.timers, phase::kConstruct);
-    r_k = sim_->engine().assemble_incremental(sim_->system()).matrix;
+    r_k = sim.engine().assemble_incremental(sim.system()).matrix;
   }
   solver::BcrsOperator op(r_k, config.threads);
 
   // f_k = -amplitude * S(R_k) z_k at the *current* configuration,
-  // reusing the chunk's Chebyshev interval.
-  std::vector<double> z(n), f(n), u(n), guess(n);
-  sim_->noise(step_, z);
+  // against the caller's Chebyshev interval.
+  std::vector<double> z(n), f(n), u(n);
+  sim.noise(step, z);
   {
     util::ScopedPhase t(stats.timers, phase::kChebSingle);
-    const solver::ChebyshevSqrt cheb_k(chunk_bounds_, config.chebyshev_order);
+    const solver::ChebyshevSqrt cheb_k(bounds, config.chebyshev_order);
     cheb_k.apply(op, z, f);
     for (double& v : f) v *= -amplitude;
   }
-  if (chunk_guesses_ok_) {
-    chunk_guesses_.copy_col_out(k, guess);
+  const bool have_guess = !guess.empty();
+  if (have_guess) {
+    std::copy(guess.begin(), guess.end(), u.begin());
   } else {
-    std::fill(guess.begin(), guess.end(), 0.0);
+    std::fill(u.begin(), u.end(), 0.0);
   }
-  u = guess;
   {
     util::ScopedPhase t(stats.timers, phase::kFirstSolve);
     const auto result = solver::conjugate_gradient(op, f, u,
@@ -585,47 +628,15 @@ void MrhsAlgorithm::step_in_chunk(RunStats& stats) {
     stats.solver_status =
         solver::worse_status(stats.solver_status, result.status);
   }
-  if (chunk_guesses_ok_) {
+  if (have_guess) {
     const double u_norm = util::norm2(u);
     rec.guess_rel_error =
         u_norm > 0.0 ? util::diff_norm2(u, guess) / u_norm : 0.0;
     OBS_HISTOGRAM_OBSERVE("mrhs.guess_rel_error", rec.guess_rel_error,
                           obs::exponential_buckets(1e-6, 10.0, 8));
   }
-
-  midpoint_and_advance(stats, rec, f, u);
-  ++step_;
-  ++chunk_pos_;
-  if (chunk_pos_ >= chunk_len_) chunk_active_ = false;
-}
-
-void MrhsAlgorithm::midpoint_and_advance(RunStats& stats, StepRecord& rec,
-                                         const std::vector<double>& f,
-                                         const std::vector<double>& u) {
-  const SdConfig& config = sim_->config();
-  const double dt = sim_->dt();
-  const double max_step = sim_->max_step_length();
-
-  // Midpoint half-step and second solve, seeded with u_k.
-  const auto start = sim_->system().snapshot();
-  sim_->system().advance(u, 0.5 * dt, max_step);
-  sparse::BcrsMatrix r_half;
-  {
-    util::ScopedPhase t(stats.timers, phase::kConstruct);
-    r_half = sim_->engine().assemble_incremental(sim_->system()).matrix;
-  }
-  solver::BcrsOperator op_half(r_half, config.threads);
-  std::vector<double> u_mid = u;
-  {
-    util::ScopedPhase t(stats.timers, phase::kSecondSolve);
-    const auto result = solver::conjugate_gradient(op_half, f, u_mid,
-                                                   cg_options(config));
-    rec.iters_second_solve = result.iterations;
-    stats.solver_status =
-        solver::worse_status(stats.solver_status, result.status);
-  }
-  full_step_from(sim_->system(), start, u_mid, dt, max_step);
-  stats.steps.push_back(rec);
+  midpoint_and_advance(sim, stats, rec, f, u);
+  return rec;
 }
 
 }  // namespace mrhs::core

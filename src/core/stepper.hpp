@@ -25,6 +25,7 @@
 
 #include <cstddef>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "core/sd_simulation.hpp"
@@ -113,6 +114,20 @@ struct AlgorithmConfig {
   /// Upper bound the tuner may select (grid-clamped).
   std::size_t autotune_max_m = 64;
 };
+
+/// One explicit-midpoint SD step against a caller-provided Chebyshev
+/// interval and first-solve initial guess: construct R_k, compute the
+/// Brownian force with a single-vector Chebyshev over `bounds`, solve
+/// from `guess` (empty = zero guess), then midpoint-correct and
+/// advance. This is the body of MrhsAlgorithm's mid-chunk step,
+/// exposed for drivers that schedule their own chunks — the ensemble
+/// runner packs many trajectories' guess solves into one shared block
+/// phase and then steps each member through this entry point, so a
+/// member steps bitwise-identically whether it runs solo or packed.
+/// Appends the step's StepRecord to `stats.steps` and returns it.
+StepRecord mrhs_guided_step(SdSimulation& sim, std::size_t step,
+                            const solver::EigBounds& bounds,
+                            std::span<const double> guess, RunStats& stats);
 
 /// Checkpointable state of the single-vector algorithms: the step
 /// cursor plus the cached Lanczos interval (refreshed every
@@ -282,11 +297,6 @@ class MrhsAlgorithm {
   /// known, feed it the achieved-bandwidth counter deltas, and adopt
   /// its (at most one grid step) re-selection of m.
   void maybe_retune();
-  /// Shared tail of every step: midpoint half-step, second solve
-  /// seeded with u, full step from the step-start snapshot.
-  void midpoint_and_advance(RunStats& stats, StepRecord& rec,
-                            const std::vector<double>& f,
-                            const std::vector<double>& u);
 
   SdSimulation* sim_;
   std::size_t rhs_;

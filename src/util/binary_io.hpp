@@ -1,0 +1,103 @@
+// Little-endian binary framing shared by every durable artifact.
+//
+// Extracted from core/checkpoint.cpp so the checkpoint payload and the
+// ensemble job journal serialize through one implementation: integers
+// little-endian, doubles as their IEEE-754 bit patterns (exact — no
+// text round-trip), reads bounds-checked so corruption surfaces as one
+// clean error instead of a crash part-way through a truncated payload.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mrhs::util {
+
+/// Little-endian binary writer over a growable buffer.
+class BinaryWriter {
+ public:
+  void put_u8(std::uint8_t v) { buf_.push_back(v); }
+  void put_u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+  void put_u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+  void put_f64(double v) { put_u64(std::bit_cast<std::uint64_t>(v)); }
+  void put_doubles(const double* p, std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i) put_f64(p[i]);
+  }
+
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const {
+    return buf_;
+  }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Bounds-checked little-endian reader; any overrun flips `ok` and
+/// yields zeros, so the caller reports one clean corruption error
+/// instead of crashing part-way through a truncated payload.
+class BinaryReader {
+ public:
+  BinaryReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  std::uint8_t get_u8() {
+    if (!ensure(1)) return 0;
+    return data_[pos_++];
+  }
+  std::uint32_t get_u32() {
+    if (!ensure(4)) return 0;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(data_[pos_++]) << (8 * i);
+    }
+    return v;
+  }
+  std::uint64_t get_u64() {
+    if (!ensure(8)) return 0;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(data_[pos_++]) << (8 * i);
+    }
+    return v;
+  }
+  double get_f64() { return std::bit_cast<double>(get_u64()); }
+  void get_doubles(double* p, std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i) p[i] = get_f64();
+  }
+  /// Guard for array lengths read from the payload: a count larger
+  /// than the remaining bytes could support is corruption, not a
+  /// gigantic allocation request.
+  [[nodiscard]] bool plausible_count(std::uint64_t count,
+                                     std::size_t elem_bytes) const {
+    return count <= (size_ - pos_) / elem_bytes;
+  }
+
+  [[nodiscard]] bool ok() const { return ok_; }
+  [[nodiscard]] bool exhausted() const { return pos_ == size_; }
+
+ private:
+  bool ensure(std::size_t n) {
+    if (size_ - pos_ < n) {
+      ok_ = false;
+      pos_ = size_;
+      return false;
+    }
+    return true;
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace mrhs::util

@@ -69,12 +69,28 @@ namespace mrhs::util {
 ///   stepper.position.overlap   teleport one particle into its
 ///                              neighbor after a completed step (a
 ///                              finite but unphysical configuration)
+///   ensemble.member.rhs.nan    poison one ensemble member's packed
+///                              noise column before the shared block
+///                              Chebyshev (models per-member RHS
+///                              corruption); caught by the pack-stage
+///                              firewall, contained to that member
+///   ensemble.journal.torn      tear a job-journal append mid-record
+///                              (models a crash between write and
+///                              flush); the CRC frame makes the torn
+///                              tail detectable and discardable
+///   ensemble.queue.overflow    force a job submission to take the
+///                              bounded-queue overflow path (an
+///                              explicit `rejected`, never a silent
+///                              drop)
 inline constexpr std::string_view kFaultSites[] = {
     "gspmv.apply.nan",
     "cluster.halo.corrupt",
     "checkpoint.write.truncate",
     "stepper.position.nan",
     "stepper.position.overlap",
+    "ensemble.member.rhs.nan",
+    "ensemble.journal.torn",
+    "ensemble.queue.overflow",
 };
 
 [[nodiscard]] constexpr bool is_known_fault_site(std::string_view site) {
